@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunIntegration(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "integration"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "distributed") {
+		t.Errorf("output: %s", buf.String())
+	}
+}
+
+func TestRunDoD(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "dod"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"40%", "1300", "depth of discharge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFailures(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "failures"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cloud-transient") || !strings.Contains(out, "battery-dead") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope"); err == nil {
+		t.Error("unknown ablation should error")
+	}
+}

@@ -1,0 +1,208 @@
+// Command greensprint-bench regenerates every table and figure of the
+// paper's evaluation against the simulated testbed and prints them as
+// aligned text tables (optionally also writing CSV files for
+// plotting).
+//
+// Usage:
+//
+//	greensprint-bench [-fig all|1|5|6|7|8|9|10a|10b|11|day|tables|headline] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"greensprint/internal/experiments"
+	"greensprint/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure/table to regenerate")
+	out := flag.String("out", "", "directory for CSV outputs (optional)")
+	flag.Parse()
+	if err := run(os.Stdout, *fig, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "greensprint-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, fig, outDir string) error {
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	all := fig == "all"
+	ran := false
+	runStep := func(name string, f func() error) error {
+		if !all && fig != name {
+			return nil
+		}
+		ran = true
+		fmt.Fprintf(w, "==== %s ====\n", name)
+		return f()
+	}
+
+	steps := []struct {
+		name string
+		f    func() error
+	}{
+		{"tables", func() error { return tables(w) }},
+		{"headline", func() error { return headline(w) }},
+		{"1", func() error { return seriesFigure(w, outDir, "fig1", "hours", experiments.Fig1) }},
+		{"5", func() error { return seriesFigure(w, outDir, "fig5", "hours", experiments.Fig5) }},
+		{"6", func() error { return grid(w, outDir, experiments.Fig6) }},
+		{"7", func() error { return grid(w, outDir, experiments.Fig7) }},
+		{"8", func() error { return grid(w, outDir, experiments.Fig8) }},
+		{"9", func() error { return grid(w, outDir, experiments.Fig9) }},
+		{"10a", func() error { return grid(w, outDir, experiments.Fig10a) }},
+		{"10b", func() error { return fig10b(w) }},
+		{"11", func() error { return fig11(w, outDir) }},
+		{"day", func() error { return dayInLife(w) }},
+	}
+	for _, s := range steps {
+		if err := runStep(s.name, s.f); err != nil {
+			return fmt.Errorf("fig %s: %w", s.name, err)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func tables(w io.Writer) error {
+	if err := experiments.TableI().WriteText(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return experiments.TableII().WriteText(w)
+}
+
+func headline(w io.Writer) error {
+	gains, err := experiments.HeadlineGains()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Headline: max performance gain with sufficient renewable supply",
+		"workload", "gain (x Normal)", "paper")
+	paper := map[string]string{"SPECjbb": "4.8", "Web-Search": "4.1", "Memcached": "4.7"}
+	for _, name := range []string{"SPECjbb", "Web-Search", "Memcached"} {
+		t.Add(name, report.FormatFloat(gains[name], 2), paper[name])
+	}
+	return t.WriteText(w)
+}
+
+func seriesFigure(w io.Writer, outDir, name, xLabel string, f func() ([]report.Series, error)) error {
+	series, err := f()
+	if err != nil {
+		return err
+	}
+	for _, s := range series {
+		st := struct{ min, max float64 }{s.Y[0], s.Y[0]}
+		for _, v := range s.Y {
+			if v < st.min {
+				st.min = v
+			}
+			if v > st.max {
+				st.max = v
+			}
+		}
+		fmt.Fprintf(w, "%-22s n=%-5d min=%-10s max=%s\n",
+			s.Name, len(s.Y), report.FormatFloat(st.min, 3), report.FormatFloat(st.max, 3))
+	}
+	return writeSeriesCSV(outDir, name, xLabel, series)
+}
+
+func writeSeriesCSV(outDir, name, xLabel string, series []report.Series) error {
+	if outDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(outDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.WriteSeriesCSV(f, xLabel, series...)
+}
+
+func grid(w io.Writer, outDir string, f func() (*experiments.FigureGrid, error)) error {
+	g, err := f()
+	if err != nil {
+		return err
+	}
+	for _, t := range g.Tables() {
+		if err := t.WriteText(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if outDir != "" {
+		for _, level := range g.Levels {
+			name := fmt.Sprintf("%s_%s", g.ID, level)
+			if err := writeSeriesCSV(outDir, name, "burst_minutes", g.Series(level)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func fig10b(w io.Writer) error {
+	vals, err := experiments.Fig10b()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig10b: strategies at Int=9, Min availability, 10-minute burst")
+	max := 0.0
+	order := []string{"Greedy", "Parallel", "Pacing", "Hybrid"}
+	for _, s := range order {
+		if vals[s] > max {
+			max = vals[s]
+		}
+	}
+	for _, s := range order {
+		fmt.Fprintln(w, report.Bar(s, vals[s], max, 40))
+	}
+	return nil
+}
+
+func dayInLife(w io.Writer) error {
+	d, err := experiments.DayInTheLife()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Day in the life (Figure 1 load + partly-cloudy solar day, SPECjbb, RE-Batt):")
+	fmt.Fprintln(w, " ", d)
+	return nil
+}
+
+func fig11(w io.Writer, outDir string) error {
+	pts, crossover := experiments.Fig11()
+	t := report.NewTable(
+		fmt.Sprintf("Fig11: profit of investment (crossover ≈ %s h/yr; paper: ~14)",
+			report.FormatFloat(crossover, 1)),
+		"sprint hours/yr", "benefit ($/kW/yr)", "profitable")
+	for _, p := range pts {
+		if int(p.SprintHours)%4 != 0 {
+			continue
+		}
+		t.Add(report.FormatFloat(p.SprintHours, 0), report.FormatFloat(p.Benefit, 1),
+			fmt.Sprintf("%v", p.Profitable))
+	}
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	if outDir != "" {
+		s := report.Series{Name: "benefit_usd_per_kw_year"}
+		for _, p := range pts {
+			s.X = append(s.X, p.SprintHours)
+			s.Y = append(s.Y, p.Benefit)
+		}
+		return writeSeriesCSV(outDir, "fig11", "sprint_hours_per_year", []report.Series{s})
+	}
+	return nil
+}

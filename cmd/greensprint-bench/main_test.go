@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "tables", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "Table II", "RE-Batt", "SPECjbb", "635.25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestRunHeadline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "headline", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4.8") {
+		t.Errorf("headline output missing paper reference:\n%s", buf.String())
+	}
+}
+
+func TestRunFig11WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, "11", dir); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "crossover") {
+		t.Error("fig11 output missing crossover")
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "fig11.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "sprint_hours_per_year,benefit_usd_per_kw_year") {
+		t.Errorf("csv header: %q", strings.SplitN(string(b), "\n", 2)[0])
+	}
+}
+
+func TestRunFig10b(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "10b", ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"Greedy", "Parallel", "Pacing", "Hybrid"} {
+		if !strings.Contains(buf.String(), s) {
+			t.Errorf("missing %s bar", s)
+		}
+	}
+}
+
+func TestRunFig1CSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, "1", dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig1.csv")); err != nil {
+		t.Errorf("fig1.csv not written: %v", err)
+	}
+	if !strings.Contains(buf.String(), "workload_intensity") {
+		t.Error("summary missing series name")
+	}
+}
+
+func TestRunUnknownFig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", ""); err == nil {
+		t.Error("unknown figure should error")
+	}
+}

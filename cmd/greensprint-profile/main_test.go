@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"greensprint/internal/profile"
+)
+
+func TestRunTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "SPECjbb", 10, "table", -1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SPECjbb profiling table", "12c@2GHz", "6c@1.2GHz", "LoadPower"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// 63 settings + title + header + separator.
+	if lines := strings.Count(out, "\n"); lines != 66 {
+		t.Errorf("lines = %d", lines)
+	}
+}
+
+func TestRunJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "Memcached", 5, "json", -1); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := profile.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Workload != "Memcached" || tab.Levels != 5 {
+		t.Errorf("table = %s/%d", tab.Workload, tab.Levels)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", 10, "table", -1); err == nil {
+		t.Error("unknown workload should fail")
+	}
+	if err := run(&buf, "SPECjbb", 0, "table", -1); err == nil {
+		t.Error("zero levels should fail")
+	}
+	if err := run(&buf, "SPECjbb", 10, "xml", -1); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if err := run(&buf, "SPECjbb", 10, "table", 99); err == nil {
+		t.Error("out-of-range level should fail")
+	}
+}

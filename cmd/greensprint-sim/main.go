@@ -1,0 +1,174 @@
+// Command greensprint-sim runs one configured GreenSprint simulation:
+// a workload burst served by a green-provisioned rack under a chosen
+// strategy, printing the per-epoch schedule and a summary.
+//
+// Usage:
+//
+//	greensprint-sim [-config FILE] [-workload W] [-green G]
+//	                [-strategy S] [-intensity N] [-duration D]
+//	                [-availability Min|Med|Max] [-trace FILE] [-csv]
+//
+// Flags override the config file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"greensprint/internal/cluster"
+	"greensprint/internal/config"
+	"greensprint/internal/profile"
+	"greensprint/internal/report"
+	"greensprint/internal/sim"
+	"greensprint/internal/solar"
+	"greensprint/internal/strategy"
+	"greensprint/internal/trace"
+	"greensprint/internal/workload"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "JSON config file (optional)")
+	wl := flag.String("workload", "", "workload: SPECjbb, Web-Search, Memcached")
+	green := flag.String("green", "", "green config: RE-Batt, REOnly, RE-SBatt, SRE-SBatt")
+	strat := flag.String("strategy", "", "strategy: Normal, Greedy, Parallel, Pacing, Hybrid")
+	intensity := flag.Int("intensity", 0, "burst intensity Int=N (1-12)")
+	duration := flag.Duration("duration", 0, "burst duration (e.g. 30m)")
+	avail := flag.String("availability", "", "renewable availability: Min, Med, Max")
+	tracePath := flag.String("trace", "", "CSV supply trace to replay instead of synthetic availability")
+	csvOut := flag.Bool("csv", false, "emit the epoch schedule as CSV instead of a text table")
+	flag.Parse()
+
+	cfg := config.Default()
+	if *cfgPath != "" {
+		var err error
+		if cfg, err = config.Load(*cfgPath); err != nil {
+			fatal(err)
+		}
+	}
+	if *wl != "" {
+		cfg.Workload = *wl
+	}
+	if *green != "" {
+		cfg.Green = *green
+	}
+	if *strat != "" {
+		cfg.Strategy = *strat
+	}
+	if *intensity != 0 {
+		cfg.BurstIntensity = *intensity
+	}
+	if *duration != 0 {
+		cfg.BurstDuration = config.Duration(*duration)
+	}
+	if *avail != "" {
+		cfg.Availability = *avail
+	}
+	if *tracePath != "" {
+		cfg.SupplyTrace = *tracePath
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	if err := run(os.Stdout, cfg, *csvOut); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "greensprint-sim:", err)
+	os.Exit(1)
+}
+
+func run(w io.Writer, cfg config.Config, csvOut bool) error {
+	p, err := cfg.WorkloadProfile()
+	if err != nil {
+		return err
+	}
+	green, err := cfg.GreenConfig()
+	if err != nil {
+		return err
+	}
+	tab, err := profile.Build(p, profile.DefaultLevels)
+	if err != nil {
+		return err
+	}
+	strat, err := strategy.ByName(cfg.Strategy, p, tab)
+	if err != nil {
+		return err
+	}
+	supply, err := loadSupply(cfg, green)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(sim.Config{
+		Workload: p,
+		Green:    green,
+		Strategy: strat,
+		Table:    tab,
+		Burst:    workload.Burst{Intensity: cfg.BurstIntensity, Duration: cfg.BurstDuration.Std()},
+		Supply:   supply,
+		Lead:     cfg.Lead.Std(),
+		Tail:     cfg.Tail.Std(),
+		Epoch:    cfg.Epoch.Std(),
+	})
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Schedule: %s on %s, %s strategy, Int=%d for %v",
+			p.Name, green.Name, strat.Name(), cfg.BurstIntensity, cfg.BurstDuration.Std()),
+		"epoch", "burst", "case", "config", "supply(W)", "green(W)", "batt(W)", "grid(W)",
+		"perf(x)", "latency(ms)", "SoC")
+	for i, rec := range res.Records {
+		t.Add(
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%v", rec.InBurst),
+			rec.Case.String(),
+			rec.Config.String(),
+			report.FormatFloat(float64(rec.Supply), 1),
+			report.FormatFloat(float64(rec.Green), 1),
+			report.FormatFloat(float64(rec.Battery), 1),
+			report.FormatFloat(float64(rec.Grid), 1),
+			report.FormatFloat(rec.NormPerf, 2),
+			report.FormatFloat(rec.Latency*1000, 1),
+			report.FormatFloat(rec.SoC, 3),
+		)
+	}
+	if csvOut {
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+	} else if err := t.WriteText(w); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nmean burst performance: %sx over Normal\n", report.FormatFloat(res.MeanNormPerf, 2))
+	acct := res.Account
+	fmt.Fprintf(w, "energy: green %s, battery %s, grid %s (green fraction %s)\n",
+		acct.Green, acct.Battery, acct.Grid, report.FormatFloat(acct.GreenFraction(), 3))
+	fmt.Fprintf(w, "battery wear: %s equivalent cycles\n", report.FormatFloat(res.BatteryCycles, 3))
+	return nil
+}
+
+// loadSupply replays the configured CSV trace, or synthesizes the
+// canonical window for the configured availability class.
+func loadSupply(cfg config.Config, green cluster.GreenConfig) (*trace.Trace, error) {
+	if cfg.SupplyTrace != "" {
+		f, err := os.Open(cfg.SupplyTrace)
+		if err != nil {
+			return nil, fmt.Errorf("open supply trace: %w", err)
+		}
+		defer f.Close()
+		return trace.ReadCSV(f)
+	}
+	level, err := cfg.AvailabilityLevel()
+	if err != nil {
+		return nil, err
+	}
+	total := cfg.Lead.Std() + cfg.BurstDuration.Std() + cfg.Tail.Std()
+	return solar.Synthesize(level, total, time.Minute, float64(green.PeakGreen()), 42), nil
+}

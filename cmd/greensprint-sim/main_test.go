@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"greensprint/internal/cluster"
+	"greensprint/internal/config"
+	"greensprint/internal/solar"
+)
+
+func smallConfig() config.Config {
+	cfg := config.Default()
+	cfg.BurstDuration = config.Duration(10 * time.Minute)
+	return cfg
+}
+
+func TestRunText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, smallConfig(), false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Schedule", "SPECjbb", "RE-Batt", "Hybrid", "mean burst performance", "battery wear"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, smallConfig(), true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "epoch,burst,case,config") {
+		t.Errorf("csv header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+func TestRunAllStrategiesAndWorkloads(t *testing.T) {
+	for _, s := range []string{"Normal", "Greedy", "Parallel", "Pacing", "Hybrid"} {
+		cfg := smallConfig()
+		cfg.Strategy = s
+		var buf bytes.Buffer
+		if err := run(&buf, cfg, false); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+	for _, w := range []string{"Web-Search", "Memcached"} {
+		cfg := smallConfig()
+		cfg.Workload = w
+		var buf bytes.Buffer
+		if err := run(&buf, cfg, false); err != nil {
+			t.Errorf("%s: %v", w, err)
+		}
+	}
+}
+
+func TestLoadSupplySynthetic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Lead = config.Duration(5 * time.Minute)
+	tr, err := loadSupply(cfg, cluster.REBatt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 15 {
+		t.Errorf("len = %d, want lead+burst minutes", tr.Len())
+	}
+	cfg.Availability = "Banana"
+	if _, err := loadSupply(cfg, cluster.REBatt()); err == nil {
+		t.Error("bad availability should error")
+	}
+}
+
+func TestLoadSupplyFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "supply.csv")
+	tr := solar.Synthesize(solar.Med, 10*time.Minute, time.Minute, 635.25, 1)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cfg := smallConfig()
+	cfg.SupplyTrace = path
+	got, err := loadSupply(cfg, cluster.REBatt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Errorf("len = %d", got.Len())
+	}
+	// Replayed trace drives a full run.
+	var buf bytes.Buffer
+	if err := run(&buf, cfg, false); err != nil {
+		t.Fatal(err)
+	}
+	// Missing file errors.
+	cfg.SupplyTrace = filepath.Join(dir, "missing.csv")
+	if _, err := loadSupply(cfg, cluster.REBatt()); err == nil {
+		t.Error("missing trace should error")
+	}
+}

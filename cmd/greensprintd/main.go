@@ -1,0 +1,255 @@
+// Command greensprintd runs the GreenSprint controller as a daemon: an
+// epoch ticker drives the Monitor → Predictor → PSS → PMK loop while
+// an HTTP API serves status, history and manual telemetry injection.
+//
+// Two actuation backends are available:
+//
+//   - -backend sim (default): simulated knobs, with telemetry
+//     synthesized from a replayed (or generated) solar trace and the
+//     configured workload burst — a self-contained demonstration of
+//     the full control loop.
+//   - -backend sysfs: applies decisions to the local Linux host
+//     through CPU online masks and cpufreq caps (requires root and a
+//     -sysfs-root; telemetry must then be POSTed to /step by an
+//     external monitor, and the internal ticker is disabled).
+//
+// Usage:
+//
+//	greensprintd [-addr :8479] [-config FILE] [-backend sim|sysfs]
+//	             [-sysfs-root DIR] [-epoch 5m] [-once N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"greensprint/internal/config"
+	"greensprint/internal/core"
+	"greensprint/internal/httpapi"
+	"greensprint/internal/loadgen"
+	"greensprint/internal/pmk"
+	"greensprint/internal/server"
+	"greensprint/internal/solar"
+	"greensprint/internal/units"
+)
+
+func main() {
+	addr := flag.String("addr", ":8479", "HTTP listen address")
+	cfgPath := flag.String("config", "", "JSON config file (optional)")
+	backend := flag.String("backend", "sim", "actuation backend: sim or sysfs")
+	sysfsRoot := flag.String("sysfs-root", "", "sysfs CPU root for the sysfs backend")
+	epoch := flag.Duration("epoch", 0, "override the scheduling epoch (e.g. 2s for demos)")
+	once := flag.Int("once", 0, "run N epochs and exit (0 = serve forever)")
+	qtable := flag.String("qtable", "", "file persisting the Hybrid Q-table across restarts")
+	flag.Parse()
+
+	cfg := config.Default()
+	if *cfgPath != "" {
+		var err error
+		if cfg, err = config.Load(*cfgPath); err != nil {
+			log.Fatalf("greensprintd: %v", err)
+		}
+	}
+	if err := run(cfg, *addr, *backend, *sysfsRoot, *epoch, *once, *qtable); err != nil {
+		log.Fatalf("greensprintd: %v", err)
+	}
+}
+
+func run(cfg config.Config, addr, backend, sysfsRoot string, epoch time.Duration, once int, qtablePath string) error {
+	p, err := cfg.WorkloadProfile()
+	if err != nil {
+		return err
+	}
+	green, err := cfg.GreenConfig()
+	if err != nil {
+		return err
+	}
+	if epoch == 0 {
+		epoch = cfg.Epoch.Std()
+	}
+
+	var fleet *pmk.Fleet
+	ticker := true
+	switch backend {
+	case "sim":
+		fleet = pmk.NewSimFleet(green.GreenServers)
+	case "sysfs":
+		knobs := make([]pmk.Knob, green.GreenServers)
+		for i := range knobs {
+			knobs[i] = pmk.NewSysfs(sysfsRoot)
+		}
+		fleet = pmk.NewFleet(knobs...)
+		ticker = false // external monitor drives /step
+	default:
+		return fmt.Errorf("unknown backend %q", backend)
+	}
+
+	ctrl, err := core.New(core.Options{
+		Workload:     p,
+		Green:        green,
+		StrategyName: cfg.Strategy,
+		Epoch:        epoch,
+		Fleet:        fleet,
+	})
+	if err != nil {
+		return err
+	}
+
+	if qtablePath != "" {
+		if err := loadQTable(ctrl, qtablePath); err != nil {
+			log.Printf("greensprintd: qtable: %v (starting fresh)", err)
+		}
+	}
+
+	srv := &http.Server{Addr: addr, Handler: httpapi.New(ctrl)}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("greensprintd: serving on %s (workload=%s green=%s strategy=%s epoch=%v backend=%s)",
+			addr, p.Name, green.Name, cfg.Strategy, epoch, backend)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if ticker {
+		go tickLoop(ctx, ctrl, cfg, green.PeakGreen(), epoch, once, stop)
+	}
+
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		return err
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if qtablePath != "" {
+		if err := saveQTable(ctrl, qtablePath); err != nil {
+			log.Printf("greensprintd: qtable: %v", err)
+		}
+	}
+	return srv.Shutdown(shutdownCtx)
+}
+
+// loadQTable restores a persisted Hybrid Q-table, if the controller
+// runs a Hybrid strategy and the file exists.
+func loadQTable(ctrl *core.Controller, path string) error {
+	h, ok := ctrl.HybridStrategy()
+	if !ok {
+		return fmt.Errorf("strategy %q has no Q-table", ctrl.Strategy())
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil // first run
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := h.LoadQ(f); err != nil {
+		return err
+	}
+	log.Printf("greensprintd: restored Q-table from %s", path)
+	return nil
+}
+
+// saveQTable persists the learned Q-table on shutdown.
+func saveQTable(ctrl *core.Controller, path string) error {
+	h, ok := ctrl.HybridStrategy()
+	if !ok {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := h.SaveQ(f); err != nil {
+		return err
+	}
+	log.Printf("greensprintd: saved Q-table to %s", path)
+	return nil
+}
+
+// tickLoop drives the controller each epoch: an open-loop load
+// generator (the Faban role) offers requests to the current server
+// setting, its measured latencies flow through the Monitor, and the
+// resulting telemetry steps the control loop. The green supply comes
+// from the configured availability window.
+func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
+	peak units.Watt, epoch time.Duration, once int, stop func()) {
+
+	level, err := cfg.AvailabilityLevel()
+	if err != nil {
+		log.Printf("greensprintd: %v; assuming Med", err)
+		level = solar.Med
+	}
+	burst := cfg.BurstDuration.Std()
+	supply := solar.Synthesize(level, burst+time.Hour, time.Minute, float64(peak), 42)
+	p, _ := cfg.WorkloadProfile()
+	offered := p.IntensityRate(cfg.BurstIntensity)
+	gen, err := loadgen.New(p, 42)
+	if err != nil {
+		log.Printf("greensprintd: loadgen: %v", err)
+		stop()
+		return
+	}
+	mon := core.NewMonitor(p)
+
+	t := time.NewTicker(epoch)
+	defer t.Stop()
+	for i := 0; ; i++ {
+		if once > 0 && i >= once {
+			stop()
+			return
+		}
+		// Measure the epoch that just ended: green production from
+		// the trace, request latencies from the load generator run
+		// against the currently applied setting.
+		at := supply.Start.Add(time.Duration(i) * epoch)
+		rate := offered
+		if time.Duration(i)*epoch >= burst {
+			rate = 0.6 * offered
+		}
+		current := ctrl.Snapshot().Last.Config
+		if !current.Valid() {
+			current = server.Normal() // before the first decision
+		}
+		load, err := gen.Run(current, rate, epoch)
+		if err != nil {
+			log.Printf("greensprintd: loadgen: %v", err)
+			stop()
+			return
+		}
+		load.FeedMonitor(mon.RecordLatency)
+		mon.RecordGreenPower(units.Watt(supply.At(at)))
+		mon.RecordServerPower(p.LoadPower(current, rate))
+		tel := mon.Close(epoch)
+		tel.OfferedRate = rate
+		tel.Goodput = load.Goodput()
+
+		d, err := ctrl.Step(tel)
+		if err != nil {
+			log.Printf("greensprintd: step: %v", err)
+		} else {
+			log.Printf("epoch %d: config=%v case=%v budget=%v sprint=%.0f%% goodput=%.0f/s p%v=%.0fms",
+				d.Epoch, d.Config, d.Case, d.Budget, d.SprintFraction*100,
+				tel.Goodput, p.Quantile*100, tel.Latency*1000)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}

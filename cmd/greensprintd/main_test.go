@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"greensprint/internal/config"
+)
+
+// TestRunOnce boots the daemon with a millisecond epoch and a bounded
+// tick count; it must serve, step the controller N times, then shut
+// down cleanly.
+func TestRunOnce(t *testing.T) {
+	cfg := config.Default()
+	cfg.BurstDuration = config.Duration(10 * time.Minute)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(cfg, "127.0.0.1:0", "sim", "", 5*time.Millisecond, 4, "")
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after -once ticks")
+	}
+}
+
+func TestRunRejectsUnknownBackend(t *testing.T) {
+	cfg := config.Default()
+	if err := run(cfg, "127.0.0.1:0", "warp", "", time.Second, 1, ""); err == nil {
+		t.Error("unknown backend should error")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := config.Default()
+	cfg.Workload = "nope"
+	if err := run(cfg, "127.0.0.1:0", "sim", "", time.Second, 1, ""); err == nil {
+		t.Error("bad workload should error")
+	}
+}
+
+// TestQTablePersistence runs the daemon twice against the same Q-table
+// file: the first run creates it, the second restores it.
+func TestQTablePersistence(t *testing.T) {
+	cfg := config.Default()
+	cfg.BurstDuration = config.Duration(10 * time.Minute)
+	path := filepath.Join(t.TempDir(), "q.json")
+	for i := 0; i < 2; i++ {
+		done := make(chan error, 1)
+		go func() {
+			done <- run(cfg, "127.0.0.1:0", "sim", "", 5*time.Millisecond, 3, path)
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run %d: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("run %d did not exit", i)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("run %d left no Q-table: %v", i, err)
+		}
+	}
+}

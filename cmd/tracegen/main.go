@@ -1,0 +1,125 @@
+// Command tracegen generates the input traces GreenSprint consumes:
+// synthetic NREL-style solar production traces (one-minute AC power of
+// a panel array) and the diurnal workload-intensity pattern of
+// Figure 1.
+//
+// Usage:
+//
+//	tracegen -kind solar  [-days 7] [-panels 3] [-seed 1]
+//	         [-skies clear,partly,overcast] [-o solar.csv]
+//	tracegen -kind wind    [-o wind.csv]
+//	tracegen -kind diurnal [-o load.csv]
+//	tracegen -kind nrel -in midc.csv [-column Global] [-panels 3] [-o power.csv]
+//
+// The nrel kind converts a downloaded NREL MIDC daily-export CSV into
+// the AC power trace of a panel array, replaying real irradiance the
+// way the paper's prototype did.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"greensprint/internal/nrel"
+	"greensprint/internal/solar"
+	"greensprint/internal/trace"
+	"greensprint/internal/wind"
+	"greensprint/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "solar", "trace kind: solar, wind, diurnal or nrel")
+	days := flag.Int("days", 7, "days of solar trace")
+	panels := flag.Int("panels", 3, "PV panels in the array (3 = RE, 2 = SRE)")
+	seed := flag.Int64("seed", 1, "random seed for stochastic processes")
+	skies := flag.String("skies", "", "comma-separated per-day skies: clear, partly, overcast")
+	in := flag.String("in", "", "input NREL MIDC CSV (kind=nrel)")
+	column := flag.String("column", "Global", "irradiance column substring (kind=nrel)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	tr, err := generate(*kind, *days, *panels, *seed, *skies, *in, *column)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}
+
+func generate(kind string, days, panels int, seed int64, skies, in, column string) (*trace.Trace, error) {
+	switch kind {
+	case "solar":
+		cfg := solar.DefaultGeneratorConfig()
+		cfg.Days = days
+		cfg.Array.Panels = panels
+		cfg.Seed = seed
+		if skies != "" {
+			parsed, err := parseSkies(skies)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Skies = parsed
+		}
+		return solar.Generate(cfg)
+	case "wind":
+		cfg := wind.DefaultGeneratorConfig()
+		cfg.Duration = time.Duration(days) * 24 * time.Hour
+		cfg.Seed = seed
+		return wind.Generate(cfg)
+	case "diurnal":
+		return workload.DiurnalPattern(time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC), time.Minute), nil
+	case "nrel":
+		if in == "" {
+			return nil, fmt.Errorf("kind=nrel requires -in FILE")
+		}
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		irr, err := nrel.ParseIrradiance(f, column)
+		if err != nil {
+			return nil, err
+		}
+		array := solar.Array{Panel: solar.DefaultPanel(), Panels: panels}
+		return nrel.ToPower(irr, array), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want solar, wind, diurnal or nrel)", kind)
+	}
+}
+
+func parseSkies(s string) ([]solar.Sky, error) {
+	var out []solar.Sky
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "clear":
+			out = append(out, solar.Clear)
+		case "partly":
+			out = append(out, solar.PartlyCloudy)
+		case "overcast":
+			out = append(out, solar.Overcast)
+		default:
+			return nil, fmt.Errorf("unknown sky %q", part)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"greensprint/internal/solar"
+)
+
+func TestGenerateSolar(t *testing.T) {
+	tr, err := generate("solar", 2, 3, 1, "clear,overcast", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2*24*60 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	if tr.Max() > 635.25+1e-9 {
+		t.Errorf("max = %v", tr.Max())
+	}
+}
+
+func TestGenerateDiurnal(t *testing.T) {
+	tr, err := generate("diurnal", 0, 0, 0, "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 24*60 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	if tr.Max() <= 1 {
+		t.Errorf("diurnal pattern should spike above 1, max = %v", tr.Max())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("nope", 1, 1, 1, "", "", ""); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if _, err := generate("solar", 0, 3, 1, "", "", ""); err == nil {
+		t.Error("zero days should error")
+	}
+	if _, err := generate("solar", 1, 3, 1, "sunny", "", ""); err == nil {
+		t.Error("unknown sky should error")
+	}
+}
+
+func TestParseSkies(t *testing.T) {
+	skies, err := parseSkies("clear, partly ,overcast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []solar.Sky{solar.Clear, solar.PartlyCloudy, solar.Overcast}
+	if len(skies) != len(want) {
+		t.Fatalf("len = %d", len(skies))
+	}
+	for i := range want {
+		if skies[i] != want[i] {
+			t.Errorf("sky %d = %v", i, skies[i])
+		}
+	}
+}
+
+func TestGenerateWind(t *testing.T) {
+	tr, err := generate("wind", 1, 0, 1, "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 24*60 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+func TestGenerateNREL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "midc.csv")
+	csv := "DATE (MM/DD/YYYY),MST,Global [W/m^2]\n05/01/2018,12:00,500\n05/01/2018,12:01,600\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := generate("nrel", 0, 3, 0, "", path, "Global")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if tr.Samples[0] != 3*211.75*0.5 {
+		t.Errorf("power = %v", tr.Samples[0])
+	}
+	if _, err := generate("nrel", 0, 3, 0, "", "", ""); err == nil {
+		t.Error("missing -in should error")
+	}
+	if _, err := generate("nrel", 0, 3, 0, "", filepath.Join(dir, "missing.csv"), "Global"); err == nil {
+		t.Error("missing file should error")
+	}
+}

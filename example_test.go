@@ -1,0 +1,70 @@
+package greensprint_test
+
+import (
+	"fmt"
+	"time"
+
+	"greensprint"
+)
+
+// Example runs the canonical GreenSprint scenario through the public
+// facade: a saturating SPECjbb burst on the RE-Batt rack with maximum
+// renewable availability.
+func Example() {
+	app := greensprint.SPECjbb()
+	green := greensprint.REBatt()
+	table, err := greensprint.BuildProfile(app)
+	if err != nil {
+		panic(err)
+	}
+	strat, err := greensprint.NewStrategy("Hybrid", app, table)
+	if err != nil {
+		panic(err)
+	}
+	burst := greensprint.Burst{Intensity: 12, Duration: 10 * time.Minute}
+	res, err := greensprint.RunSimulation(greensprint.Simulation{
+		Workload: app,
+		Green:    green,
+		Strategy: strat,
+		Table:    table,
+		Burst:    burst,
+		Supply:   greensprint.SynthesizeSupply(greensprint.MaxAvailability, green, burst),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SPECjbb gain with abundant sun: %.1fx over Normal\n", res.MeanNormPerf)
+	// Output:
+	// SPECjbb gain with abundant sun: 4.8x over Normal
+}
+
+// ExampleDefaultTCO reproduces the §IV-F break-even arithmetic.
+func ExampleDefaultTCO() {
+	m := greensprint.DefaultTCO()
+	fmt.Printf("break-even at %.0f sprinting hours per year\n", m.CrossoverHours())
+	// Output:
+	// break-even at 14 sprinting hours per year
+}
+
+// ExampleWorkloads lists the evaluation workloads and their QoS SLAs.
+func ExampleWorkloads() {
+	for _, w := range greensprint.Workloads() {
+		fmt.Printf("%s: %s, %g%%-ile <= %gms, peak %s\n",
+			w.Name, w.MetricName, w.Quantile*100, w.Deadline*1000, w.PeakPower)
+	}
+	// Output:
+	// SPECjbb: jops, 99%-ile <= 500ms, peak 155W
+	// Web-Search: ops, 90%-ile <= 500ms, peak 156W
+	// Memcached: rps, 95%-ile <= 10ms, peak 146W
+}
+
+// ExampleNormalMode shows the knob-space endpoints.
+func ExampleNormalMode() {
+	fmt.Println("Normal:", greensprint.NormalMode())
+	fmt.Println("Max sprint:", greensprint.MaxSprintMode())
+	fmt.Println("settings:", len(greensprint.KnobSpace()))
+	// Output:
+	// Normal: 6c@1.2GHz
+	// Max sprint: 12c@2GHz
+	// settings: 63
+}

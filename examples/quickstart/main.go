@@ -1,0 +1,69 @@
+// Quickstart: the smallest end-to-end GreenSprint run.
+//
+// One SPECjbb workload burst hits a green-provisioned rack (RE-Batt:
+// 3 servers on a 3-panel solar array with 10 Ah server batteries). We
+// compare the Hybrid strategy against never sprinting, then peek at
+// what the controller decided epoch by epoch.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"greensprint/internal/cluster"
+	"greensprint/internal/profile"
+	"greensprint/internal/sim"
+	"greensprint/internal/solar"
+	"greensprint/internal/strategy"
+	"greensprint/internal/workload"
+)
+
+func main() {
+	// 1. Pick a workload (Table II) and a green-provisioning option
+	//    (Table I).
+	app := workload.SPECjbb()
+	green := cluster.REBatt()
+
+	// 2. Profile the workload over the knob space — the a-priori
+	//    LoadPower(L,S) table every strategy consults.
+	table, err := profile.Build(app, profile.DefaultLevels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A 30-minute Int=12 burst under medium solar availability.
+	burst := workload.Burst{Intensity: 12, Duration: 30 * time.Minute}
+	supply := solar.Synthesize(solar.Med, burst.Duration, time.Minute,
+		float64(green.PeakGreen()), 42)
+
+	// 4. Run it once with Hybrid, once with the Normal baseline.
+	for _, name := range []string{"Hybrid", "Normal"} {
+		strat, err := strategy.ByName(name, app, table)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Workload: app,
+			Green:    green,
+			Strategy: strat,
+			Table:    table,
+			Burst:    burst,
+			Supply:   supply,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s mean performance %.2fx over Normal  (green %.0f Wh, battery %.0f Wh)\n",
+			name, res.MeanNormPerf, float64(res.Account.Green), float64(res.Account.Battery))
+		if name == "Hybrid" {
+			for _, rec := range res.BurstRecords() {
+				fmt.Printf("  %s  %-13s %-10s supply=%6.1fW perf=%.2fx SoC=%.2f\n",
+					rec.Start.Format("15:04"), rec.Case, rec.Config,
+					float64(rec.Supply), rec.NormPerf, rec.SoC)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Web-Search cluster: driving the online controller.
+//
+// Instead of the offline simulator, this example runs the paper's
+// Figure 3 control loop the way greensprintd does: a core.Controller
+// (Monitor → Predictor → PSS → PMK) is stepped epoch by epoch with
+// telemetry synthesized from a generated solar day, while a Web-Search
+// burst arrives mid-day. It demonstrates the public controller API —
+// Telemetry in, Decision out — and prints how the PSS shifts among
+// green, battery and grid across the day.
+//
+//	go run ./examples/websearch-cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"greensprint/internal/cluster"
+	"greensprint/internal/core"
+	"greensprint/internal/solar"
+	"greensprint/internal/units"
+	"greensprint/internal/workload"
+)
+
+func main() {
+	app := workload.WebSearch()
+	green := cluster.RESBatt()
+
+	ctrl, err := core.New(core.Options{
+		Workload:     app,
+		Green:        green,
+		StrategyName: "Hybrid",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A generated partly-cloudy day at one-minute resolution.
+	gen := solar.DefaultGeneratorConfig()
+	gen.Days = 1
+	gen.Skies = []solar.Sky{solar.PartlyCloudy}
+	gen.Array = green.Array()
+	sun, err := solar.Generate(gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The burst: Int=12 from 11:00 to 12:00; background load
+	// otherwise.
+	burstFrom := gen.Start.Add(11 * time.Hour)
+	burstTo := burstFrom.Add(time.Hour)
+	burstRate := app.IntensityRate(12)
+	idleRate := 0.5 * app.IntensityRate(6)
+
+	epoch := ctrl.Epoch()
+	fmt.Println("hour   supply(W)  case           config     sprint%  budget(W)")
+	for at := gen.Start; at.Before(gen.Start.Add(24 * time.Hour)); at = at.Add(epoch) {
+		rate := idleRate
+		if !at.Before(burstFrom) && at.Before(burstTo) {
+			rate = burstRate
+		}
+		lastCfg := ctrl.Snapshot().Last.Config
+		tel := core.Telemetry{
+			GreenPower:  units.Watt(sun.At(at)),
+			OfferedRate: rate,
+			Goodput:     app.Goodput(lastCfg, rate),
+			Latency:     app.Deadline * 0.8,
+			ServerPower: app.LoadPower(lastCfg, rate),
+		}
+		d, err := ctrl.Step(tel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Print one line per half hour, plus every burst epoch.
+		inBurst := !at.Before(burstFrom) && at.Before(burstTo)
+		if at.Minute()%30 == 0 || inBurst {
+			marker := " "
+			if inBurst {
+				marker = "*"
+			}
+			fmt.Printf("%s%s  %8.1f  %-13s  %-9s  %5.0f%%  %8.1f\n",
+				at.Format("15:04"), marker, sun.At(at), d.Case, d.Config,
+				d.SprintFraction*100, float64(d.Budget))
+		}
+	}
+
+	st := ctrl.Snapshot()
+	fmt.Printf("\nend of day: battery SoC %.2f, %.3f equivalent cycles\n",
+		st.BatterySoC, st.BatteryCycle)
+	fmt.Printf("energy delivered: green %s, battery %s, grid %s (green fraction %.2f)\n",
+		st.Account.Green, st.Account.Battery, st.Account.Grid, st.Account.GreenFraction())
+}

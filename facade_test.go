@@ -1,0 +1,81 @@
+package greensprint
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart describes it.
+func TestFacadeEndToEnd(t *testing.T) {
+	app := SPECjbb()
+	green := REBatt()
+	table, err := BuildProfile(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := NewStrategy("Hybrid", app, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := Burst{Intensity: 12, Duration: 10 * time.Minute}
+	res, err := RunSimulation(Simulation{
+		Workload: app,
+		Green:    green,
+		Strategy: strat,
+		Table:    table,
+		Burst:    burst,
+		Supply:   SynthesizeSupply(MaxAvailability, green, burst),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanNormPerf < 4.5 {
+		t.Errorf("facade run perf = %.2f, want ~4.8", res.MeanNormPerf)
+	}
+}
+
+func TestFacadeWorkloadsAndKnobs(t *testing.T) {
+	if len(Workloads()) != 3 {
+		t.Error("three workloads")
+	}
+	if len(KnobSpace()) != 63 {
+		t.Error("63 knob settings")
+	}
+	if NormalMode().IsSprinting() {
+		t.Error("Normal is not sprinting")
+	}
+	if !MaxSprintMode().IsSprinting() {
+		t.Error("max sprint sprints")
+	}
+	for _, g := range []GreenConfig{REBatt(), REOnly(), RESBatt(), SRESBatt()} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestFacadeController(t *testing.T) {
+	ctrl, err := NewController(ControllerOptions{
+		Workload:     WebSearch(),
+		Green:        RESBatt(),
+		StrategyName: "Pacing",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ctrl.Step(Telemetry{GreenPower: 400, OfferedRate: 100, Goodput: 90, Latency: 0.3, ServerPower: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch != 0 {
+		t.Errorf("decision = %+v", d)
+	}
+}
+
+func TestFacadeTCO(t *testing.T) {
+	m := DefaultTCO()
+	if h := m.CrossoverHours(); h < 13 || h > 16 {
+		t.Errorf("crossover = %v", h)
+	}
+}

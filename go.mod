@@ -1,0 +1,3 @@
+module greensprint
+
+go 1.22

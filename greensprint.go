@@ -1,0 +1,198 @@
+// Package greensprint is the public facade of the GreenSprint library:
+// a reproduction of "GreenSprint: Effective Computational Sprinting in
+// Green Data Centers" (IPDPS 2018).
+//
+// GreenSprint lets a power-constrained data center serve workload
+// bursts by computational sprinting — activating dark-silicon cores
+// and raising frequency past the sustainable envelope — powered by an
+// on-site renewable supply and distributed server batteries instead of
+// grid headroom.
+//
+// The facade re-exports the pieces a downstream user needs:
+//
+//   - Workload profiles (SPECjbb, Web-Search, Memcached) and their
+//     QoS-constrained performance model.
+//   - Table I green-provisioning options and the cluster topology.
+//   - The five power-management strategies (Normal, Greedy, Parallel,
+//     Pacing and the Q-learning Hybrid).
+//   - The offline simulator (RunSimulation) used by the experiment
+//     harness, and the online controller (Controller) used by the
+//     greensprintd daemon.
+//
+// See the examples/ directory for runnable walkthroughs and DESIGN.md
+// for the system inventory. The type aliases below intentionally point
+// into internal packages: external importers get a stable, documented
+// surface while the implementation remains free to reorganize.
+package greensprint
+
+import (
+	"time"
+
+	"greensprint/internal/cluster"
+	"greensprint/internal/core"
+	"greensprint/internal/loadgen"
+	"greensprint/internal/profile"
+	"greensprint/internal/server"
+	"greensprint/internal/sim"
+	"greensprint/internal/solar"
+	"greensprint/internal/strategy"
+	"greensprint/internal/tco"
+	"greensprint/internal/trace"
+	"greensprint/internal/units"
+	"greensprint/internal/workload"
+)
+
+// Physical quantities.
+type (
+	// Watt is electrical power.
+	Watt = units.Watt
+	// WattHour is electrical energy.
+	WattHour = units.WattHour
+	// MHz is CPU frequency.
+	MHz = units.MHz
+)
+
+// Workloads (Table II).
+type (
+	// Workload describes one interactive application: QoS target,
+	// peak sprinting power and performance-model parameters.
+	Workload = workload.Profile
+	// Burst is a workload burst in the paper's Int=N notation.
+	Burst = workload.Burst
+)
+
+// SPECjbb returns the SPECjbb 2013 workload profile.
+func SPECjbb() Workload { return workload.SPECjbb() }
+
+// WebSearch returns the CloudSuite Web-Search profile.
+func WebSearch() Workload { return workload.WebSearch() }
+
+// Memcached returns the Memcached profile.
+func Memcached() Workload { return workload.Memcached() }
+
+// Workloads returns the three evaluation workloads.
+func Workloads() []Workload { return workload.All() }
+
+// Server knob space.
+type (
+	// ServerConfig is a sprinting intensity: active cores and
+	// frequency.
+	ServerConfig = server.Config
+)
+
+// NormalMode returns S0: 6 cores at 1.2 GHz.
+func NormalMode() ServerConfig { return server.Normal() }
+
+// MaxSprintMode returns Sr: 12 cores at 2.0 GHz.
+func MaxSprintMode() ServerConfig { return server.MaxSprint() }
+
+// KnobSpace enumerates all 63 sprinting intensities.
+func KnobSpace() []ServerConfig { return server.Configs() }
+
+// Green provisioning (Table I).
+type (
+	// GreenConfig is a Table I green-provisioning option.
+	GreenConfig = cluster.GreenConfig
+)
+
+// REBatt returns the RE-Batt option (3 panels, 10 Ah per server).
+func REBatt() GreenConfig { return cluster.REBatt() }
+
+// REOnly returns the battery-less option.
+func REOnly() GreenConfig { return cluster.REOnly() }
+
+// RESBatt returns the small-battery option (3.2 Ah).
+func RESBatt() GreenConfig { return cluster.RESBatt() }
+
+// SRESBatt returns the small-array, small-battery option.
+func SRESBatt() GreenConfig { return cluster.SRESBatt() }
+
+// Renewable supply.
+type (
+	// Availability is the renewable availability class (Min, Med,
+	// Max).
+	Availability = solar.Availability
+)
+
+// Availability classes.
+const (
+	MinAvailability = solar.Min
+	MedAvailability = solar.Med
+	MaxAvailability = solar.Max
+)
+
+// Strategies.
+type (
+	// Strategy decides a per-server sprinting intensity each epoch.
+	Strategy = strategy.Strategy
+	// ProfileTable is the a-priori LoadPower(L,S) profiling table.
+	ProfileTable = profile.Table
+)
+
+// BuildProfile profiles a workload over the knob space.
+func BuildProfile(w Workload) (*ProfileTable, error) {
+	return profile.Build(w, profile.DefaultLevels)
+}
+
+// NewStrategy builds a strategy by its paper name (Normal, Greedy,
+// Parallel, Pacing, Hybrid).
+func NewStrategy(name string, w Workload, t *ProfileTable) (Strategy, error) {
+	return strategy.ByName(name, w, t)
+}
+
+// Simulation.
+type (
+	// Simulation configures one offline run.
+	Simulation = sim.Config
+	// SimulationResult is its outcome.
+	SimulationResult = sim.Result
+)
+
+// RunSimulation executes an offline simulation.
+func RunSimulation(cfg Simulation) (*SimulationResult, error) { return sim.Run(cfg) }
+
+// SupplyTrace is a renewable power time series.
+type SupplyTrace = trace.Trace
+
+// SynthesizeSupply produces a canonical renewable supply window for an
+// availability class, long enough to cover the burst, at one-minute
+// resolution (deterministic: a fixed seed).
+func SynthesizeSupply(level Availability, cfg GreenConfig, burst Burst) *SupplyTrace {
+	return solar.Synthesize(level, burst.Duration, time.Minute, float64(cfg.PeakGreen()), 42)
+}
+
+// Online controller.
+type (
+	// Controller is the online Figure 3 control plane.
+	Controller = core.Controller
+	// ControllerOptions configures a Controller.
+	ControllerOptions = core.Options
+	// Telemetry is one epoch's measurements.
+	Telemetry = core.Telemetry
+	// Decision is the controller's per-epoch output.
+	Decision = core.Decision
+)
+
+// NewController builds the online controller.
+func NewController(opts ControllerOptions) (*Controller, error) { return core.New(opts) }
+
+// Load generation.
+type (
+	// LoadGenerator offers open-loop request streams to a workload
+	// model and measures per-request latency (the Faban role).
+	LoadGenerator = loadgen.Generator
+)
+
+// NewLoadGenerator creates a deterministic load generator.
+func NewLoadGenerator(w Workload, seed int64) (*LoadGenerator, error) {
+	return loadgen.New(w, seed)
+}
+
+// TCO.
+type (
+	// TCOModel is the §IV-F cost model.
+	TCOModel = tco.Model
+)
+
+// DefaultTCO returns the paper's TCO constants.
+func DefaultTCO() TCOModel { return tco.Default() }

@@ -1,0 +1,159 @@
+package battery
+
+import (
+	"time"
+
+	"greensprint/internal/units"
+)
+
+// Bank is a set of identical per-server battery units managed together,
+// matching the paper's distributed (server-level) battery architecture.
+// Power requests are split evenly across non-empty units.
+type Bank struct {
+	units []*Battery
+}
+
+// NewBank creates n fully charged units of the given configuration.
+// n = 0 yields an empty bank that supplies nothing, which models the
+// paper's REOnly configuration.
+func NewBank(cfg Config, n int) (*Bank, error) {
+	b := &Bank{}
+	for i := 0; i < n; i++ {
+		u, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		b.units = append(b.units, u)
+	}
+	return b, nil
+}
+
+// Size returns the number of units.
+func (b *Bank) Size() int { return len(b.units) }
+
+// Unit returns the i-th unit for inspection.
+func (b *Bank) Unit(i int) *Battery { return b.units[i] }
+
+// available returns the units not at the DoD floor.
+func (b *Bank) available() []*Battery {
+	var out []*Battery
+	for _, u := range b.units {
+		if !u.AtFloor() {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// MaxSustainablePower returns the aggregate constant power the bank can
+// hold for duration d.
+func (b *Bank) MaxSustainablePower(d time.Duration) units.Watt {
+	var sum units.Watt
+	for _, u := range b.available() {
+		sum += u.MaxSustainablePower(d)
+	}
+	return sum
+}
+
+// RemainingTime returns how long the bank sustains an aggregate power
+// draw split evenly across the available units. An empty or exhausted
+// bank returns 0 for positive draws.
+func (b *Bank) RemainingTime(p units.Watt) time.Duration {
+	avail := b.available()
+	if p <= 0 {
+		return 1<<63 - 1
+	}
+	if len(avail) == 0 {
+		return 0
+	}
+	per := units.Watt(float64(p) / float64(len(avail)))
+	min := time.Duration(1<<63 - 1)
+	for _, u := range avail {
+		if t := u.RemainingTime(per); t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// Discharge draws aggregate power p for duration d, split evenly over
+// the available units. It returns the duration sustained by the whole
+// bank (limited by the weakest unit, which for identical units is all
+// of them).
+func (b *Bank) Discharge(p units.Watt, d time.Duration) (time.Duration, error) {
+	avail := b.available()
+	if p <= 0 || d <= 0 {
+		return 0, nil
+	}
+	if len(avail) == 0 {
+		return 0, ErrEmpty
+	}
+	per := units.Watt(float64(p) / float64(len(avail)))
+	min := d
+	var firstErr error
+	for _, u := range avail {
+		took, err := u.Discharge(per, d)
+		if took < min {
+			min = took
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return min, firstErr
+}
+
+// Charge distributes charging power evenly across all units and
+// returns the total energy accepted.
+func (b *Bank) Charge(p units.Watt, d time.Duration) units.WattHour {
+	if len(b.units) == 0 || p <= 0 || d <= 0 {
+		return 0
+	}
+	per := units.Watt(float64(p) / float64(len(b.units)))
+	var total units.WattHour
+	for _, u := range b.units {
+		total += u.Charge(per, d)
+	}
+	return total
+}
+
+// SoC returns the mean state of charge across units (1 for an empty
+// bank, which never constrains anything).
+func (b *Bank) SoC() float64 {
+	if len(b.units) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, u := range b.units {
+		sum += u.SoC()
+	}
+	return sum / float64(len(b.units))
+}
+
+// UsableEnergy returns the aggregate energy above the DoD floors.
+func (b *Bank) UsableEnergy() units.WattHour {
+	var sum units.WattHour
+	for _, u := range b.units {
+		sum += u.UsableEnergy()
+	}
+	return sum
+}
+
+// EquivalentCycles returns the mean per-unit cycle usage.
+func (b *Bank) EquivalentCycles() float64 {
+	if len(b.units) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, u := range b.units {
+		sum += u.EquivalentCycles()
+	}
+	return sum / float64(len(b.units))
+}
+
+// Reset restores all units to full charge.
+func (b *Bank) Reset() {
+	for _, u := range b.units {
+		u.Reset()
+	}
+}

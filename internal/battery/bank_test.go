@@ -1,0 +1,120 @@
+package battery
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"greensprint/internal/units"
+)
+
+func TestBankEmpty(t *testing.T) {
+	b, err := NewBank(ServerBattery(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 0 {
+		t.Errorf("size = %d", b.Size())
+	}
+	if got := b.MaxSustainablePower(time.Minute); got != 0 {
+		t.Errorf("empty bank power = %v", got)
+	}
+	if got := b.RemainingTime(100); got != 0 {
+		t.Errorf("empty bank remaining = %v", got)
+	}
+	if _, err := b.Discharge(100, time.Minute); !errors.Is(err, ErrEmpty) {
+		t.Errorf("discharge err = %v", err)
+	}
+	if b.SoC() != 1 {
+		t.Error("empty bank SoC convention is 1")
+	}
+	if b.Charge(100, time.Minute) != 0 {
+		t.Error("empty bank should accept no charge")
+	}
+	if b.EquivalentCycles() != 0 {
+		t.Error("empty bank cycles")
+	}
+}
+
+func TestBankInvalidConfig(t *testing.T) {
+	bad := ServerBattery()
+	bad.Voltage = 0
+	if _, err := NewBank(bad, 2); err == nil {
+		t.Error("expected config error")
+	}
+}
+
+func TestBankSplitsEvenly(t *testing.T) {
+	bank, err := NewBank(ServerBattery(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _ := New(ServerBattery())
+	// 3 units at 155 W each aggregate to 465 W with the same
+	// endurance as one unit at 155 W.
+	if got, want := bank.RemainingTime(465), single.RemainingTime(155); !durNear(got, want, time.Second) {
+		t.Errorf("bank remaining = %v, single = %v", got, want)
+	}
+	took, err := bank.Discharge(465, 5*time.Minute)
+	if err != nil || took != 5*time.Minute {
+		t.Fatalf("took %v err %v", took, err)
+	}
+	for i := 0; i < bank.Size(); i++ {
+		if bank.Unit(i).SoC() >= 1 {
+			t.Errorf("unit %d untouched", i)
+		}
+	}
+	// All units drained evenly.
+	if a, b := bank.Unit(0).SoC(), bank.Unit(2).SoC(); !units.NearlyEqual(a, b, 1e-12) {
+		t.Errorf("uneven SoC: %v vs %v", a, b)
+	}
+}
+
+func TestBankUsableEnergyAndCharge(t *testing.T) {
+	bank, _ := NewBank(ServerBattery(), 2)
+	if got := bank.UsableEnergy(); !units.NearlyEqual(float64(got), 96, 1e-9) {
+		t.Errorf("2x48Wh = %v", got)
+	}
+	bank.Discharge(200, 10*time.Minute)
+	before := bank.SoC()
+	if in := bank.Charge(60, 10*time.Minute); in <= 0 {
+		t.Error("bank should accept charge")
+	}
+	if bank.SoC() <= before {
+		t.Error("bank SoC should rise")
+	}
+	bank.Reset()
+	if bank.SoC() != 1 {
+		t.Error("Reset should fill the bank")
+	}
+}
+
+func TestBankDrainsToFloor(t *testing.T) {
+	bank, _ := NewBank(SmallServerBattery(), 3)
+	took, err := bank.Discharge(465, time.Hour)
+	if !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	if took >= 10*time.Minute {
+		t.Errorf("small bank sustained %v at max draw", took)
+	}
+	if bank.MaxSustainablePower(time.Minute) != 0 {
+		t.Error("drained bank should sustain nothing")
+	}
+	if bank.EquivalentCycles() < 0.99 {
+		t.Errorf("cycles = %v", bank.EquivalentCycles())
+	}
+}
+
+func TestBankNoOps(t *testing.T) {
+	bank, _ := NewBank(ServerBattery(), 2)
+	if took, err := bank.Discharge(0, time.Minute); took != 0 || err != nil {
+		t.Error("zero power no-op")
+	}
+	if took, err := bank.Discharge(100, 0); took != 0 || err != nil {
+		t.Error("zero duration no-op")
+	}
+	if bank.RemainingTime(0) <= 0 {
+		t.Error("zero power lasts forever")
+	}
+}

@@ -1,0 +1,30 @@
+package battery_test
+
+import (
+	"fmt"
+	"time"
+
+	"greensprint/internal/battery"
+)
+
+// Example reproduces the paper's battery observations: a 10 Ah unit
+// sustains the 155 W maximal sprint for a bit over ten minutes under
+// the 40% depth-of-discharge limit.
+func Example() {
+	b, err := battery.New(battery.ServerBattery())
+	if err != nil {
+		panic(err)
+	}
+	sustain := b.RemainingTime(155)
+	fmt.Printf("10Ah at 155W: ~%d minutes\n", int(sustain.Minutes()))
+
+	small, _ := battery.New(battery.SmallServerBattery())
+	fmt.Printf("3.2Ah at 155W: ~%d minutes\n", int(small.RemainingTime(155).Minutes()))
+
+	took, _ := b.Discharge(155, 10*time.Minute)
+	fmt.Printf("after a 10-minute burst: took %v, DoD %.0f%%\n", took, b.DoD()*100)
+	// Output:
+	// 10Ah at 155W: ~11 minutes
+	// 3.2Ah at 155W: ~3 minutes
+	// after a 10-minute burst: took 10m0s, DoD 35%
+}

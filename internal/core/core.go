@@ -1,0 +1,326 @@
+// Package core assembles GreenSprint's control plane — the paper's
+// Figure 3 architecture. A Controller owns the four components:
+//
+//	Monitor   — collects per-epoch workload performance (latency,
+//	            throughput) and power measurements.
+//	Predictor — EWMA forecasts of renewable production and workload
+//	            intensity (Eq. 1, α = 0.3).
+//	PSS       — selects power sources and manages battery charge
+//	            (internal/pss).
+//	PMK       — applies the chosen sprinting intensity to the green
+//	            servers (internal/pmk).
+//
+// Each scheduling epoch the caller feeds the Monitor's telemetry into
+// Controller.Step, which closes the loop: learn from the last epoch,
+// predict the next one, pick a strategy decision under the PSS budget,
+// allocate power sources, and actuate the knobs. The Controller is
+// safe for concurrent use (the HTTP API reads snapshots while the
+// epoch loop runs).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"greensprint/internal/cluster"
+	"greensprint/internal/pmk"
+	"greensprint/internal/predictor"
+	"greensprint/internal/profile"
+	"greensprint/internal/pss"
+	"greensprint/internal/server"
+	"greensprint/internal/strategy"
+	"greensprint/internal/units"
+	"greensprint/internal/workload"
+)
+
+// Options configures a Controller.
+type Options struct {
+	// Workload is the interactive application being managed.
+	Workload workload.Profile
+	// Green is the Table I green-provisioning option.
+	Green cluster.GreenConfig
+	// StrategyName selects the power-management strategy
+	// ("Greedy", "Parallel", "Pacing", "Hybrid" or "Normal").
+	StrategyName string
+	// Epoch is the scheduling-epoch length (5 minutes if zero).
+	Epoch time.Duration
+	// Fleet supplies the knobs for the green servers; when nil a
+	// simulated fleet of Green.GreenServers knobs is created.
+	Fleet *pmk.Fleet
+	// Table is the profiling table; built from the workload model
+	// when nil.
+	Table *profile.Table
+}
+
+// Telemetry is one epoch's measurements from the Monitor.
+type Telemetry struct {
+	// GreenPower is the renewable production observed over the
+	// epoch (rack level).
+	GreenPower units.Watt
+	// OfferedRate is the per-server request arrival rate.
+	OfferedRate float64
+	// Goodput is the per-server QoS-compliant throughput.
+	Goodput float64
+	// Latency is the measured SLA-percentile latency in seconds.
+	Latency float64
+	// ServerPower is the measured mean per-server draw.
+	ServerPower units.Watt
+}
+
+// Decision is the controller's output for one epoch.
+type Decision struct {
+	// Epoch is the zero-based epoch counter.
+	Epoch int
+	// Config is the sprinting intensity applied to the green
+	// servers.
+	Config server.Config
+	// Budget is the per-server power budget the PSS committed.
+	Budget units.Watt
+	// Case is the supply case the PSS selected.
+	Case pss.Case
+	// PredictedGreen and PredictedRate are the Predictor outputs
+	// the decision was based on.
+	PredictedGreen units.Watt
+	PredictedRate  float64
+	// Demand is the rack-level power demand of the chosen settings.
+	Demand units.Watt
+	// SprintFraction is the fraction of the epoch the demand was
+	// powered (battery exhaustion ends a sprint mid-epoch).
+	SprintFraction float64
+}
+
+// Status is a read-only snapshot for monitoring interfaces.
+type Status struct {
+	Workload     string                `json:"workload"`
+	Strategy     string                `json:"strategy"`
+	GreenConfig  string                `json:"green_config"`
+	Epoch        int                   `json:"epoch"`
+	Last         Decision              `json:"last_decision"`
+	BatterySoC   float64               `json:"battery_soc"`
+	BatteryCycle float64               `json:"battery_cycles"`
+	Account      cluster.EnergyAccount `json:"energy_account"`
+	Configs      []server.Config       `json:"server_configs"`
+}
+
+// Controller is the GreenSprint control plane.
+type Controller struct {
+	opts     Options
+	table    *profile.Table
+	strat    strategy.Strategy
+	selector *pss.Selector
+	fleet    *pmk.Fleet
+	loadPred *predictor.EWMA
+	epoch    time.Duration
+
+	mu      sync.Mutex
+	count   int
+	last    Decision
+	history []Decision
+}
+
+// HistoryLimit bounds the retained decision history.
+const HistoryLimit = 288 // one day of 5-minute epochs
+
+// New builds a Controller.
+func New(opts Options) (*Controller, error) {
+	if err := opts.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Green.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Green.GreenServers < 1 {
+		return nil, fmt.Errorf("core: green config %q has no green servers", opts.Green.Name)
+	}
+	epoch := opts.Epoch
+	if epoch == 0 {
+		epoch = 5 * time.Minute
+	}
+	tab := opts.Table
+	if tab == nil {
+		var err error
+		if tab, err = profile.Build(opts.Workload, profile.DefaultLevels); err != nil {
+			return nil, err
+		}
+	}
+	name := opts.StrategyName
+	if name == "" {
+		name = "Hybrid"
+	}
+	strat, err := strategy.ByName(name, opts.Workload, tab)
+	if err != nil {
+		return nil, err
+	}
+	bank, err := opts.Green.NewBank()
+	if err != nil {
+		return nil, err
+	}
+	fleet := opts.Fleet
+	if fleet == nil {
+		fleet = pmk.NewSimFleet(opts.Green.GreenServers)
+	}
+	return &Controller{
+		opts:     opts,
+		table:    tab,
+		strat:    strat,
+		selector: pss.New(bank),
+		fleet:    fleet,
+		loadPred: predictor.NewEWMA(predictor.DefaultAlpha),
+		epoch:    epoch,
+	}, nil
+}
+
+// Epoch returns the scheduling-epoch length.
+func (c *Controller) Epoch() time.Duration { return c.epoch }
+
+// Strategy returns the active strategy's name.
+func (c *Controller) Strategy() string { return c.strat.Name() }
+
+// sanitize clamps malformed meter readings: power meters glitch and
+// latency probes time out, and a control loop must not let a NaN or a
+// negative wattage poison its predictors.
+func (t Telemetry) sanitize() Telemetry {
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || v < 0 {
+			return 0
+		}
+		if math.IsInf(v, 1) {
+			return math.MaxFloat64 / 1e10
+		}
+		return v
+	}
+	t.GreenPower = units.Watt(clamp(float64(t.GreenPower)))
+	t.OfferedRate = clamp(t.OfferedRate)
+	t.Goodput = clamp(t.Goodput)
+	t.Latency = clamp(t.Latency)
+	t.ServerPower = units.Watt(clamp(float64(t.ServerPower)))
+	return t
+}
+
+// Step closes the control loop for one epoch, using the telemetry
+// measured over the epoch that just ended.
+func (c *Controller) Step(t Telemetry) (Decision, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t = t.sanitize()
+	n := c.opts.Green.GreenServers
+
+	// 1. Monitor → Predictor: feed observations.
+	c.selector.ObserveSupply(t.GreenPower)
+	c.loadPred.Observe(t.OfferedRate)
+
+	// 2. Predictor → strategy inputs for the upcoming epoch.
+	predGreen := c.selector.PredictedSupply()
+	predRate := c.loadPred.Predict()
+	budget := units.Watt(float64(c.selector.AvailablePower(c.epoch)) / float64(n))
+	in := strategy.Inputs{
+		Table:         c.table,
+		PredictedRate: predRate,
+		Budget:        budget,
+		Epoch:         c.epoch,
+		SprintFraction: func(perServer units.Watt) float64 {
+			return c.selector.SustainFraction(units.Watt(float64(perServer)*float64(n)), predGreen, c.epoch)
+		},
+	}
+
+	// 3. Learn from the epoch that just finished.
+	if c.count > 0 {
+		c.strat.Learn(strategy.Feedback{
+			Chosen:  c.last.Config,
+			Supply:  units.Watt(float64(t.GreenPower)/float64(n)) + units.Watt(float64(c.selector.BatterySustainable(c.epoch))/float64(n)),
+			Power:   t.ServerPower,
+			Offered: t.OfferedRate,
+			Goodput: t.Goodput,
+			Latency: t.Latency,
+			Next:    in,
+		})
+	}
+
+	// 4. Decide and actuate. Green energy and batteries are called
+	// upon only for sprinting (§V): a Normal-mode decision rides the
+	// grid while green output recharges the batteries (topped up
+	// from the grid once the DoD trigger fires).
+	chosen := c.strat.Decide(in)
+	level := c.table.LevelFor(predRate)
+	perServer, ok := c.table.LoadPower(level, chosen)
+	if !ok {
+		perServer = c.opts.Workload.LoadPower(chosen, predRate)
+	}
+	demand := units.Watt(float64(perServer) * float64(n))
+	normalFallback := units.Watt(float64(c.opts.Workload.LoadPower(server.Normal(), predRate)) * float64(n))
+	var al pss.Allocation
+	if chosen.IsSprinting() {
+		al = c.selector.Allocate(demand, t.GreenPower, c.epoch, normalFallback)
+	} else {
+		al = pss.Allocation{Case: pss.CaseGridFallback, Grid: normalFallback}
+		c.selector.RechargeFromGreen(t.GreenPower, c.epoch)
+		// Grid recharge only outside bursts: during a burst the
+		// grid budget is fully committed to the grid-fed servers
+		// (§III-A Case 3 recharges "when the workload burst can be
+		// completed in this period").
+		bursting := c.table.MaxRate > 0 && predRate > 0.5*c.table.MaxRate
+		if !bursting && c.selector.NeedsRecharge() {
+			c.selector.RechargeFromGrid(units.Watt(100*float64(n)), c.epoch)
+		}
+	}
+	applied := chosen
+	if al.Case == pss.CaseGridFallback {
+		applied = server.Normal()
+	}
+	if err := c.fleet.ApplyAll(applied); err != nil {
+		return Decision{}, fmt.Errorf("core: apply %v: %w", applied, err)
+	}
+
+	d := Decision{
+		Epoch:          c.count,
+		Config:         applied,
+		Budget:         budget,
+		Case:           al.Case,
+		PredictedGreen: predGreen,
+		PredictedRate:  predRate,
+		Demand:         demand,
+		SprintFraction: al.SprintFraction,
+	}
+	c.count++
+	c.last = d
+	c.history = append(c.history, d)
+	if len(c.history) > HistoryLimit {
+		c.history = c.history[len(c.history)-HistoryLimit:]
+	}
+	return d, nil
+}
+
+// Snapshot returns the current status.
+func (c *Controller) Snapshot() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Status{
+		Workload:     c.opts.Workload.Name,
+		Strategy:     c.strat.Name(),
+		GreenConfig:  c.opts.Green.Name,
+		Epoch:        c.count,
+		Last:         c.last,
+		BatterySoC:   c.selector.Bank().SoC(),
+		BatteryCycle: c.selector.Bank().EquivalentCycles(),
+		Account:      c.selector.Account(),
+		Configs:      c.fleet.Configs(),
+	}
+}
+
+// History returns a copy of the retained decisions.
+func (c *Controller) History() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Decision, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// HybridStrategy returns the underlying Hybrid strategy when the
+// controller runs one, for Q-table persistence across restarts.
+func (c *Controller) HybridStrategy() (*strategy.Hybrid, bool) {
+	h, ok := c.strat.(*strategy.Hybrid)
+	return h, ok
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"greensprint/internal/metrics"
+	"greensprint/internal/units"
+	"greensprint/internal/workload"
+)
+
+// Monitor is Figure 3's Monitor component: it accumulates raw
+// measurements (request latencies, power meter readings) during a
+// scheduling epoch and condenses them into the Telemetry record that
+// drives Controller.Step. It is safe for concurrent use by request
+// handlers and meter pollers.
+type Monitor struct {
+	profile workload.Profile
+
+	mu      sync.Mutex
+	hist    *metrics.Histogram
+	window  metrics.Window
+	green   []float64
+	srvPow  []float64
+	started time.Time
+}
+
+// NewMonitor creates a Monitor for one workload.
+func NewMonitor(p workload.Profile) *Monitor {
+	return &Monitor{
+		profile: p,
+		hist:    metrics.DefaultLatencyHistogram(),
+		started: time.Time{},
+	}
+}
+
+// RecordLatency records one completed request's latency and its QoS
+// compliance.
+func (m *Monitor) RecordLatency(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hist.Observe(seconds)
+	m.window.Completed++
+	if seconds <= m.profile.Deadline {
+		m.window.Compliant++
+	}
+}
+
+// RecordGreenPower records a renewable-production meter sample (rack
+// level).
+func (m *Monitor) RecordGreenPower(w units.Watt) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.green = append(m.green, float64(w))
+}
+
+// RecordServerPower records a per-server power meter sample.
+func (m *Monitor) RecordServerPower(w units.Watt) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.srvPow = append(m.srvPow, float64(w))
+}
+
+// Close finalizes the epoch of the given length, returning its
+// Telemetry and resetting the Monitor for the next epoch.
+func (m *Monitor) Close(elapsed time.Duration) Telemetry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.window.Elapsed = elapsed
+	t := Telemetry{
+		GreenPower:  units.Watt(mean(m.green)),
+		ServerPower: units.Watt(mean(m.srvPow)),
+		OfferedRate: m.window.Throughput(),
+		Goodput:     m.window.Goodput(),
+		Latency:     m.hist.Quantile(m.profile.Quantile),
+	}
+	m.hist.Reset()
+	m.window = metrics.Window{}
+	m.green = m.green[:0]
+	m.srvPow = m.srvPow[:0]
+	return t
+}
+
+func mean(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}

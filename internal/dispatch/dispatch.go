@@ -1,0 +1,105 @@
+// Package dispatch models the cluster's load balancer: the paper's
+// prototype spreads the interactive workload across all ten servers
+// ("we generate the workload in the cluster until all 10 servers are
+// fully utilized"), and during sprints the servers are heterogeneous —
+// grid-fed machines at a sub-optimal setting, green machines at
+// whatever the PMK chose. The balancer splits a cluster-wide offered
+// rate across servers in proportion to their QoS-constrained capacity,
+// which keeps every server at the same fraction of its own limit (the
+// split that maximizes total goodput for proportional policies).
+package dispatch
+
+import (
+	"fmt"
+
+	"greensprint/internal/server"
+	"greensprint/internal/workload"
+)
+
+// Split distributes a total offered rate across servers with the given
+// QoS-max rates, proportionally to capacity. Each share is capped at
+// its server's max rate; when the total exceeds the cluster's
+// aggregate capacity the excess is shed (the returned shares sum to
+// the aggregate capacity). Zero-capacity servers receive nothing.
+func Split(maxRates []float64, total float64) []float64 {
+	out := make([]float64, len(maxRates))
+	if total <= 0 || len(maxRates) == 0 {
+		return out
+	}
+	var capSum float64
+	for _, m := range maxRates {
+		if m > 0 {
+			capSum += m
+		}
+	}
+	if capSum <= 0 {
+		return out
+	}
+	frac := total / capSum
+	if frac > 1 {
+		frac = 1
+	}
+	for i, m := range maxRates {
+		if m > 0 {
+			out[i] = frac * m
+		}
+	}
+	return out
+}
+
+// Assignment is one server's share of the cluster load.
+type Assignment struct {
+	Config  server.Config
+	Offered float64
+	Goodput float64
+}
+
+// ClusterGoodput splits a cluster-wide offered rate across the given
+// per-server settings and returns the aggregate QoS-compliant
+// throughput plus the per-server assignments.
+func ClusterGoodput(p workload.Profile, configs []server.Config, total float64) (float64, []Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if total < 0 {
+		return 0, nil, fmt.Errorf("dispatch: negative total rate %v", total)
+	}
+	maxRates := make([]float64, len(configs))
+	for i, c := range configs {
+		if !c.Valid() {
+			return 0, nil, fmt.Errorf("dispatch: invalid config %v at %d", c, i)
+		}
+		maxRates[i] = p.MaxGoodput(c)
+	}
+	shares := Split(maxRates, total)
+	out := make([]Assignment, len(configs))
+	sum := 0.0
+	for i, c := range configs {
+		g := p.Goodput(c, shares[i])
+		out[i] = Assignment{Config: c, Offered: shares[i], Goodput: g}
+		sum += g
+	}
+	return sum, out, nil
+}
+
+// NormalizedClusterPerf returns ClusterGoodput normalized to an
+// all-Normal cluster of the same size at the same offered rate — the
+// paper's whole-cluster metric.
+func NormalizedClusterPerf(p workload.Profile, configs []server.Config, total float64) (float64, error) {
+	sprint, _, err := ClusterGoodput(p, configs, total)
+	if err != nil {
+		return 0, err
+	}
+	normals := make([]server.Config, len(configs))
+	for i := range normals {
+		normals[i] = server.Normal()
+	}
+	base, _, err := ClusterGoodput(p, normals, total)
+	if err != nil {
+		return 0, err
+	}
+	if base <= 0 {
+		return 0, nil
+	}
+	return sprint / base, nil
+}

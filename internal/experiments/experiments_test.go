@@ -1,0 +1,487 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"greensprint/internal/cluster"
+	"greensprint/internal/solar"
+)
+
+const (
+	min10 = 10 * time.Minute
+	min15 = 15 * time.Minute
+	min30 = 30 * time.Minute
+	min60 = 60 * time.Minute
+)
+
+// TestHeadlineGains pins the abstract's numbers: 4.8x SPECjbb, 4.1x
+// Web-Search, 4.7x Memcached with sufficient renewable supply.
+func TestHeadlineGains(t *testing.T) {
+	got, err := HeadlineGains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"SPECjbb": 4.8, "Web-Search": 4.1, "Memcached": 4.7}
+	for name, w := range want {
+		if g := got[name]; math.Abs(g-w)/w > 0.05 {
+			t.Errorf("%s = %.2fx, want %.1fx ±5%%", name, g, w)
+		}
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	g, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1) Max availability: always the best, ~4.8x, for every
+	// duration and strategy.
+	for _, d := range g.Durations {
+		for _, s := range g.Variants {
+			if v := g.Value(d, solar.Max, s); v < 4.5 {
+				t.Errorf("Max/%v/%s = %.2f, want ~4.8", d, s, v)
+			}
+		}
+	}
+	// (2) Short bursts at Min: battery alone handles the sprint
+	// with (near-)maximal performance.
+	for _, s := range g.Variants {
+		if v := g.Value(min10, solar.Min, s); v < 4.3 {
+			t.Errorf("Min/10m/%s = %.2f, want near max", s, v)
+		}
+	}
+	// (3) Performance decreases with burst duration at Min and Med.
+	for _, level := range []solar.Availability{solar.Min, solar.Med} {
+		for _, s := range g.Variants {
+			prev := math.Inf(1)
+			for _, d := range g.Durations {
+				v := g.Value(d, level, s)
+				if v > prev+0.05 {
+					t.Errorf("%v/%s not decreasing with duration: %v at %v after %v", level, s, v, d, prev)
+				}
+				prev = v
+			}
+		}
+	}
+	// (4) Min/60m: battery-based sprinting is unsatisfactory
+	// (~1.8x), far below the 4.8x with sufficient supply.
+	if v := g.Value(min60, solar.Min, "Parallel"); v < 1.2 || v > 2.4 {
+		t.Errorf("Min/60m Parallel = %.2f, want ~1.8", v)
+	}
+	// (5) Med/60m: renewable supplements battery, ~3.4x.
+	if v := g.Value(min60, solar.Med, "Hybrid"); v < 2.7 || v > 4.0 {
+		t.Errorf("Med/60m Hybrid = %.2f, want ~3.4", v)
+	}
+	// (6) Pacing >= Parallel for SPECjbb; Hybrid always the best.
+	for _, d := range g.Durations {
+		for _, level := range g.Levels {
+			pac := g.Value(d, level, "Pacing")
+			par := g.Value(d, level, "Parallel")
+			if pac < par-1e-6 {
+				t.Errorf("%v/%v: Pacing %.2f < Parallel %.2f", d, level, pac, par)
+			}
+			hyb := g.Value(d, level, "Hybrid")
+			for _, s := range []string{"Greedy", "Parallel", "Pacing"} {
+				if g.Value(d, level, s) > hyb*1.02 {
+					t.Errorf("%v/%v: %s %.2f beats Hybrid %.2f", d, level, s, g.Value(d, level, s), hyb)
+				}
+			}
+		}
+	}
+	// (7) Greedy <= Pacing under varying (Med) supply: it cannot
+	// use low green-supply periods.
+	if gr, pc := g.Value(min60, solar.Med, "Greedy"), g.Value(min60, solar.Med, "Pacing"); gr > pc {
+		t.Errorf("Med/60m: Greedy %.2f should not beat Pacing %.2f", gr, pc)
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	g, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1) REOnly at Min == Normal (no power for sprinting).
+	for _, d := range g.Durations {
+		if v := g.Value(d, solar.Min, "REOnly"); math.Abs(v-1) > 0.05 {
+			t.Errorf("REOnly/Min/%v = %.2f, want 1.0", d, v)
+		}
+	}
+	// (2) REOnly with only renewable supply: large gains at Max
+	// (2.2x Med → 4.8x Max for the 60-minute burst).
+	if v := g.Value(min60, solar.Max, "REOnly"); v < 4.5 {
+		t.Errorf("REOnly/Max/60m = %.2f, want ~4.8", v)
+	}
+	// (3) Batteries reduce the performance impact vs REOnly at Min.
+	for _, d := range []time.Duration{min10, min15, min30} {
+		if re, batt := g.Value(d, solar.Min, "REOnly"), g.Value(d, solar.Min, "RE-Batt"); batt <= re {
+			t.Errorf("Min/%v: RE-Batt %.2f should beat REOnly %.2f", d, batt, re)
+		}
+	}
+	// (4) Larger battery beats smaller at Min and Med.
+	for _, level := range []solar.Availability{solar.Min, solar.Med} {
+		for _, d := range g.Durations {
+			big, small := g.Value(d, level, "RE-Batt"), g.Value(d, level, "RE-SBatt")
+			if big < small-1e-6 {
+				t.Errorf("%v/%v: RE-Batt %.2f < RE-SBatt %.2f", level, d, big, small)
+			}
+		}
+	}
+	// (5) Smaller green array (SRE) never beats the larger at the
+	// same battery size.
+	for _, level := range g.Levels {
+		for _, d := range g.Durations {
+			re, sre := g.Value(d, level, "RE-SBatt"), g.Value(d, level, "SRE-SBatt")
+			if sre > re*1.02 {
+				t.Errorf("%v/%v: SRE-SBatt %.2f beats RE-SBatt %.2f", level, d, sre, re)
+			}
+		}
+	}
+	// (6) Max availability achieves the maximal 4.8x regardless of
+	// battery.
+	for _, v := range g.Variants {
+		if got := g.Value(min30, solar.Max, v); got < 4.5 {
+			t.Errorf("Max/30m/%s = %.2f", v, got)
+		}
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	g, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1) Sufficient renewable supply: ~4.1x for Web-Search.
+	for _, d := range g.Durations {
+		if v := g.Value(d, solar.Max, "Hybrid"); math.Abs(v-4.1)/4.1 > 0.06 {
+			t.Errorf("Max/%v = %.2f, want ~4.1", d, v)
+		}
+	}
+	// (2) Longer durations on the small battery barely improve over
+	// Normal at Min.
+	if v := g.Value(min60, solar.Min, "Greedy"); v > 1.5 {
+		t.Errorf("Min/60m Greedy = %.2f, want ~1.1-1.3", v)
+	}
+	// (3) Parallel and Pacing are comparable for Web-Search
+	// (within 10% everywhere).
+	for _, d := range g.Durations {
+		for _, level := range g.Levels {
+			par, pac := g.Value(d, level, "Parallel"), g.Value(d, level, "Pacing")
+			if par > 0 && math.Abs(par-pac)/par > 0.10 {
+				t.Errorf("%v/%v: Parallel %.2f vs Pacing %.2f differ > 10%%", d, level, par, pac)
+			}
+		}
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	g, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1) ~4.7x at Max for Memcached.
+	for _, d := range g.Durations {
+		if v := g.Value(d, solar.Max, "Hybrid"); math.Abs(v-4.7)/4.7 > 0.06 {
+			t.Errorf("Max/%v = %.2f, want ~4.7", d, v)
+		}
+	}
+	// (2) Pacing >= Parallel (Memcached needs parallelism: keep
+	// cores, drop frequency).
+	for _, d := range g.Durations {
+		for _, level := range g.Levels {
+			if pac, par := g.Value(d, level, "Pacing"), g.Value(d, level, "Parallel"); pac < par-1e-6 {
+				t.Errorf("%v/%v: Pacing %.2f < Parallel %.2f", d, level, pac, par)
+			}
+		}
+	}
+	// (3) Greedy is no more beneficial than Pacing under
+	// battery-based supply.
+	for _, d := range g.Durations {
+		if gr, pc := g.Value(d, solar.Med, "Greedy"), g.Value(d, solar.Med, "Pacing"); gr > pc*1.02 {
+			t.Errorf("Med/%v: Greedy %.2f beats Pacing %.2f", d, gr, pc)
+		}
+	}
+}
+
+func TestFig10aShapes(t *testing.T) {
+	g, err := Fig10a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Performance drops as burst intensity drops, at every duration
+	// (sprinting loses its advantage at low intensity).
+	order := []string{"Int=12", "Int=10", "Int=9", "Int=7"}
+	for _, d := range g.Durations {
+		prev := math.Inf(1)
+		for _, v := range order {
+			got := g.Value(d, solar.Med, v)
+			if got > prev+1e-6 {
+				t.Errorf("%v: %s = %.2f not decreasing (prev %.2f)", d, v, got, prev)
+			}
+			prev = got
+		}
+	}
+	// Int=7: roughly 2.6x at 10 minutes down to ~1.7x at 60.
+	if v := g.Value(min10, solar.Med, "Int=7"); v < 1.6 || v > 3.0 {
+		t.Errorf("Int=7/10m = %.2f, want ~2.2-2.6", v)
+	}
+	if v := g.Value(min60, solar.Med, "Int=7"); v < 1.3 || v > 2.2 {
+		t.Errorf("Int=7/60m = %.2f, want ~1.7", v)
+	}
+}
+
+func TestFig10bShapes(t *testing.T) {
+	got, err := Fig10b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy performs the worst at Int=9 & Min: maximal sprinting
+	// is less efficient than matching the load.
+	for _, s := range []string{"Parallel", "Pacing", "Hybrid"} {
+		if got["Greedy"] > got[s]+1e-6 {
+			t.Errorf("Greedy %.3f should not beat %s %.3f", got["Greedy"], s, got[s])
+		}
+	}
+	if got["Hybrid"] < got["Greedy"] {
+		t.Errorf("Hybrid %.3f below Greedy %.3f", got["Hybrid"], got["Greedy"])
+	}
+	// All strategies still gain over Normal (~1.8-2.8x in the paper,
+	// whose y-axis spans 2.4-2.8).
+	for s, v := range got {
+		if v < 1.5 || v > 3.2 {
+			t.Errorf("%s = %.2f outside the plausible band", s, v)
+		}
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	pts, crossover := Fig11()
+	if len(pts) != 41 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if crossover < 13 || crossover > 15.5 {
+		t.Errorf("crossover = %.1f h, want ~14", crossover)
+	}
+	for _, p := range pts {
+		if (p.SprintHours > crossover) != p.Profitable && p.SprintHours != crossover {
+			t.Errorf("profitability flag wrong at %v h", p.SprintHours)
+		}
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	series, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	byName := map[string]int{}
+	for i, s := range series {
+		byName[s.Name] = i
+	}
+	load := series[byName["workload_intensity"]]
+	sprint := series[byName["sprinting_power"]]
+	sun := series[byName["renewable_power"]]
+	// The sprint-power demand exceeds the grid cap during spikes
+	// (the red ovals of Figure 1).
+	exceed := 0
+	for i := range load.Y {
+		if sprint.Y[i] > 1 {
+			exceed++
+		}
+		if sprint.Y[i]+1e-9 < load.Y[i] {
+			t.Fatalf("sprint demand below load at %d", i)
+		}
+	}
+	if exceed == 0 {
+		t.Error("sprint power never exceeds the grid cap")
+	}
+	// Solar peaks slightly above the grid cap and is zero at night.
+	maxSun := 0.0
+	for _, v := range sun.Y {
+		maxSun = math.Max(maxSun, v)
+	}
+	if maxSun < 1.0 || maxSun > 1.3 {
+		t.Errorf("solar peak = %v", maxSun)
+	}
+	if sun.Y[0] != 0 {
+		t.Errorf("midnight solar = %v", sun.Y[0])
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	series, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	supply, demand := series[0], series[1]
+	if len(supply.Y) != len(demand.Y) || len(supply.Y) == 0 {
+		t.Fatal("series shape")
+	}
+	// High variation in renewable production over the day.
+	maxS, minS := 0.0, math.Inf(1)
+	for _, v := range supply.Y {
+		maxS = math.Max(maxS, v)
+		minS = math.Min(minS, v)
+	}
+	if minS != 0 || maxS < 400 {
+		t.Errorf("supply range [%v,%v]", minS, maxS)
+	}
+	// Demand tracks availability: it should reach near the 3-server
+	// max-sprint level (465 W) around the solar peak and fall to the
+	// Normal/grid level at night.
+	maxD, minD := 0.0, math.Inf(1)
+	for _, v := range demand.Y {
+		maxD = math.Max(maxD, v)
+		minD = math.Min(minD, v)
+	}
+	if maxD < 420 {
+		t.Errorf("peak demand = %v, want near 465", maxD)
+	}
+	if minD > 300 {
+		t.Errorf("night demand = %v, want near Normal level", minD)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	t1 := TableI()
+	if len(t1.Rows) != 4 {
+		t.Errorf("Table I rows = %d", len(t1.Rows))
+	}
+	t2 := TableII()
+	if len(t2.Rows) != 3 {
+		t.Errorf("Table II rows = %d", len(t2.Rows))
+	}
+}
+
+func TestGridAccessors(t *testing.T) {
+	g, err := Fig10a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabs := g.Tables()
+	if len(tabs) != len(g.Durations) {
+		t.Errorf("tables = %d", len(tabs))
+	}
+	series := g.Series(solar.Med)
+	if len(series) != len(g.Variants) {
+		t.Errorf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) != len(g.Durations) {
+			t.Errorf("series %s X len = %d", s.Name, len(s.X))
+		}
+	}
+	if tr := SupplyTraceForLevel(solar.Med, min10, cluster.REBatt()); tr.Len() != 10 {
+		t.Errorf("supply trace len = %d", tr.Len())
+	}
+}
+
+func TestSubOptimalGridConfigs(t *testing.T) {
+	// §IV: "the grid can conservatively support the other 7 servers
+	// sprinting at sub-optimal performance (e.g., 12 core-sprinting
+	// with 1.5GHz or 7 core-sprinting with 2GHz)". Both named
+	// settings must fit the ~142.9 W per-grid-server share.
+	fits, headroom, err := SubOptimalGridConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 2 {
+		t.Errorf("only %d of the paper's example settings fit %v", len(fits), headroom)
+	}
+	if float64(headroom) < 142 || float64(headroom) > 143.5 {
+		t.Errorf("headroom = %v, want 1000W/7", headroom)
+	}
+}
+
+func TestClusterWide(t *testing.T) {
+	res, err := ClusterWide(solar.Max, min30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid servers sprint sub-optimally: clearly above Normal but
+	// below the full 4.8x.
+	if res.GridPerf <= 1.5 || res.GridPerf >= 4.5 {
+		t.Errorf("grid perf = %v", res.GridPerf)
+	}
+	if !res.GridConfig.IsSprinting() {
+		t.Errorf("grid config = %v", res.GridConfig)
+	}
+	// Green servers at max availability hit the full gain.
+	if res.GreenPerf < 4.5 {
+		t.Errorf("green perf = %v", res.GreenPerf)
+	}
+	// Aggregate is the weighted mix.
+	want := (7*res.GridPerf + 3*res.GreenPerf) / 10
+	if math.Abs(res.ClusterPerf-want) > 1e-9 {
+		t.Errorf("cluster perf = %v, want %v", res.ClusterPerf, want)
+	}
+	if res.ClusterPerf <= res.GridPerf {
+		t.Error("green provisioning should lift the cluster above grid-only sprinting")
+	}
+}
+
+func TestDayInTheLife(t *testing.T) {
+	d, err := DayInTheLife()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Figure 1 pattern produces a few overload windows per day;
+	// the green servers sprint for a fraction of them (night spikes
+	// only have ~11 minutes of battery).
+	if d.SprintHours < 0.1 || d.SprintHours > 3 {
+		t.Errorf("sprint hours = %v, want a fraction of the spike time", d.SprintHours)
+	}
+	// During overload the mixed cluster beats the all-Normal one.
+	if d.MeanClusterPerf <= 1 {
+		t.Errorf("cluster perf = %v", d.MeanClusterPerf)
+	}
+	if d.GreenFraction <= 0 || d.GreenFraction >= 1 {
+		t.Errorf("green fraction = %v", d.GreenFraction)
+	}
+	// Daily sprinting at this rate clears the ~14 h/yr TCO
+	// break-even comfortably...
+	if d.YearlyBenefit <= 0 {
+		t.Errorf("yearly benefit = %v", d.YearlyBenefit)
+	}
+	// ...but battery wear takes a bite out of it.
+	if d.BatteryCyclesPerDay <= 0 {
+		t.Errorf("battery cycles = %v", d.BatteryCyclesPerDay)
+	}
+	if d.YearlyBenefitWithWear > d.YearlyBenefit {
+		t.Errorf("wear-adjusted %v exceeds nominal %v", d.YearlyBenefitWithWear, d.YearlyBenefit)
+	}
+	if s := d.String(); len(s) == 0 {
+		t.Error("empty summary")
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	seeds := []int64{1, 7, 42, 99, 1234}
+	mean, lo, hi, err := SeedSensitivity(solar.Med, min30, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > hi || mean < lo || mean > hi {
+		t.Fatalf("inconsistent stats: mean %v in [%v,%v]", mean, lo, hi)
+	}
+	// Med-availability results are seed-dependent but bounded: the
+	// spread across cloud realizations stays within ±25% of the mean.
+	if (hi-lo)/mean > 0.5 {
+		t.Errorf("Med seed spread too wide: [%v,%v] around %v", lo, hi, mean)
+	}
+	// Max availability is (nearly) seed-independent.
+	_, lo, hi, err = SeedSensitivity(solar.Max, min30, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (hi-lo)/hi > 0.05 {
+		t.Errorf("Max spread = [%v,%v], want near-deterministic", lo, hi)
+	}
+}

@@ -1,0 +1,123 @@
+// Package httpapi exposes the greensprintd controller over HTTP:
+//
+//	GET  /healthz  — liveness probe
+//	GET  /status   — current controller snapshot (JSON)
+//	GET  /history  — retained per-epoch decisions (JSON)
+//	POST /step     — feed one epoch of telemetry and run the control
+//	                 loop; body is a core.Telemetry JSON object and the
+//	                 response is the resulting Decision.
+//
+// POST /step exists so external monitors (or the simulator) can drive
+// the daemon; when greensprintd runs with its internal ticker the
+// endpoint remains available for manual injection during debugging.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"greensprint/internal/core"
+)
+
+// Server wraps a controller with HTTP handlers.
+type Server struct {
+	ctrl *core.Controller
+	mux  *http.ServeMux
+}
+
+// New creates the API server for a controller.
+func New(ctrl *core.Controller) *Server {
+	s := &Server{ctrl: ctrl, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/status", s.handleStatus)
+	s.mux.HandleFunc("/history", s.handleHistory)
+	s.mux.HandleFunc("/step", s.handleStep)
+	s.mux.HandleFunc("/qtable", s.handleQTable)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ctrl.Snapshot())
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ctrl.History())
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w)
+		return
+	}
+	var tel core.Telemetry
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tel); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	d, err := s.ctrl.Step(tel)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+// handleQTable serves the Hybrid strategy's learned Q-table (the same
+// JSON the -qtable persistence flag writes); 404 for other strategies.
+func (s *Server) handleQTable(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	h, ok := s.ctrl.HybridStrategy()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "strategy " + s.ctrl.Strategy() + " has no Q-table",
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := h.SaveQ(w); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+func methodNotAllowed(w http.ResponseWriter) {
+	writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding errors after the header is written can only be
+	// connection failures; nothing useful remains to be done.
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,159 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"greensprint/internal/cluster"
+	"greensprint/internal/core"
+	"greensprint/internal/workload"
+)
+
+func newServer(t *testing.T) (*Server, *core.Controller) {
+	t.Helper()
+	ctrl, err := core.New(core.Options{
+		Workload:     workload.SPECjbb(),
+		Green:        cluster.REBatt(),
+		StrategyName: "Hybrid",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(ctrl), ctrl
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := newServer(t)
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestStatus(t *testing.T) {
+	s, _ := newServer(t)
+	rec := get(t, s, "/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status code = %d", rec.Code)
+	}
+	var st core.Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workload != "SPECjbb" || st.Strategy != "Hybrid" {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestStepAndHistory(t *testing.T) {
+	s, _ := newServer(t)
+	body := `{"GreenPower":635,"OfferedRate":1400,"Goodput":120,"Latency":0.4,"ServerPower":100}`
+	req := httptest.NewRequest(http.MethodPost, "/step", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("step code = %d: %s", rec.Code, rec.Body.String())
+	}
+	var d core.Decision
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch != 0 {
+		t.Errorf("decision = %+v", d)
+	}
+	// History now has one entry.
+	hrec := get(t, s, "/history")
+	var hist []core.Decision
+	if err := json.Unmarshal(hrec.Body.Bytes(), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 {
+		t.Errorf("history = %d", len(hist))
+	}
+}
+
+func TestStepBadBody(t *testing.T) {
+	s, _ := newServer(t)
+	for _, body := range []string{`{bad`, `{"Nope":1}`} {
+		req := httptest.NewRequest(http.MethodPost, "/step", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %q: code = %d", body, rec.Code)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s, _ := newServer(t)
+	cases := []struct{ method, path string }{
+		{http.MethodPost, "/status"},
+		{http.MethodPost, "/history"},
+		{http.MethodGet, "/step"},
+		{http.MethodPost, "/healthz"},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest(c.method, c.path, strings.NewReader("{}"))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: code = %d", c.method, c.path, rec.Code)
+		}
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	s, _ := newServer(t)
+	rec := get(t, s, "/nope")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("code = %d", rec.Code)
+	}
+}
+
+func TestQTableEndpoint(t *testing.T) {
+	s, _ := newServer(t) // Hybrid controller
+	rec := get(t, s, "/qtable")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	var tab struct {
+		Actions int `json:"actions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tab); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Actions != 63 {
+		t.Errorf("actions = %d", tab.Actions)
+	}
+	// Non-Hybrid strategies have no table.
+	ctrl, err := core.New(core.Options{
+		Workload:     workload.SPECjbb(),
+		Green:        cluster.REBatt(),
+		StrategyName: "Greedy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = get(t, New(ctrl), "/qtable")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("greedy qtable code = %d", rec.Code)
+	}
+	// Method check.
+	req := httptest.NewRequest(http.MethodPost, "/qtable", strings.NewReader("{}"))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST code = %d", w.Code)
+	}
+}

@@ -1,0 +1,240 @@
+// Package metrics provides the measurement primitives behind
+// GreenSprint's Monitor component: latency histograms with percentile
+// estimation, throughput counters, and QoS accounting against an SLA
+// (deadline at a percentile).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram. Buckets grow
+// geometrically from Min to Max; values outside the range clamp into
+// the first/last bucket. The zero value is not usable; construct with
+// NewHistogram.
+type Histogram struct {
+	min, max float64
+	growth   float64
+	counts   []uint64
+	total    uint64
+	sum      float64
+}
+
+// NewHistogram creates a histogram covering [min,max] seconds with the
+// given number of geometric buckets. It returns an error for
+// non-positive bounds or buckets.
+func NewHistogram(min, max float64, buckets int) (*Histogram, error) {
+	if min <= 0 || max <= min {
+		return nil, fmt.Errorf("metrics: invalid histogram range [%v,%v]", min, max)
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("metrics: need at least one bucket, got %d", buckets)
+	}
+	return &Histogram{
+		min:    min,
+		max:    max,
+		growth: math.Pow(max/min, 1/float64(buckets)),
+		counts: make([]uint64, buckets),
+	}, nil
+}
+
+// DefaultLatencyHistogram covers 100 µs to 100 s with ~1.5% resolution,
+// suitable for all three workloads' SLAs.
+func DefaultLatencyHistogram() *Histogram {
+	h, err := NewHistogram(100e-6, 100, 920)
+	if err != nil {
+		panic(err) // static arguments; cannot fail
+	}
+	return h
+}
+
+// Observe records one latency sample in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	if math.IsNaN(seconds) {
+		return
+	}
+	h.counts[h.bucketOf(seconds)]++
+	h.total++
+	h.sum += seconds
+}
+
+func (h *Histogram) bucketOf(v float64) int {
+	if v <= h.min {
+		return 0
+	}
+	if v >= h.max {
+		return len(h.counts) - 1
+	}
+	i := int(math.Log(v/h.min) / math.Log(h.growth))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// bucketUpper returns the upper bound of bucket i.
+func (h *Histogram) bucketUpper(i int) float64 {
+	return h.min * math.Pow(h.growth, float64(i+1))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the mean of recorded samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile
+// (0 < q ≤ 1). Empty histograms return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return h.bucketUpper(i)
+		}
+	}
+	return h.max
+}
+
+// FractionBelow returns the fraction of samples at or below d seconds
+// (1 for an empty histogram, which violates nothing).
+func (h *Histogram) FractionBelow(d float64) float64 {
+	if h.total == 0 {
+		return 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		if h.bucketUpper(i) > d {
+			break
+		}
+		cum += h.counts[i]
+	}
+	return float64(cum) / float64(h.total)
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum = 0, 0
+}
+
+// Merge adds the samples of o (same shape required) into h.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.counts) != len(o.counts) || h.min != o.min || h.max != o.max {
+		return fmt.Errorf("metrics: histogram shape mismatch")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	return nil
+}
+
+// QoS is a latency SLA: the Quantile of latencies must be at or below
+// Deadline.
+type QoS struct {
+	Deadline time.Duration
+	Quantile float64
+}
+
+// Met reports whether the histogram satisfies the SLA. Empty
+// histograms trivially satisfy it.
+func (q QoS) Met(h *Histogram) bool {
+	if h.Count() == 0 {
+		return true
+	}
+	return h.Quantile(q.Quantile) <= q.Deadline.Seconds()
+}
+
+// Window accumulates throughput and QoS statistics for one scheduling
+// epoch.
+type Window struct {
+	// Completed counts requests finished in the window.
+	Completed uint64
+	// Compliant counts requests that met the deadline.
+	Compliant uint64
+	// Elapsed is the window length.
+	Elapsed time.Duration
+}
+
+// Throughput returns completed requests per second.
+func (w Window) Throughput() float64 {
+	if w.Elapsed <= 0 {
+		return 0
+	}
+	return float64(w.Completed) / w.Elapsed.Seconds()
+}
+
+// Goodput returns QoS-compliant requests per second — the paper's
+// performance metric.
+func (w Window) Goodput() float64 {
+	if w.Elapsed <= 0 {
+		return 0
+	}
+	return float64(w.Compliant) / w.Elapsed.Seconds()
+}
+
+// ComplianceRatio returns Compliant/Completed (1 when idle).
+func (w Window) ComplianceRatio() float64 {
+	if w.Completed == 0 {
+		return 1
+	}
+	return float64(w.Compliant) / float64(w.Completed)
+}
+
+// Add merges another window.
+func (w *Window) Add(o Window) {
+	w.Completed += o.Completed
+	w.Compliant += o.Compliant
+	if o.Elapsed > w.Elapsed {
+		w.Elapsed = o.Elapsed
+	}
+}
+
+// Percentile returns the p-quantile (0..100) of a float slice using
+// linear interpolation; it is the exact companion to the histogram's
+// bucketed estimate, used where samples are few (per-epoch power
+// readings).
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewHistogramErrors(t *testing.T) {
+	cases := []struct {
+		min, max float64
+		buckets  int
+	}{
+		{0, 1, 10},
+		{-1, 1, 10},
+		{1, 1, 10},
+		{2, 1, 10},
+		{0.001, 1, 0},
+	}
+	for i, c := range cases {
+		if _, err := NewHistogram(c.min, c.max, c.buckets); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := DefaultLatencyHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Error("empty histogram should be zeros")
+	}
+	for _, v := range []float64{0.001, 0.002, 0.003, 0.004} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-0.0025) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+	h.Observe(math.NaN())
+	if h.Count() != 4 {
+		t.Error("NaN should be ignored")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Error("Reset should clear")
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := DefaultLatencyHistogram()
+	rng := rand.New(rand.NewSource(7))
+	// Exponential latencies with mean 50 ms.
+	n := 100000
+	var exact []float64
+	for i := 0; i < n; i++ {
+		v := rng.ExpFloat64() * 0.050
+		exact = append(exact, v)
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		want := Percentile(exact, q*100)
+		got := h.Quantile(q)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("q=%v: histogram %v vs exact %v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h, err := NewHistogram(0.001, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(1e-9) // below min
+	h.Observe(50)   // above max
+	if h.Count() != 2 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if q := h.Quantile(1); q < 1 {
+		t.Errorf("max quantile = %v, want >= 1", q)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	h, _ := NewHistogram(0.001, 10, 400)
+	if got := h.FractionBelow(1); got != 1 {
+		t.Errorf("empty = %v", got)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(0.01)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	got := h.FractionBelow(0.1)
+	if math.Abs(got-0.9) > 0.01 {
+		t.Errorf("FractionBelow(0.1) = %v, want ~0.9", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, _ := NewHistogram(0.001, 1, 50)
+	b, _ := NewHistogram(0.001, 1, 50)
+	a.Observe(0.01)
+	b.Observe(0.02)
+	b.Observe(0.03)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 3 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	c, _ := NewHistogram(0.002, 1, 50)
+	if err := a.Merge(c); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestQoSMet(t *testing.T) {
+	h := DefaultLatencyHistogram()
+	sla := QoS{Deadline: 500 * time.Millisecond, Quantile: 0.99}
+	if !sla.Met(h) {
+		t.Error("empty histogram meets any SLA")
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.050)
+	}
+	if !sla.Met(h) {
+		t.Error("50ms latencies meet a 500ms p99")
+	}
+	for i := 0; i < 200; i++ {
+		h.Observe(2.0)
+	}
+	if sla.Met(h) {
+		t.Error("17% of samples at 2s must violate a 500ms p99")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	w := Window{Completed: 3000, Compliant: 2700, Elapsed: time.Minute}
+	if got := w.Throughput(); math.Abs(got-50) > 1e-12 {
+		t.Errorf("throughput = %v", got)
+	}
+	if got := w.Goodput(); math.Abs(got-45) > 1e-12 {
+		t.Errorf("goodput = %v", got)
+	}
+	if got := w.ComplianceRatio(); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("compliance = %v", got)
+	}
+	var zero Window
+	if zero.Throughput() != 0 || zero.Goodput() != 0 || zero.ComplianceRatio() != 1 {
+		t.Error("zero window conventions")
+	}
+	w.Add(Window{Completed: 1000, Compliant: 500, Elapsed: 2 * time.Minute})
+	if w.Completed != 4000 || w.Compliant != 3200 || w.Elapsed != 2*time.Minute {
+		t.Errorf("after Add: %+v", w)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	tests := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {87.5, 4.5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(s, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile = 0")
+	}
+	// Input must not be mutated.
+	s2 := []float64{3, 1, 2}
+	Percentile(s2, 50)
+	if s2[0] != 3 || s2[1] != 1 || s2[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+// Property: Quantile is monotone in q and bounded by the histogram
+// range.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []uint16, q1Raw, q2Raw uint8) bool {
+		h, err := NewHistogram(0.001, 10, 200)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			h.Observe(float64(v) / 6553.5)
+		}
+		q1 := float64(q1Raw)/255*0.99 + 0.005
+		q2 := float64(q2Raw)/255*0.99 + 0.005
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		a, b := h.Quantile(q1), h.Quantile(q2)
+		return a <= b+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FractionBelow is monotone in the threshold.
+func TestFractionBelowMonotoneProperty(t *testing.T) {
+	f := func(vals []uint16, d1Raw, d2Raw uint16) bool {
+		h, err := NewHistogram(0.001, 10, 200)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			h.Observe(float64(v) / 6553.5)
+		}
+		d1 := float64(d1Raw) / 6553.5
+		d2 := float64(d2Raw) / 6553.5
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return h.FractionBelow(d1) <= h.FractionBelow(d2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package nrel
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseIrradiance hardens the MIDC parser: arbitrary input must
+// yield an error or a valid, evenly spaced, non-negative trace.
+func FuzzParseIrradiance(f *testing.F) {
+	f.Add("DATE (MM/DD/YYYY),MST,Global [W/m^2]\n05/01/2018,00:00,1\n05/01/2018,00:01,2\n")
+	f.Add("DATE (MM/DD/YYYY),MST,Global [W/m^2]\n05/01/2018,00:00,-3\n05/01/2018,00:01,2\n")
+	f.Add("MST,Global\n00:00,1\n")
+	f.Add("DATE (MM/DD/YYYY),MST\n05/01/2018,00:00\n")
+	f.Add("")
+	f.Add("DATE (MM/DD/YYYY),MST,Global [W/m^2]\n05/01/2018,23:59,1\n05/02/2018,00:00,2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ParseIrradiance(strings.NewReader(in), "Global")
+		if err != nil {
+			return
+		}
+		if tr.Step <= 0 || tr.Len() < 2 {
+			t.Fatalf("accepted malformed trace: len %d step %v", tr.Len(), tr.Step)
+		}
+		for i, v := range tr.Samples {
+			if v < 0 {
+				t.Fatalf("negative irradiance %v at %d", v, i)
+			}
+		}
+	})
+}

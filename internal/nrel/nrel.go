@@ -1,0 +1,136 @@
+// Package nrel parses NREL Measurement and Instrumentation Data Center
+// (MIDC) daily-export CSV files — the renewable production traces the
+// paper replays ("we randomly choose one of the renewable power
+// production traces with one-week duration from NREL, including
+// irradiation every minute"). A MIDC export carries a date column, a
+// local-time column and one column per instrument:
+//
+//	DATE (MM/DD/YYYY),MST,Global CMP22 (vent/cor) [W/m^2],...
+//	05/01/2018,00:00,0,...
+//	05/01/2018,00:01,0,...
+//
+// ParseIrradiance extracts one irradiance column as a trace.Trace;
+// ToPower converts irradiance to AC output through a solar.Array, so a
+// downloaded MIDC file can drive the simulator directly in place of
+// the synthetic generator.
+package nrel
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"greensprint/internal/solar"
+	"greensprint/internal/trace"
+)
+
+// ParseIrradiance reads a MIDC CSV and extracts the irradiance column
+// whose header contains columnMatch (case-insensitive; e.g. "Global").
+// Rows must be evenly spaced; negative readings (sensor offset at
+// night) clamp to zero.
+func ParseIrradiance(r io.Reader, columnMatch string) (*trace.Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("nrel: read header: %w", err)
+	}
+	dateIdx, timeIdx, valIdx := -1, -1, -1
+	for i, col := range header {
+		name := strings.ToLower(strings.TrimSpace(col))
+		switch {
+		case strings.HasPrefix(name, "date"):
+			dateIdx = i
+		case timeIdx < 0 && isTimeColumn(name):
+			timeIdx = i
+		case valIdx < 0 && columnMatch != "" &&
+			strings.Contains(name, strings.ToLower(columnMatch)):
+			valIdx = i
+		}
+	}
+	if dateIdx < 0 || timeIdx < 0 {
+		return nil, fmt.Errorf("nrel: no DATE/time columns in header %v", header)
+	}
+	if valIdx < 0 {
+		return nil, fmt.Errorf("nrel: no column matching %q in header %v", columnMatch, header)
+	}
+
+	var times []time.Time
+	var samples []float64
+	row := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		row++
+		if err != nil {
+			return nil, fmt.Errorf("nrel: row %d: %w", row, err)
+		}
+		if len(rec) <= valIdx || len(rec) <= dateIdx || len(rec) <= timeIdx {
+			return nil, fmt.Errorf("nrel: row %d: short record", row)
+		}
+		ts, err := parseStamp(rec[dateIdx], rec[timeIdx])
+		if err != nil {
+			return nil, fmt.Errorf("nrel: row %d: %w", row, err)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rec[valIdx]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("nrel: row %d: bad value %q: %w", row, rec[valIdx], err)
+		}
+		if v < 0 {
+			v = 0 // night-time sensor offset
+		}
+		times = append(times, ts)
+		samples = append(samples, v)
+	}
+	if len(times) < 2 {
+		return nil, fmt.Errorf("nrel: need at least 2 rows, got %d", len(times))
+	}
+	step := times[1].Sub(times[0])
+	if step <= 0 {
+		return nil, fmt.Errorf("nrel: non-increasing timestamps")
+	}
+	for i := 2; i < len(times); i++ {
+		if times[i].Sub(times[i-1]) != step {
+			return nil, fmt.Errorf("nrel: irregular step at row %d", i+2)
+		}
+	}
+	return trace.New("nrel_ghi_wm2", times[0], step, samples), nil
+}
+
+func isTimeColumn(name string) bool {
+	// MIDC time columns are named after the station's timezone
+	// (MST, PST, ...) or simply "time".
+	switch name {
+	case "mst", "pst", "est", "cst", "mdt", "pdt", "edt", "cdt", "time", "lst":
+		return true
+	}
+	return false
+}
+
+func parseStamp(date, clock string) (time.Time, error) {
+	d := strings.TrimSpace(date)
+	c := strings.TrimSpace(clock)
+	for _, layout := range []string{"01/02/2006 15:04", "1/2/2006 15:04", "01/02/2006 15:04:05"} {
+		if ts, err := time.Parse(layout, d+" "+c); err == nil {
+			return ts.UTC(), nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("unparseable timestamp %q %q", date, clock)
+}
+
+// ToPower converts an irradiance trace (W/m²) to the AC output of a
+// panel array — the scaling step the paper applies to match its Table
+// I provisioning.
+func ToPower(irr *trace.Trace, array solar.Array) *trace.Trace {
+	out := irr.Clone()
+	out.Name = fmt.Sprintf("nrel_ac_w_%dpanel", array.Panels)
+	for i, v := range irr.Samples {
+		out.Samples[i] = float64(array.ACPower(v))
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package nrel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"greensprint/internal/solar"
+	"greensprint/internal/units"
+)
+
+const sample = `DATE (MM/DD/YYYY),MST,Global CMP22 (vent/cor) [W/m^2],Direct NIP [W/m^2]
+05/01/2018,11:58,850.1,900.2
+05/01/2018,11:59,855.3,901.0
+05/01/2018,12:00,1001.7,902.5
+05/01/2018,12:01,-2.0,0
+`
+
+func TestParseIrradiance(t *testing.T) {
+	tr, err := ParseIrradiance(strings.NewReader(sample), "Global")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if tr.Step != time.Minute {
+		t.Errorf("step = %v", tr.Step)
+	}
+	want := time.Date(2018, 5, 1, 11, 58, 0, 0, time.UTC)
+	if !tr.Start.Equal(want) {
+		t.Errorf("start = %v", tr.Start)
+	}
+	if tr.Samples[0] != 850.1 || tr.Samples[2] != 1001.7 {
+		t.Errorf("samples = %v", tr.Samples)
+	}
+	// Negative night offsets clamp to zero.
+	if tr.Samples[3] != 0 {
+		t.Errorf("negative reading not clamped: %v", tr.Samples[3])
+	}
+}
+
+func TestParseSelectsRequestedColumn(t *testing.T) {
+	tr, err := ParseIrradiance(strings.NewReader(sample), "Direct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Samples[0] != 900.2 {
+		t.Errorf("wrong column: %v", tr.Samples[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, in, col string }{
+		{"empty", "", "Global"},
+		{"no date", "MST,Global [W/m^2]\n00:00,1\n", "Global"},
+		{"no time", "DATE (MM/DD/YYYY),Global [W/m^2]\n05/01/2018,1\n", "Global"},
+		{"no match", sample, "Windspeed"},
+		{"bad value", "DATE (MM/DD/YYYY),MST,Global [W/m^2]\n05/01/2018,00:00,x\n05/01/2018,00:01,1\n", "Global"},
+		{"bad stamp", "DATE (MM/DD/YYYY),MST,Global [W/m^2]\nyesterday,00:00,1\n05/01/2018,00:01,1\n", "Global"},
+		{"one row", "DATE (MM/DD/YYYY),MST,Global [W/m^2]\n05/01/2018,00:00,1\n", "Global"},
+		{"irregular", "DATE (MM/DD/YYYY),MST,Global [W/m^2]\n05/01/2018,00:00,1\n05/01/2018,00:01,1\n05/01/2018,00:05,1\n", "Global"},
+		{"non-increasing", "DATE (MM/DD/YYYY),MST,Global [W/m^2]\n05/01/2018,00:01,1\n05/01/2018,00:01,1\n", "Global"},
+		{"short record", "DATE (MM/DD/YYYY),MST,Global [W/m^2]\n05/01/2018,00:00\n05/01/2018,00:01,1\n", "Global"},
+	}
+	for _, c := range cases {
+		if _, err := ParseIrradiance(strings.NewReader(c.in), c.col); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestToPower(t *testing.T) {
+	tr, err := ParseIrradiance(strings.NewReader(sample), "Global")
+	if err != nil {
+		t.Fatal(err)
+	}
+	array := solar.Array{Panel: solar.DefaultPanel(), Panels: 3}
+	p := ToPower(tr, array)
+	if p.Name != "nrel_ac_w_3panel" {
+		t.Errorf("name = %q", p.Name)
+	}
+	// 850.1 W/m² on 3 panels: 3 · 211.75 · 0.8501.
+	want := 3 * 211.75 * 0.8501
+	if !units.NearlyEqual(p.Samples[0], want, 1e-9) {
+		t.Errorf("power[0] = %v, want %v", p.Samples[0], want)
+	}
+	// Above-STC irradiance clamps at nameplate.
+	if !units.NearlyEqual(p.Samples[2], 635.25, 1e-9) {
+		t.Errorf("power[2] = %v, want clamped 635.25", p.Samples[2])
+	}
+	// Source unchanged.
+	if tr.Samples[0] != 850.1 {
+		t.Error("ToPower mutated its input")
+	}
+}

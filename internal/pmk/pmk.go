@@ -1,0 +1,189 @@
+// Package pmk implements GreenSprint's Power Management Knob: the
+// per-server actuator that applies a sprinting intensity (active core
+// count and frequency level) chosen by the strategy layer. The paper's
+// prototype uses cpufreq for frequency scaling and taskset for core
+// binding; this package provides a Knob interface with two backends:
+//
+//   - Sim: an in-memory knob for the simulator and tests, tracking the
+//     applied setting and counting transitions.
+//   - Sysfs: a Linux backend that writes CPU online masks and cpufreq
+//     limits under a configurable sysfs root, for running the
+//     greensprintd daemon on a real host. The root is injectable so
+//     tests exercise the exact write path against a temp directory.
+package pmk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"greensprint/internal/server"
+)
+
+// Knob applies sprinting settings to one server.
+type Knob interface {
+	// Apply transitions the server to config c.
+	Apply(c server.Config) error
+	// Current returns the last successfully applied config.
+	Current() server.Config
+}
+
+// Sim is the in-memory knob backend.
+type Sim struct {
+	mu          sync.Mutex
+	cur         server.Config
+	transitions int
+}
+
+// NewSim returns a simulated knob initialized to Normal mode.
+func NewSim() *Sim { return &Sim{cur: server.Normal()} }
+
+// Apply implements Knob. Invalid configs are rejected.
+func (s *Sim) Apply(c server.Config) error {
+	if !c.Valid() {
+		return fmt.Errorf("pmk: invalid config %v", c)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c != s.cur {
+		s.transitions++
+	}
+	s.cur = c
+	return nil
+}
+
+// Current implements Knob.
+func (s *Sim) Current() server.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// Transitions returns how many distinct setting changes were applied —
+// the actuation cost a real deployment pays in hysteresis.
+func (s *Sim) Transitions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.transitions
+}
+
+// Sysfs drives a Linux host through the cpufreq/hotplug sysfs files:
+//
+//	<root>/cpu<N>/online                       (0/1 core activation)
+//	<root>/cpu<N>/cpufreq/scaling_max_freq     (kHz frequency cap)
+//
+// The default root is /sys/devices/system/cpu. CPU 0 is never taken
+// offline (Linux does not allow it).
+type Sysfs struct {
+	// Root is the sysfs CPU directory.
+	Root string
+	// TotalCores is the number of cpuN directories to manage.
+	TotalCores int
+
+	mu  sync.Mutex
+	cur server.Config
+}
+
+// NewSysfs returns a sysfs knob for the paper's 12-core servers.
+func NewSysfs(root string) *Sysfs {
+	if root == "" {
+		root = "/sys/devices/system/cpu"
+	}
+	return &Sysfs{Root: root, TotalCores: server.MaxCores, cur: server.Normal()}
+}
+
+// Apply implements Knob: it onlines the first c.Cores CPUs, offlines
+// the rest, and caps every online CPU's frequency.
+func (s *Sysfs) Apply(c server.Config) error {
+	if !c.Valid() {
+		return fmt.Errorf("pmk: invalid config %v", c)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for cpu := 0; cpu < s.TotalCores; cpu++ {
+		online := cpu < c.Cores
+		if cpu > 0 { // cpu0 cannot be offlined on Linux
+			v := "0"
+			if online {
+				v = "1"
+			}
+			if err := s.write(filepath.Join(s.cpuDir(cpu), "online"), v); err != nil {
+				return err
+			}
+		}
+		if online {
+			khz := strconv.Itoa(int(c.Freq) * 1000)
+			if err := s.write(filepath.Join(s.cpuDir(cpu), "cpufreq", "scaling_max_freq"), khz); err != nil {
+				return err
+			}
+		}
+	}
+	s.cur = c
+	return nil
+}
+
+// Current implements Knob.
+func (s *Sysfs) Current() server.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+func (s *Sysfs) cpuDir(cpu int) string {
+	return filepath.Join(s.Root, fmt.Sprintf("cpu%d", cpu))
+}
+
+func (s *Sysfs) write(path, value string) error {
+	if err := os.WriteFile(path, []byte(value+"\n"), 0o644); err != nil {
+		return fmt.Errorf("pmk: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Fleet is a set of knobs for the green-provisioned servers, applied
+// together (the PSS "receives the execution output ... to control the
+// power demand on a per-server basis").
+type Fleet struct {
+	knobs []Knob
+}
+
+// NewFleet wraps a set of knobs.
+func NewFleet(knobs ...Knob) *Fleet { return &Fleet{knobs: knobs} }
+
+// NewSimFleet creates n simulated knobs.
+func NewSimFleet(n int) *Fleet {
+	f := &Fleet{}
+	for i := 0; i < n; i++ {
+		f.knobs = append(f.knobs, NewSim())
+	}
+	return f
+}
+
+// Size returns the number of servers in the fleet.
+func (f *Fleet) Size() int { return len(f.knobs) }
+
+// Knob returns the i-th knob.
+func (f *Fleet) Knob(i int) Knob { return f.knobs[i] }
+
+// ApplyAll applies the same config to every server, returning the
+// first error (remaining knobs are still attempted).
+func (f *Fleet) ApplyAll(c server.Config) error {
+	var firstErr error
+	for _, k := range f.knobs {
+		if err := k.Apply(c); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Configs returns the current config of every server.
+func (f *Fleet) Configs() []server.Config {
+	out := make([]server.Config, len(f.knobs))
+	for i, k := range f.knobs {
+		out[i] = k.Current()
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package pmk
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"greensprint/internal/server"
+)
+
+func TestSimKnob(t *testing.T) {
+	k := NewSim()
+	if k.Current() != server.Normal() {
+		t.Errorf("initial = %v", k.Current())
+	}
+	if err := k.Apply(server.MaxSprint()); err != nil {
+		t.Fatal(err)
+	}
+	if k.Current() != server.MaxSprint() {
+		t.Errorf("current = %v", k.Current())
+	}
+	if k.Transitions() != 1 {
+		t.Errorf("transitions = %d", k.Transitions())
+	}
+	// Re-applying the same config is not a transition.
+	k.Apply(server.MaxSprint())
+	if k.Transitions() != 1 {
+		t.Errorf("idempotent apply counted: %d", k.Transitions())
+	}
+	if err := k.Apply(server.Config{Cores: 99, Freq: 1200}); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}
+
+func newSysfsFixture(t *testing.T) *Sysfs {
+	t.Helper()
+	root := t.TempDir()
+	for cpu := 0; cpu < server.MaxCores; cpu++ {
+		dir := filepath.Join(root, "cpu"+itoa(cpu), "cpufreq")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewSysfs(root)
+}
+
+func itoa(i int) string { return string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+func TestSysfsDefaults(t *testing.T) {
+	k := NewSysfs("")
+	if k.Root != "/sys/devices/system/cpu" {
+		t.Errorf("default root = %q", k.Root)
+	}
+	if k.TotalCores != 12 {
+		t.Errorf("total cores = %d", k.TotalCores)
+	}
+}
+
+func TestSysfsApplyWritesFiles(t *testing.T) {
+	// The fixture uses zero-padded names; point cpuDir at them via a
+	// root holding cpu00..cpu11? Simpler: build unpadded dirs.
+	root := t.TempDir()
+	for cpu := 0; cpu < server.MaxCores; cpu++ {
+		dir := filepath.Join(root, "cpu"+strings.TrimLeft(itoa(cpu), "0"))
+		if cpu == 0 {
+			dir = filepath.Join(root, "cpu0")
+		}
+		if err := os.MkdirAll(filepath.Join(dir, "cpufreq"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k := NewSysfs(root)
+	cfg := server.Config{Cores: 8, Freq: 1500}
+	if err := k.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if k.Current() != cfg {
+		t.Errorf("current = %v", k.Current())
+	}
+	// CPU 3 online and capped at 1.5 GHz.
+	b, err := os.ReadFile(filepath.Join(root, "cpu3", "online"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(b)) != "1" {
+		t.Errorf("cpu3 online = %q", b)
+	}
+	b, err = os.ReadFile(filepath.Join(root, "cpu3", "cpufreq", "scaling_max_freq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(b)) != "1500000" {
+		t.Errorf("cpu3 max freq = %q", b)
+	}
+	// CPU 10 offline.
+	b, err = os.ReadFile(filepath.Join(root, "cpu10", "online"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(b)) != "0" {
+		t.Errorf("cpu10 online = %q", b)
+	}
+	// CPU 0 has no online file written.
+	if _, err := os.Stat(filepath.Join(root, "cpu0", "online")); !os.IsNotExist(err) {
+		t.Error("cpu0 online file should not be written")
+	}
+}
+
+func TestSysfsApplyErrors(t *testing.T) {
+	k := NewSysfs(filepath.Join(t.TempDir(), "missing"))
+	if err := k.Apply(server.MaxSprint()); err == nil {
+		t.Error("missing sysfs tree should error")
+	}
+	if err := k.Apply(server.Config{Cores: 1, Freq: 1200}); err == nil {
+		t.Error("invalid config should be rejected before any write")
+	}
+}
+
+func TestFleet(t *testing.T) {
+	f := NewSimFleet(3)
+	if f.Size() != 3 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	if err := f.ApplyAll(server.MaxSprint()); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range f.Configs() {
+		if c != server.MaxSprint() {
+			t.Errorf("server %d = %v", i, c)
+		}
+	}
+	if f.Knob(0).Current() != server.MaxSprint() {
+		t.Error("Knob accessor broken")
+	}
+	// Errors propagate but all knobs are attempted.
+	bad := NewFleet(NewSim(), NewSysfs(filepath.Join(t.TempDir(), "nope")), NewSim())
+	if err := bad.ApplyAll(server.Normal()); err == nil {
+		t.Error("fleet should surface the sysfs error")
+	}
+	if bad.Knob(2).Current() != server.Normal() {
+		t.Error("later knobs should still be applied")
+	}
+}

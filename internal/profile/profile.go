@@ -1,0 +1,187 @@
+// Package profile builds and queries the a-priori profiling tables of
+// §III-B: "We measure and collect the power demand (LoadPower_j(L,S))
+// of an individual workload for each server setting S and workload
+// intensity level L with a priori knowledge using an exhaustive method
+// on real servers." In this reproduction the exhaustive measurement
+// runs against the analytic server/workload models; the resulting
+// table is what the Parallel, Pacing and Hybrid strategies consult at
+// run time, and what bootstraps the Hybrid Q-table.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"greensprint/internal/server"
+	"greensprint/internal/units"
+	"greensprint/internal/workload"
+)
+
+// DefaultLevels is the default number of workload-intensity levels
+// (the paper's L1..Lw).
+const DefaultLevels = 10
+
+// Entry is one profiled (level, setting) cell.
+type Entry struct {
+	// Level is the workload intensity level index (0-based).
+	Level int `json:"level"`
+	// Config is the server setting S.
+	Cores int       `json:"cores"`
+	Freq  units.MHz `json:"freq_mhz"`
+	// OfferedRate is the per-server arrival rate of this level.
+	OfferedRate float64 `json:"offered_rate"`
+	// Power is LoadPower(L,S): wall power at this level and setting.
+	Power units.Watt `json:"power_w"`
+	// Goodput is the QoS-compliant throughput delivered.
+	Goodput float64 `json:"goodput"`
+	// NormPerf is Goodput normalized to Normal-mode max goodput.
+	NormPerf float64 `json:"norm_perf"`
+}
+
+// Config returns the entry's server setting.
+func (e Entry) Config() server.Config {
+	return server.Config{Cores: e.Cores, Freq: e.Freq}
+}
+
+// Table is the full profiling table for one workload.
+type Table struct {
+	Workload string  `json:"workload"`
+	Levels   int     `json:"levels"`
+	MaxRate  float64 `json:"max_rate"`
+	Entries  []Entry `json:"entries"`
+
+	byKey map[key]int
+}
+
+type key struct {
+	level int
+	cfg   server.Config
+}
+
+// Build profiles p exhaustively over every knob setting and `levels`
+// intensity levels spaced evenly from MaxRate/levels to MaxRate, where
+// MaxRate is the Int=12 saturation rate.
+func Build(p workload.Profile, levels int) (*Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if levels < 1 {
+		return nil, fmt.Errorf("profile: need at least one level, got %d", levels)
+	}
+	maxRate := p.IntensityRate(server.MaxCores)
+	base := p.MaxGoodput(server.Normal())
+	t := &Table{Workload: p.Name, Levels: levels, MaxRate: maxRate}
+	for lvl := 0; lvl < levels; lvl++ {
+		rate := maxRate * float64(lvl+1) / float64(levels)
+		for _, c := range server.Configs() {
+			good := p.Goodput(c, rate)
+			t.Entries = append(t.Entries, Entry{
+				Level:       lvl,
+				Cores:       c.Cores,
+				Freq:        c.Freq,
+				OfferedRate: rate,
+				Power:       p.LoadPower(c, rate),
+				Goodput:     good,
+				NormPerf:    good / base,
+			})
+		}
+	}
+	t.index()
+	return t, nil
+}
+
+func (t *Table) index() {
+	t.byKey = make(map[key]int, len(t.Entries))
+	for i, e := range t.Entries {
+		t.byKey[key{e.Level, e.Config()}] = i
+	}
+}
+
+// LevelFor quantizes an offered rate to the nearest profiled level.
+func (t *Table) LevelFor(rate float64) int {
+	if t.Levels <= 0 || t.MaxRate <= 0 {
+		return 0
+	}
+	step := t.MaxRate / float64(t.Levels)
+	lvl := int(rate/step+0.5) - 1
+	if lvl < 0 {
+		lvl = 0
+	}
+	if lvl >= t.Levels {
+		lvl = t.Levels - 1
+	}
+	return lvl
+}
+
+// Lookup returns the entry for (level, config) and whether it exists.
+func (t *Table) Lookup(level int, c server.Config) (Entry, bool) {
+	if t.byKey == nil {
+		t.index()
+	}
+	i, ok := t.byKey[key{level, c}]
+	if !ok {
+		return Entry{}, false
+	}
+	return t.Entries[i], true
+}
+
+// LoadPower returns LoadPower(L,S) for a profiled cell, or false when
+// the cell is not in the table.
+func (t *Table) LoadPower(level int, c server.Config) (units.Watt, bool) {
+	e, ok := t.Lookup(level, c)
+	return e.Power, ok
+}
+
+// BestWithin returns the profiled setting with the highest goodput at
+// `level` whose LoadPower fits within budget, among settings admitted
+// by filter (nil admits all). Ties break toward lower power. The
+// boolean is false when no admitted setting fits.
+func (t *Table) BestWithin(level int, budget units.Watt, filter func(server.Config) bool) (Entry, bool) {
+	var best Entry
+	found := false
+	for _, e := range t.Entries {
+		if e.Level != level || e.Power > budget {
+			continue
+		}
+		if filter != nil && !filter(e.Config()) {
+			continue
+		}
+		if !found || e.Goodput > best.Goodput ||
+			(e.Goodput == best.Goodput && e.Power < best.Power) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// LevelEntries returns the entries of one level sorted by ascending
+// power.
+func (t *Table) LevelEntries(level int) []Entry {
+	var out []Entry
+	for _, e := range t.Entries {
+		if e.Level == level {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Power < out[j].Power })
+	return out
+}
+
+// WriteJSON serializes the table.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON deserializes a table written by WriteJSON.
+func ReadJSON(r io.Reader) (*Table, error) {
+	var t Table
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	t.index()
+	return &t, nil
+}

@@ -1,0 +1,58 @@
+package profile_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"greensprint/internal/loadgen"
+	"greensprint/internal/profile"
+	"greensprint/internal/server"
+	"greensprint/internal/workload"
+)
+
+// TestTableMatchesRequestLevelMeasurement cross-validates the analytic
+// profiling table — the a-priori knowledge every strategy decides from
+// — against the request-level load generator: for sampled (level,
+// setting) cells the measured goodput must match the table within 10%.
+func TestTableMatchesRequestLevelMeasurement(t *testing.T) {
+	p := workload.SPECjbb()
+	tab, err := profile.Build(p, profile.DefaultLevels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := loadgen.New(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []struct {
+		level int
+		cfg   server.Config
+	}{
+		{2, server.Normal()},                     // light load, baseline setting
+		{5, server.Config{Cores: 9, Freq: 1600}}, // mid load, mid setting
+		{9, server.MaxSprint()},                  // saturating load, max sprint
+		{9, server.Normal()},                     // overload on the baseline
+	}
+	for _, c := range cells {
+		e, ok := tab.Lookup(c.level, c.cfg)
+		if !ok {
+			t.Fatalf("missing cell %d/%v", c.level, c.cfg)
+		}
+		ep, err := gen.Run(c.cfg, e.OfferedRate, 10*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := ep.Goodput()
+		if e.Goodput == 0 {
+			if measured > 1 {
+				t.Errorf("%d/%v: table 0 vs measured %v", c.level, c.cfg, measured)
+			}
+			continue
+		}
+		if rel := math.Abs(measured-e.Goodput) / e.Goodput; rel > 0.10 {
+			t.Errorf("%d/%v: measured %v vs table %v (%.0f%% off)",
+				c.level, c.cfg, measured, e.Goodput, rel*100)
+		}
+	}
+}

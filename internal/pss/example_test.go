@@ -1,0 +1,35 @@
+package pss_test
+
+import (
+	"fmt"
+	"time"
+
+	"greensprint/internal/cluster"
+	"greensprint/internal/pss"
+)
+
+// Example walks the paper's three supply cases for a 3-server
+// maximal-sprint demand (465 W) on the RE-Batt rack.
+func Example() {
+	bank, err := cluster.REBatt().NewBank()
+	if err != nil {
+		panic(err)
+	}
+	s := pss.New(bank)
+	epoch := 5 * time.Minute
+
+	// Case 1: abundant green power; the surplus charges batteries.
+	fmt.Println(s.Classify(465, 600, epoch))
+	// Case 2: green covers part of the demand; batteries supplement.
+	fmt.Println(s.Classify(465, 300, epoch))
+	// Case 3: no green at all; batteries alone carry the sprint.
+	fmt.Println(s.Classify(465, 0, epoch))
+	// Exhausted: after draining the bank, only the grid remains.
+	bank.Discharge(465, time.Hour)
+	fmt.Println(s.Classify(465, 0, epoch))
+	// Output:
+	// green-only
+	// green+battery
+	// battery-only
+	// grid-fallback
+}

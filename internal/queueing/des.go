@@ -1,0 +1,182 @@
+package queueing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file contains a discrete-event simulator for the same M/M/c
+// station the analytic formulas describe. It exists for two reasons:
+// (1) to validate the closed-form sojourn-tail model the whole
+// reproduction rests on (the property tests cross-check simulated
+// percentiles against SojournPercentile), and (2) to let experiments
+// sample request-level latency traces when a distribution, not a
+// summary, is needed.
+
+// SimResult summarizes one request-level simulation.
+type SimResult struct {
+	// Completed is the number of requests that finished.
+	Completed int
+	// Sojourns holds each completed request's time in system
+	// (seconds), in completion order.
+	Sojourns []float64
+	// MeanSojourn is the average time in system.
+	MeanSojourn float64
+	// MaxQueue is the largest queue length observed.
+	MaxQueue int
+}
+
+// Percentile returns the q-quantile (0<q≤1) of the simulated sojourns.
+func (r *SimResult) Percentile(q float64) float64 {
+	if len(r.Sojourns) == 0 {
+		return 0
+	}
+	s := make([]float64, len(r.Sojourns))
+	copy(s, r.Sojourns)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Discard drops the first n sojourns (warm-up transient: a simulation
+// started from an empty queue under-represents the steady-state tail
+// at high utilization) and recomputes the mean. It returns the
+// receiver for chaining.
+func (r *SimResult) Discard(n int) *SimResult {
+	if n <= 0 {
+		return r
+	}
+	if n > len(r.Sojourns) {
+		n = len(r.Sojourns)
+	}
+	r.Sojourns = r.Sojourns[n:]
+	sum := 0.0
+	for _, v := range r.Sojourns {
+		sum += v
+	}
+	r.MeanSojourn = 0
+	if len(r.Sojourns) > 0 {
+		r.MeanSojourn = sum / float64(len(r.Sojourns))
+	}
+	return r
+}
+
+// GoodputFraction returns the fraction of completed requests with
+// sojourn at or below deadline.
+func (r *SimResult) GoodputFraction(deadline float64) float64 {
+	if len(r.Sojourns) == 0 {
+		return 1
+	}
+	n := 0
+	for _, v := range r.Sojourns {
+		if v <= deadline {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Sojourns))
+}
+
+// event kinds for the simulator heap.
+const (
+	evArrival = iota
+	evDeparture
+)
+
+type event struct {
+	at     float64
+	kind   int
+	server int // departure only
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Simulate runs an open-loop Poisson arrival stream of `requests`
+// requests against the station and returns per-request sojourn times.
+// The simulation is deterministic for a given seed. It returns an
+// error for invalid stations, non-positive rates or request counts.
+func (s Station) Simulate(lambda float64, requests int, seed int64) (*SimResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("queueing: non-positive arrival rate %v", lambda)
+	}
+	if requests <= 0 {
+		return nil, fmt.Errorf("queueing: non-positive request count %d", requests)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mu := s.ServiceRate
+	c := s.Servers
+
+	var h eventHeap
+	heap.Init(&h)
+	heap.Push(&h, event{at: rng.ExpFloat64() / lambda, kind: evArrival})
+
+	busy := make([]bool, c)
+	idle := make([]int, 0, c)
+	for i := 0; i < c; i++ {
+		idle = append(idle, i)
+	}
+	var queue []float64 // arrival times of queued requests
+	res := &SimResult{}
+	arrived := 0
+	sum := 0.0
+
+	startService := func(arrivalAt, now float64) {
+		srv := idle[len(idle)-1]
+		idle = idle[:len(idle)-1]
+		busy[srv] = true
+		done := now + rng.ExpFloat64()/mu
+		heap.Push(&h, event{at: done, kind: evDeparture, server: srv})
+		soj := done - arrivalAt
+		res.Sojourns = append(res.Sojourns, soj)
+		sum += soj
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		switch e.kind {
+		case evArrival:
+			arrived++
+			if arrived < requests {
+				heap.Push(&h, event{at: e.at + rng.ExpFloat64()/lambda, kind: evArrival})
+			}
+			if len(idle) > 0 {
+				startService(e.at, e.at)
+			} else {
+				queue = append(queue, e.at)
+				if len(queue) > res.MaxQueue {
+					res.MaxQueue = len(queue)
+				}
+			}
+		case evDeparture:
+			busy[e.server] = false
+			idle = append(idle, e.server)
+			res.Completed++
+			if len(queue) > 0 {
+				arrivalAt := queue[0]
+				queue = queue[1:]
+				startService(arrivalAt, e.at)
+			}
+		}
+	}
+	if res.Completed > 0 {
+		res.MeanSojourn = sum / float64(res.Completed)
+	}
+	return res, nil
+}

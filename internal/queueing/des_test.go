@@ -1,0 +1,140 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	s := Station{Servers: 2, ServiceRate: 10}
+	if _, err := (Station{}).Simulate(1, 100, 1); err == nil {
+		t.Error("invalid station should error")
+	}
+	if _, err := s.Simulate(0, 100, 1); err == nil {
+		t.Error("zero lambda should error")
+	}
+	if _, err := s.Simulate(1, 0, 1); err == nil {
+		t.Error("zero requests should error")
+	}
+}
+
+func TestSimulateCompletesAll(t *testing.T) {
+	s := Station{Servers: 4, ServiceRate: 20}
+	res, err := s.Simulate(40, 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 5000 || len(res.Sojourns) != 5000 {
+		t.Fatalf("completed %d, sojourns %d", res.Completed, len(res.Sojourns))
+	}
+	for _, v := range res.Sojourns {
+		if v <= 0 {
+			t.Fatal("non-positive sojourn")
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	s := Station{Servers: 3, ServiceRate: 15}
+	a, _ := s.Simulate(30, 1000, 42)
+	b, _ := s.Simulate(30, 1000, 42)
+	if a.MeanSojourn != b.MeanSojourn || a.MaxQueue != b.MaxQueue {
+		t.Error("same seed should reproduce")
+	}
+	c, _ := s.Simulate(30, 1000, 43)
+	if a.MeanSojourn == c.MeanSojourn {
+		t.Error("different seeds should differ")
+	}
+}
+
+// TestSimulateMatchesAnalyticMM1 cross-checks the discrete-event
+// simulator against the exact M/M/1 sojourn distribution.
+func TestSimulateMatchesAnalyticMM1(t *testing.T) {
+	s := Station{Servers: 1, ServiceRate: 100}
+	lambda := 60.0
+	res, err := s.Simulate(lambda, 200000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Metrics(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel(res.MeanSojourn, m.MeanSojourn) > 0.03 {
+		t.Errorf("mean: sim %v vs analytic %v", res.MeanSojourn, m.MeanSojourn)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		simP := res.Percentile(q)
+		anaP := s.SojournPercentile(lambda, q)
+		if rel(simP, anaP) > 0.06 {
+			t.Errorf("p%v: sim %v vs analytic %v", q*100, simP, anaP)
+		}
+	}
+}
+
+// TestSimulateMatchesAnalyticMMc validates the M/M/c sojourn-tail
+// decomposition the whole performance model rests on, at the knob
+// space's actual shape (12 servers).
+func TestSimulateMatchesAnalyticMMc(t *testing.T) {
+	s := Station{Servers: 12, ServiceRate: 50}
+	for _, rho := range []float64{0.5, 0.8, 0.95} {
+		lambda := rho * s.Capacity()
+		res, err := s.Simulate(lambda, 250000, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Discard(50000) // drop the empty-queue warm-up transient
+		m, _ := s.Metrics(lambda)
+		if rel(res.MeanSojourn, m.MeanSojourn) > 0.05 {
+			t.Errorf("rho=%v mean: sim %v vs analytic %v", rho, res.MeanSojourn, m.MeanSojourn)
+		}
+		for _, q := range []float64{0.9, 0.99} {
+			simP := res.Percentile(q)
+			anaP := s.SojournPercentile(lambda, q)
+			if rel(simP, anaP) > 0.08 {
+				t.Errorf("rho=%v p%v: sim %v vs analytic %v", rho, q*100, simP, anaP)
+			}
+		}
+		// Goodput fraction at the deadline equals the analytic CDF.
+		d := s.SojournPercentile(lambda, 0.95)
+		if got := res.GoodputFraction(d); math.Abs(got-0.95) > 0.01 {
+			t.Errorf("rho=%v goodput fraction at p95 = %v", rho, got)
+		}
+	}
+}
+
+func TestSimulateQueueGrowsWithLoad(t *testing.T) {
+	s := Station{Servers: 6, ServiceRate: 30}
+	light, _ := s.Simulate(0.3*s.Capacity(), 20000, 5)
+	heavy, _ := s.Simulate(0.95*s.Capacity(), 20000, 5)
+	if heavy.MaxQueue <= light.MaxQueue {
+		t.Errorf("queue should grow with load: %d vs %d", heavy.MaxQueue, light.MaxQueue)
+	}
+	if heavy.MeanSojourn <= light.MeanSojourn {
+		t.Error("sojourn should grow with load")
+	}
+}
+
+func TestSimResultEdges(t *testing.T) {
+	var r SimResult
+	if r.Percentile(0.99) != 0 {
+		t.Error("empty percentile = 0")
+	}
+	if r.GoodputFraction(1) != 1 {
+		t.Error("empty goodput fraction = 1")
+	}
+	r.Sojourns = []float64{1, 2, 3}
+	if r.Percentile(0) != 1 || r.Percentile(1) != 3 {
+		t.Error("percentile clamping")
+	}
+	if got := r.GoodputFraction(2); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("goodput = %v", got)
+	}
+}
+
+func rel(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

@@ -1,0 +1,19 @@
+package queueing_test
+
+import (
+	"fmt"
+
+	"greensprint/internal/queueing"
+)
+
+// ExampleStation_MaxRate computes the QoS-constrained throughput of a
+// 12-core station against a 500 ms p99 SLA — the paper's performance
+// metric.
+func ExampleStation_MaxRate() {
+	s := queueing.Station{Servers: 12, ServiceRate: 50}
+	max := s.MaxRate(0.5, 0.99)
+	fmt.Printf("capacity %.0f req/s, QoS-max %.0f req/s (%.0f%% utilization)\n",
+		s.Capacity(), max, 100*max/s.Capacity())
+	// Output:
+	// capacity 600 req/s, QoS-max 590 req/s (98% utilization)
+}

@@ -1,0 +1,214 @@
+// Package queueing provides M/M/c queueing machinery used to model the
+// paper's interactive workloads (SPECjbb, Web-Search, Memcached). Each
+// server runs an open-loop request stream; "performance" in the paper
+// is QoS-constrained throughput (e.g. jops at a 99th-percentile 500 ms
+// bound), which this package computes from the sojourn-time
+// distribution of an M/M/c station.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnstable is returned when a metric is requested for an overloaded
+// station (λ ≥ c·μ).
+var ErrUnstable = errors.New("queueing: overloaded station (rho >= 1)")
+
+// ErlangB returns the Erlang-B blocking probability for offered load a
+// (in erlangs) on c servers, computed with the numerically stable
+// recurrence.
+func ErlangB(c int, a float64) float64 {
+	if c < 0 || a < 0 {
+		return math.NaN()
+	}
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b
+}
+
+// ErlangC returns the probability that an arrival must wait in an
+// M/M/c queue with offered load a = λ/μ erlangs. It returns 1 for
+// saturated or overloaded stations.
+func ErlangC(c int, a float64) float64 {
+	if c <= 0 {
+		return 1
+	}
+	rho := a / float64(c)
+	if rho >= 1 {
+		return 1
+	}
+	b := ErlangB(c, a)
+	return b / (1 - rho*(1-b))
+}
+
+// Station describes an M/M/c service station.
+type Station struct {
+	// Servers is the number of parallel servers (cores serving
+	// requests, in GreenSprint's use).
+	Servers int
+	// ServiceRate is the per-server service rate μ in requests per
+	// second.
+	ServiceRate float64
+}
+
+// Validate reports configuration errors.
+func (s Station) Validate() error {
+	if s.Servers <= 0 {
+		return fmt.Errorf("queueing: servers must be positive, got %d", s.Servers)
+	}
+	if s.ServiceRate <= 0 || math.IsNaN(s.ServiceRate) || math.IsInf(s.ServiceRate, 0) {
+		return fmt.Errorf("queueing: invalid service rate %v", s.ServiceRate)
+	}
+	return nil
+}
+
+// Capacity returns the raw service capacity c·μ.
+func (s Station) Capacity() float64 { return float64(s.Servers) * s.ServiceRate }
+
+// Utilization returns ρ = λ/(c·μ).
+func (s Station) Utilization(lambda float64) float64 {
+	return lambda / s.Capacity()
+}
+
+// Metrics summarizes steady-state behaviour at arrival rate λ.
+type Metrics struct {
+	Rho         float64 // utilization
+	PWait       float64 // Erlang-C probability of queueing
+	MeanWait    float64 // E[Wq], seconds
+	MeanSojourn float64 // E[T] = E[Wq] + 1/μ, seconds
+}
+
+// Metrics computes steady-state metrics. It returns ErrUnstable for
+// λ ≥ capacity.
+func (s Station) Metrics(lambda float64) (Metrics, error) {
+	if err := s.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if lambda < 0 {
+		return Metrics{}, fmt.Errorf("queueing: negative arrival rate %v", lambda)
+	}
+	rho := s.Utilization(lambda)
+	if rho >= 1 {
+		return Metrics{Rho: rho, PWait: 1}, ErrUnstable
+	}
+	a := lambda / s.ServiceRate
+	pw := ErlangC(s.Servers, a)
+	drain := s.Capacity() - lambda
+	mw := 0.0
+	if lambda > 0 {
+		mw = pw / drain
+	}
+	return Metrics{
+		Rho:         rho,
+		PWait:       pw,
+		MeanWait:    mw,
+		MeanSojourn: mw + 1/s.ServiceRate,
+	}, nil
+}
+
+// SojournTail returns P(T > d): the probability a request's total time
+// in system (wait + service) exceeds d seconds, at arrival rate λ.
+// It uses the exact M/M/c sojourn decomposition: with probability
+// 1-PWait the sojourn is the exponential service time; with probability
+// PWait it is the sum of an exponential wait (rate cμ-λ) and the
+// service time. Overloaded stations return 1.
+func (s Station) SojournTail(lambda, d float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	rho := s.Utilization(lambda)
+	if rho >= 1 {
+		return 1
+	}
+	mu := s.ServiceRate
+	a := s.Capacity() - lambda // queue drain rate
+	pw := ErlangC(s.Servers, lambda/mu)
+	svcTail := math.Exp(-mu * d)
+	var waitedTail float64
+	if math.Abs(a-mu) < 1e-12*mu {
+		// Degenerate hypoexponential: Erlang-2 tail.
+		waitedTail = math.Exp(-mu*d) * (1 + mu*d)
+	} else {
+		waitedTail = (a*math.Exp(-mu*d) - mu*math.Exp(-a*d)) / (a - mu)
+	}
+	tail := (1-pw)*svcTail + pw*waitedTail
+	return clamp01(tail)
+}
+
+// SojournPercentile returns the q-quantile (0 < q < 1) of the sojourn
+// time in seconds at arrival rate λ, found by bisection on the tail.
+// It returns +Inf for overloaded stations.
+func (s Station) SojournPercentile(lambda, q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 || s.Utilization(lambda) >= 1 {
+		return math.Inf(1)
+	}
+	target := 1 - q
+	lo, hi := 0.0, 1/s.ServiceRate
+	for s.SojournTail(lambda, hi) > target {
+		hi *= 2
+		if hi > 1e9 {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if s.SojournTail(lambda, mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MaxRate returns the largest arrival rate λ such that the q-quantile
+// of the sojourn time is at most deadline seconds — the QoS-constrained
+// throughput (e.g. max jOPS under a 99th-percentile 500 ms SLA). It
+// returns 0 when even an idle station misses the deadline (the service
+// tail alone exceeds it).
+func (s Station) MaxRate(deadline, q float64) float64 {
+	if err := s.Validate(); err != nil {
+		return 0
+	}
+	if deadline <= 0 || q <= 0 || q >= 1 {
+		return 0
+	}
+	if s.SojournTail(0, deadline) > 1-q {
+		return 0
+	}
+	lo, hi := 0.0, s.Capacity()
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if s.SojournTail(mid, deadline) <= 1-q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Goodput returns the QoS-compliant throughput at offered rate λ:
+// min(λ, MaxRate). The paper reports workload "performance" as exactly
+// this quantity (operations per second meeting the latency SLA).
+func (s Station) Goodput(offered, deadline, q float64) float64 {
+	max := s.MaxRate(deadline, q)
+	return math.Min(math.Max(offered, 0), max)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

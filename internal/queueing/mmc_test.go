@@ -1,0 +1,267 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestErlangB(t *testing.T) {
+	// Known values: B(1, 1) = 0.5; B(2, 1) = 0.2.
+	if got := ErlangB(1, 1); !near(got, 0.5, 1e-12) {
+		t.Errorf("B(1,1) = %v", got)
+	}
+	if got := ErlangB(2, 1); !near(got, 0.2, 1e-12) {
+		t.Errorf("B(2,1) = %v", got)
+	}
+	// Zero servers block everything.
+	if got := ErlangB(0, 3); got != 1 {
+		t.Errorf("B(0,3) = %v", got)
+	}
+	// Zero load blocks nothing (with servers).
+	if got := ErlangB(4, 0); got != 0 {
+		t.Errorf("B(4,0) = %v", got)
+	}
+	if !math.IsNaN(ErlangB(-1, 1)) || !math.IsNaN(ErlangB(1, -1)) {
+		t.Error("negative arguments should be NaN")
+	}
+}
+
+func TestErlangC(t *testing.T) {
+	// M/M/1: C = rho.
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		if got := ErlangC(1, rho); !near(got, rho, 1e-12) {
+			t.Errorf("C(1,%v) = %v", rho, got)
+		}
+	}
+	// Known value: C(2, 1) (rho = 0.5) = 1/3.
+	if got := ErlangC(2, 1); !near(got, 1.0/3, 1e-12) {
+		t.Errorf("C(2,1) = %v", got)
+	}
+	// Saturated.
+	if got := ErlangC(2, 2); got != 1 {
+		t.Errorf("C at rho=1 should be 1, got %v", got)
+	}
+	if got := ErlangC(0, 1); got != 1 {
+		t.Errorf("C with no servers = %v", got)
+	}
+}
+
+func TestStationValidate(t *testing.T) {
+	cases := []Station{
+		{Servers: 0, ServiceRate: 1},
+		{Servers: 2, ServiceRate: 0},
+		{Servers: 2, ServiceRate: math.NaN()},
+		{Servers: 2, ServiceRate: math.Inf(1)},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+	if err := (Station{Servers: 6, ServiceRate: 30}).Validate(); err != nil {
+		t.Errorf("valid station rejected: %v", err)
+	}
+}
+
+func TestMetricsMM1(t *testing.T) {
+	// M/M/1 closed forms: Wq = rho/(mu-lambda), T = 1/(mu-lambda).
+	s := Station{Servers: 1, ServiceRate: 10}
+	m, err := s.Metrics(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(m.Rho, 0.5, 1e-12) {
+		t.Errorf("rho = %v", m.Rho)
+	}
+	if !near(m.MeanWait, 0.5/(10-5), 1e-9) {
+		t.Errorf("Wq = %v", m.MeanWait)
+	}
+	if !near(m.MeanSojourn, 1.0/(10-5), 1e-9) {
+		t.Errorf("T = %v", m.MeanSojourn)
+	}
+}
+
+func TestMetricsErrors(t *testing.T) {
+	s := Station{Servers: 2, ServiceRate: 10}
+	if _, err := s.Metrics(20); !errors.Is(err, ErrUnstable) {
+		t.Errorf("overload err = %v", err)
+	}
+	if _, err := s.Metrics(-1); err == nil {
+		t.Error("negative lambda should error")
+	}
+	if _, err := (Station{}).Metrics(1); err == nil {
+		t.Error("invalid station should error")
+	}
+	// Idle station.
+	m, err := s.Metrics(0)
+	if err != nil || m.MeanWait != 0 {
+		t.Errorf("idle: %+v %v", m, err)
+	}
+}
+
+func TestSojournTailMM1(t *testing.T) {
+	// For M/M/1 the sojourn is exactly exponential with rate mu-lambda.
+	s := Station{Servers: 1, ServiceRate: 10}
+	lambda := 6.0
+	for _, d := range []float64{0.05, 0.1, 0.5, 1} {
+		want := math.Exp(-(10 - lambda) * d)
+		if got := s.SojournTail(lambda, d); !near(got, want, 1e-9) {
+			t.Errorf("tail(%v) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestSojournTailProperties(t *testing.T) {
+	s := Station{Servers: 6, ServiceRate: 30}
+	if got := s.SojournTail(200, 0.5); got != 1 {
+		t.Errorf("overloaded tail = %v, want 1", got)
+	}
+	if got := s.SojournTail(50, 0); got != 1 {
+		t.Errorf("tail at d=0 = %v, want 1", got)
+	}
+	// Idle tail equals the service tail.
+	if got, want := s.SojournTail(0, 0.1), math.Exp(-30*0.1); !near(got, want, 1e-9) {
+		t.Errorf("idle tail = %v, want %v", got, want)
+	}
+}
+
+func TestSojournTailDegenerateBranch(t *testing.T) {
+	// Force a == mu: c*mu - lambda == mu, i.e. lambda = (c-1)*mu.
+	s := Station{Servers: 2, ServiceRate: 10}
+	got := s.SojournTail(10, 0.1)
+	if got <= 0 || got >= 1 {
+		t.Errorf("degenerate tail = %v", got)
+	}
+	// Compare against a nearby non-degenerate evaluation.
+	near1 := s.SojournTail(10.0001, 0.1)
+	if math.Abs(got-near1) > 1e-3 {
+		t.Errorf("degenerate branch discontinuous: %v vs %v", got, near1)
+	}
+}
+
+func TestSojournPercentile(t *testing.T) {
+	s := Station{Servers: 1, ServiceRate: 10}
+	// M/M/1 with lambda=6: T ~ exp(4); p99 = ln(100)/4.
+	want := math.Log(100) / 4
+	if got := s.SojournPercentile(6, 0.99); !near(got, want, 1e-6) {
+		t.Errorf("p99 = %v, want %v", got, want)
+	}
+	if got := s.SojournPercentile(6, 0); got != 0 {
+		t.Errorf("q=0 percentile = %v", got)
+	}
+	if got := s.SojournPercentile(20, 0.99); !math.IsInf(got, 1) {
+		t.Errorf("overloaded percentile = %v", got)
+	}
+}
+
+func TestMaxRate(t *testing.T) {
+	s := Station{Servers: 6, ServiceRate: 30}
+	deadline, q := 0.5, 0.99
+	max := s.MaxRate(deadline, q)
+	if max <= 0 || max >= s.Capacity() {
+		t.Fatalf("MaxRate = %v, capacity %v", max, s.Capacity())
+	}
+	// At MaxRate the percentile meets the deadline (within bisection
+	// tolerance); 5% above it, it doesn't.
+	if p := s.SojournPercentile(max*0.999, q); p > deadline*1.001 {
+		t.Errorf("p99 at max = %v > %v", p, deadline)
+	}
+	if p := s.SojournPercentile(math.Min(max*1.05, s.Capacity()*0.9999), q); p < deadline {
+		t.Errorf("p99 just above max = %v < %v: bound not tight", p, deadline)
+	}
+}
+
+func TestMaxRateUnreachableDeadline(t *testing.T) {
+	// Mean service 1s but deadline 100ms at p99: even idle misses.
+	s := Station{Servers: 4, ServiceRate: 1}
+	if got := s.MaxRate(0.1, 0.99); got != 0 {
+		t.Errorf("unreachable deadline MaxRate = %v", got)
+	}
+	if got := s.MaxRate(0, 0.99); got != 0 {
+		t.Errorf("zero deadline = %v", got)
+	}
+	if got := s.MaxRate(1, 0); got != 0 {
+		t.Errorf("q=0 = %v", got)
+	}
+	if got := (Station{}).MaxRate(1, 0.99); got != 0 {
+		t.Errorf("invalid station = %v", got)
+	}
+}
+
+func TestGoodput(t *testing.T) {
+	s := Station{Servers: 6, ServiceRate: 30}
+	max := s.MaxRate(0.5, 0.99)
+	if got := s.Goodput(max/2, 0.5, 0.99); !near(got, max/2, 1e-9) {
+		t.Errorf("underload goodput = %v", got)
+	}
+	if got := s.Goodput(max*10, 0.5, 0.99); !near(got, max, 1e-9) {
+		t.Errorf("overload goodput = %v, want %v", got, max)
+	}
+	if got := s.Goodput(-5, 0.5, 0.99); got != 0 {
+		t.Errorf("negative offered = %v", got)
+	}
+}
+
+// Property: more servers never reduce QoS-constrained throughput.
+func TestMaxRateMonotoneInServersProperty(t *testing.T) {
+	f := func(cRaw uint8) bool {
+		c := int(cRaw)%12 + 1
+		s1 := Station{Servers: c, ServiceRate: 30}
+		s2 := Station{Servers: c + 1, ServiceRate: 30}
+		return s2.MaxRate(0.5, 0.99) >= s1.MaxRate(0.5, 0.99)-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sojourn tail is non-increasing in the deadline and
+// non-decreasing in load.
+func TestSojournTailMonotoneProperty(t *testing.T) {
+	s := Station{Servers: 6, ServiceRate: 30}
+	f := func(l1, l2, d1, d2 uint16) bool {
+		cap := s.Capacity() * 0.99
+		la := float64(l1) / 65535 * cap
+		lb := float64(l2) / 65535 * cap
+		if la > lb {
+			la, lb = lb, la
+		}
+		da := float64(d1)/65535*2 + 1e-3
+		db := float64(d2)/65535*2 + 1e-3
+		if da > db {
+			da, db = db, da
+		}
+		// load monotonicity at fixed deadline
+		if s.SojournTail(la, da) > s.SojournTail(lb, da)+1e-9 {
+			return false
+		}
+		// deadline monotonicity at fixed load
+		return s.SojournTail(la, db) <= s.SojournTail(la, da)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile and tail are consistent inverses.
+func TestPercentileTailInverseProperty(t *testing.T) {
+	s := Station{Servers: 4, ServiceRate: 25}
+	f := func(lRaw, qRaw uint16) bool {
+		lambda := float64(lRaw) / 65535 * s.Capacity() * 0.95
+		q := 0.5 + float64(qRaw)/65535*0.49
+		d := s.SojournPercentile(lambda, q)
+		if math.IsInf(d, 1) {
+			return true
+		}
+		return near(s.SojournTail(lambda, d), 1-q, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func near(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

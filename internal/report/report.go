@@ -1,0 +1,184 @@
+// Package report renders experiment results as aligned text tables,
+// CSV files and ASCII bar charts — the output layer of the
+// greensprint-bench harness that regenerates every table and figure of
+// the paper.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple titled table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; missing cells are padded empty, extras dropped.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddFloats appends a row of a label plus formatted floats.
+func (t *Table) AddFloats(label string, prec int, vals ...float64) {
+	cells := []string{label}
+	for _, v := range vals {
+		cells = append(cells, FormatFloat(v, prec))
+	}
+	t.Add(cells...)
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (header + rows, no title).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("report: write header: %w", err)
+	}
+	for i, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatFloat renders a float with the given precision, trimming
+// trailing zeros.
+func FormatFloat(v float64, prec int) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-inf"
+	}
+	if math.IsNaN(v) {
+		return "nan"
+	}
+	s := strconv.FormatFloat(v, 'f', prec, 64)
+	if strings.Contains(s, ".") {
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimRight(s, ".")
+	}
+	return s
+}
+
+// Bar renders one ASCII bar of the given width for value scaled
+// against max, e.g. `Hybrid  |██████████        | 3.42`.
+func Bar(label string, value, max float64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	fill := 0
+	if max > 0 {
+		fill = int(math.Round(value / max * float64(width)))
+	}
+	if fill < 0 {
+		fill = 0
+	}
+	if fill > width {
+		fill = width
+	}
+	return fmt.Sprintf("%-10s |%s%s| %s",
+		label,
+		strings.Repeat("#", fill),
+		strings.Repeat(" ", width-fill),
+		FormatFloat(value, 2))
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// WriteSeriesCSV writes aligned series as CSV: the first column is the
+// shared X (taken from the first series), one column per series. All
+// series must have equal length.
+func WriteSeriesCSV(w io.Writer, xLabel string, series ...Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	n := len(series[0].X)
+	for _, s := range series {
+		if len(s.X) != n || len(s.Y) != n {
+			return fmt.Errorf("report: series %q length mismatch", s.Name)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := []string{xLabel}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		row := []string{FormatFloat(series[0].X[i], 6)}
+		for _, s := range series {
+			row = append(row, FormatFloat(s.Y[i], 6))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

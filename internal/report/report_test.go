@@ -1,0 +1,112 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tab := NewTable("Fig X", "strategy", "perf")
+	tab.Add("Greedy", "4.8")
+	tab.Add("Pacing") // short row pads
+	var buf bytes.Buffer
+	if err := tab.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig X", "strategy", "Greedy", "4.8", "Pacing", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("ignored", "a", "b")
+	tab.AddFloats("x", 2, 1.5)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,1.5\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		v    float64
+		prec int
+		want string
+	}{
+		{4.800, 2, "4.8"},
+		{4.0, 2, "4"},
+		{0.3333, 2, "0.33"},
+		{math.Inf(1), 2, "inf"},
+		{math.Inf(-1), 2, "-inf"},
+		{math.NaN(), 2, "nan"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.v, tt.prec); got != tt.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	full := Bar("Hybrid", 4, 4, 10)
+	if !strings.Contains(full, strings.Repeat("#", 10)) {
+		t.Errorf("full bar = %q", full)
+	}
+	half := Bar("Greedy", 2, 4, 10)
+	if !strings.Contains(half, "#####") || strings.Contains(half, "######") {
+		t.Errorf("half bar = %q", half)
+	}
+	empty := Bar("x", 0, 4, 10)
+	if strings.Contains(empty, "#") {
+		t.Errorf("empty bar = %q", empty)
+	}
+	// Degenerate max and width.
+	if got := Bar("x", 5, 0, 0); !strings.Contains(got, "|") {
+		t.Errorf("degenerate bar = %q", got)
+	}
+	// Overflow clamps.
+	over := Bar("x", 10, 4, 10)
+	if strings.Count(over, "#") != 10 {
+		t.Errorf("overflow bar = %q", over)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	a := Series{Name: "Greedy", X: []float64{10, 15}, Y: []float64{4.8, 4.2}}
+	b := Series{Name: "Hybrid", X: []float64{10, 15}, Y: []float64{4.8, 4.5}}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, "minutes", a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "minutes,Greedy,Hybrid" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Errorf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "10,4.8,") {
+		t.Errorf("row = %q", lines[1])
+	}
+	// Errors.
+	if err := WriteSeriesCSV(&buf, "x"); err == nil {
+		t.Error("no series should error")
+	}
+	bad := Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}
+	if err := WriteSeriesCSV(&buf, "x", bad); err == nil {
+		t.Error("length mismatch should error")
+	}
+}

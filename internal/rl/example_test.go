@@ -1,0 +1,36 @@
+package rl_test
+
+import (
+	"fmt"
+
+	"greensprint/internal/rl"
+)
+
+// ExampleReward walks Algorithm 1's three branches.
+func ExampleReward() {
+	// Power satisfied (Rpower = 2) and QoS satisfied (Rqos = 2).
+	fmt.Println(rl.Reward(200, 100, 0.5, 0.25))
+	// Power satisfied but QoS violated (Rqos = 0.5).
+	fmt.Println(rl.Reward(200, 100, 0.5, 1.0))
+	// Power violated (Rpower = 0.5).
+	fmt.Println(rl.Reward(100, 200, 0.5, 0.25))
+	// Output:
+	// 5
+	// 2.5
+	// -1.5
+}
+
+// ExampleQuantizer shows the paper's 5% power-state quantization over
+// the idle-to-max-sprint range.
+func ExampleQuantizer() {
+	q := rl.NewQuantizer(76, 155)
+	fmt.Println(q.Levels(), "levels")
+	fmt.Println("idle ->", q.Level(76))
+	fmt.Println("115.5W ->", q.Level(115.5))
+	fmt.Println("max ->", q.Level(155))
+	// Output:
+	// 21 levels
+	// idle -> 0
+	// 115.5W -> 10
+	// max -> 20
+}

@@ -1,0 +1,24 @@
+package rl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON hardens the Q-table loader: arbitrary input must yield
+// an error or a structurally valid table.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"alpha":0.7,"gamma":0.9,"actions":63,"first_action":"6c@1.2GHz","last_action":"12c@2GHz","states":[]}`)
+	f.Add(`{"alpha":0.7,"gamma":0.9,"actions":63,"first_action":"6c@1.2GHz","last_action":"12c@2GHz","states":[{"power_level":1,"load_level":2,"q":[1]}]}`)
+	f.Add(`{bad`)
+	f.Add(`{"alpha":9,"gamma":0.9,"actions":63}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		tab, err := ReadJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(tab.Actions()) != 63 {
+			t.Fatalf("accepted table with %d actions", len(tab.Actions()))
+		}
+	})
+}

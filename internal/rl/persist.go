@@ -1,0 +1,91 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"greensprint/internal/server"
+)
+
+// Persistence: a learned Q-table survives controller restarts by
+// round-tripping through JSON. The serialized form pins the action
+// space (the knob-space size and endpoints) so a table trained against
+// one knob space cannot be silently loaded into another.
+
+// tableJSON is the serialized form.
+type tableJSON struct {
+	Alpha   float64     `json:"alpha"`
+	Gamma   float64     `json:"gamma"`
+	Actions int         `json:"actions"`
+	First   string      `json:"first_action"`
+	Last    string      `json:"last_action"`
+	States  []stateJSON `json:"states"`
+}
+
+type stateJSON struct {
+	PowerLevel int       `json:"power_level"`
+	LoadLevel  int       `json:"load_level"`
+	Q          []float64 `json:"q"`
+}
+
+// WriteJSON serializes the table.
+func (t *Table) WriteJSON(w io.Writer) error {
+	out := tableJSON{
+		Alpha:   t.alpha,
+		Gamma:   t.gamma,
+		Actions: len(t.actions),
+		First:   t.actions[0].String(),
+		Last:    t.actions[len(t.actions)-1].String(),
+	}
+	for s, row := range t.q {
+		q := make([]float64, len(row))
+		copy(q, row)
+		out.States = append(out.States, stateJSON{
+			PowerLevel: s.PowerLevel,
+			LoadLevel:  s.LoadLevel,
+			Q:          q,
+		})
+	}
+	// Deterministic output for diffable snapshots.
+	sort.Slice(out.States, func(i, j int) bool {
+		a, b := out.States[i], out.States[j]
+		if a.PowerLevel != b.PowerLevel {
+			return a.PowerLevel < b.PowerLevel
+		}
+		return a.LoadLevel < b.LoadLevel
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a table written by WriteJSON. It fails if the
+// serialized action space does not match the current knob space.
+func ReadJSON(r io.Reader) (*Table, error) {
+	var in tableJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("rl: decode table: %w", err)
+	}
+	t, err := NewTable(in.Alpha, in.Gamma)
+	if err != nil {
+		return nil, fmt.Errorf("rl: stored table invalid: %w", err)
+	}
+	if in.Actions != len(t.actions) ||
+		in.First != server.Normal().String() ||
+		in.Last != server.MaxSprint().String() {
+		return nil, fmt.Errorf("rl: stored action space (%d, %s..%s) does not match the knob space (%d, %s..%s)",
+			in.Actions, in.First, in.Last,
+			len(t.actions), server.Normal(), server.MaxSprint())
+	}
+	for _, s := range in.States {
+		if len(s.Q) != len(t.actions) {
+			return nil, fmt.Errorf("rl: state (%d,%d) has %d Q values, want %d",
+				s.PowerLevel, s.LoadLevel, len(s.Q), len(t.actions))
+		}
+		row := t.row(State{PowerLevel: s.PowerLevel, LoadLevel: s.LoadLevel})
+		copy(row, s.Q)
+	}
+	return t, nil
+}

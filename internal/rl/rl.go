@@ -1,0 +1,257 @@
+// Package rl implements the tabular Q-learning machinery behind the
+// paper's Hybrid strategy (§III-B). The power-management problem is an
+// MDP whose state is the (quantized) power supply and workload
+// intensity measured during the previous epoch, whose actions are the
+// server settings S (core count × frequency), and whose reward is the
+// paper's Algorithm 1, combining a power reward (supply vs. demand)
+// and a QoS reward (target vs. achieved latency).
+package rl
+
+import (
+	"fmt"
+	"math"
+
+	"greensprint/internal/server"
+	"greensprint/internal/units"
+)
+
+// The paper's hyper-parameters.
+const (
+	// DefaultLearningRate is Algorithm 1's α (0.7: learn quickly).
+	DefaultLearningRate = 0.7
+	// DefaultDiscount is γ (0.9: balance short-term and future).
+	DefaultDiscount = 0.9
+	// DefaultPowerStep is the supply-quantization step: 5% of the
+	// idle-to-max-sprint power range.
+	DefaultPowerStep = 0.05
+)
+
+// State is the MDP state c_t: quantized power supply and workload
+// intensity level, both as measured during the previous epoch.
+type State struct {
+	// PowerLevel indexes the quantized supply from 0 (≤ idle power)
+	// to 1/step (≥ max sprint power).
+	PowerLevel int
+	// LoadLevel is the workload intensity level L.
+	LoadLevel int
+}
+
+// Quantizer maps a raw power supply onto PowerLevel indices. The range
+// runs "from the point of idle server power to the point of maximum
+// sprinting power" (§III-B).
+type Quantizer struct {
+	Min  units.Watt
+	Max  units.Watt
+	Step float64 // fraction of the range per level, e.g. 0.05
+}
+
+// NewQuantizer builds the paper's quantizer for a per-server power
+// range with the default 5% step.
+func NewQuantizer(idle, maxSprint units.Watt) Quantizer {
+	return Quantizer{Min: idle, Max: maxSprint, Step: DefaultPowerStep}
+}
+
+// Levels returns the number of quantization levels.
+func (q Quantizer) Levels() int {
+	if q.Step <= 0 {
+		return 1
+	}
+	return int(math.Round(1/q.Step)) + 1
+}
+
+// Level quantizes a power value.
+func (q Quantizer) Level(p units.Watt) int {
+	if q.Max <= q.Min || q.Step <= 0 {
+		return 0
+	}
+	frac := float64(p-q.Min) / float64(q.Max-q.Min)
+	lvl := int(math.Round(frac / q.Step))
+	if lvl < 0 {
+		lvl = 0
+	}
+	if max := q.Levels() - 1; lvl > max {
+		lvl = max
+	}
+	return lvl
+}
+
+// Reward computes Algorithm 1's reward r_t.
+//
+//	Rpower = PowerSupp / PowerCurr
+//	Rqos   = QoStarget / QoScurrent
+//	if Rpower > 1:
+//	    if Rqos > 1: r = Rpower + Rqos + 1
+//	    else:        r = Rpower - Rqos + 1
+//	else:            r = -Rpower - 1
+//
+// powerCurr and qosCurrent at or below zero are treated as barely
+// passing (ratio clamped high) to keep the arithmetic total.
+func Reward(powerSupp, powerCurr units.Watt, qosTarget, qosCurrent float64) float64 {
+	rPower := ratio(float64(powerSupp), float64(powerCurr))
+	rQoS := ratio(qosTarget, qosCurrent)
+	if rPower > 1 {
+		if rQoS > 1 {
+			return rPower + rQoS + 1
+		}
+		return rPower - rQoS + 1
+	}
+	return -rPower - 1
+}
+
+// ShapedReward is the reward signal the Hybrid strategy actually
+// learns from. Algorithm 1's violated-QoS branch (r = Rpower − Rqos + 1)
+// decreases in Rqos, which — taken literally as an argmax target —
+// would teach the controller to prefer settings that serve the burst
+// *worse* whenever no affordable setting fully meets the SLA, and the
+// controller would collapse to Normal mode under medium supply. That
+// contradicts the paper's own results (Hybrid dominates at medium
+// availability), so the shaped variant keeps Algorithm 1's structure
+// and feasibility gating but makes reward monotone in delivered QoS:
+//
+//	Rpower ≤ 1 (supply violated): r = −Rpower − 1        (as Alg. 1)
+//	Rpower > 1, QoS met:          r = Rpower + QoSWeight·Rqos + 1
+//	Rpower > 1, QoS violated:     r = Rpower + QoSWeight·Rqos − 1
+//
+// The QoS term is additionally capped slightly above 1: once the SLA
+// is met with margin, extra latency headroom earns nothing more, so the
+// power term decides and the policy converges to the *cheapest* setting
+// that serves the load (the paper's Figure 10b insight that maximal
+// sprinting is wasteful at low burst intensity). QoSWeight > 1 makes
+// service quality dominate power frugality below the cap — the paper's
+// Eq. 3 objective under its power-safety constraint. DESIGN.md §5
+// records this substitution.
+func ShapedReward(powerSupp, powerCurr units.Watt, qosTarget, qosCurrent float64) float64 {
+	const (
+		qosWeight = 4
+		qosCap    = 1.05
+	)
+	rPower := ratio(float64(powerSupp), float64(powerCurr))
+	rQoS := ratio(qosTarget, qosCurrent)
+	if rPower <= 1 {
+		return -rPower - 1
+	}
+	met := rQoS > 1
+	if rQoS > qosCap {
+		rQoS = qosCap
+	}
+	r := qosWeight*rQoS + rPower
+	if met {
+		return r + 1
+	}
+	return r - 1
+}
+
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		// No demand / no measured latency: supply trivially covers
+		// it. Cap to keep rewards bounded.
+		return 10
+	}
+	r := num / den
+	if r > 10 {
+		r = 10
+	}
+	return r
+}
+
+// Table is the Q lookup table R(c, a). Actions are indices into
+// server.Configs().
+type Table struct {
+	alpha, gamma float64
+	actions      []server.Config
+	q            map[State][]float64
+}
+
+// NewTable creates a Q-table over the full knob space with the paper's
+// hyper-parameters. It returns an error for out-of-range parameters.
+func NewTable(alpha, gamma float64) (*Table, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("rl: learning rate %v outside (0,1]", alpha)
+	}
+	if gamma < 0 || gamma >= 1 {
+		return nil, fmt.Errorf("rl: discount %v outside [0,1)", gamma)
+	}
+	return &Table{
+		alpha:   alpha,
+		gamma:   gamma,
+		actions: server.Configs(),
+		q:       make(map[State][]float64),
+	}, nil
+}
+
+// Actions returns the action set (the knob space).
+func (t *Table) Actions() []server.Config { return t.actions }
+
+// row returns (allocating if needed) the Q row for a state.
+func (t *Table) row(s State) []float64 {
+	r, ok := t.q[s]
+	if !ok {
+		r = make([]float64, len(t.actions))
+		t.q[s] = r
+	}
+	return r
+}
+
+// Q returns the current estimate R(s, a).
+func (t *Table) Q(s State, action int) float64 {
+	if action < 0 || action >= len(t.actions) {
+		return 0
+	}
+	return t.row(s)[action]
+}
+
+// maxQ returns max_a R(s,a).
+func (t *Table) maxQ(s State) float64 {
+	best := math.Inf(-1)
+	for _, v := range t.row(s) {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Best returns the greedy action for s: argmax_a R(s,a), with ties
+// broken toward the lowest-power (earliest) action. An untrained state
+// returns the last action (the maximum sprint), matching the paper's
+// optimistic initial behaviour of sprinting when nothing is known.
+func (t *Table) Best(s State) (int, server.Config) {
+	row := t.row(s)
+	bestIdx, bestVal := len(row)-1, math.Inf(-1)
+	allZero := true
+	for i, v := range row {
+		if v != 0 {
+			allZero = false
+		}
+		if v > bestVal {
+			bestIdx, bestVal = i, v
+		}
+	}
+	if allZero {
+		bestIdx = len(row) - 1
+	}
+	return bestIdx, t.actions[bestIdx]
+}
+
+// Update applies the paper's line 15:
+//
+//	R(c,a) ← R(c,a) + α[r + γ·max_a' R(c',a') − R(c,a)]
+func (t *Table) Update(s State, action int, reward float64, next State) {
+	if action < 0 || action >= len(t.actions) {
+		return
+	}
+	row := t.row(s)
+	row[action] += t.alpha * (reward + t.gamma*t.maxQ(next) - row[action])
+}
+
+// Seed initializes R(s,a) directly; used to bootstrap the table from
+// the Parallel/Pacing profiling data as §III-B describes.
+func (t *Table) Seed(s State, action int, value float64) {
+	if action < 0 || action >= len(t.actions) {
+		return
+	}
+	t.row(s)[action] = value
+}
+
+// States returns the number of states materialized so far.
+func (t *Table) States() int { return len(t.q) }

@@ -1,0 +1,393 @@
+// Package sim is the discrete-time simulation engine that reproduces
+// the paper's prototype experiments: a green-provisioned rack serving
+// an interactive workload burst while the GreenSprint controller
+// (Predictor + PSS + strategy + PMK) manages power sources and
+// sprinting intensity over 5-minute scheduling epochs.
+//
+// The engine focuses, as the paper's analysis does, on the
+// green-provisioned servers: during a burst the grid budget is fully
+// committed to the grid-fed servers, so the green servers run entirely
+// from renewable + battery power and fall back to grid-powered Normal
+// mode only when both are exhausted.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"greensprint/internal/cluster"
+	"greensprint/internal/pmk"
+	"greensprint/internal/predictor"
+	"greensprint/internal/profile"
+	"greensprint/internal/pss"
+	"greensprint/internal/server"
+	"greensprint/internal/strategy"
+	"greensprint/internal/trace"
+	"greensprint/internal/units"
+	"greensprint/internal/workload"
+)
+
+// DefaultEpoch is the paper's scheduling-epoch length.
+const DefaultEpoch = 5 * time.Minute
+
+// Config describes one simulation run.
+type Config struct {
+	// Workload is the interactive application under test.
+	Workload workload.Profile
+	// Green is the Table I green-provisioning option.
+	Green cluster.GreenConfig
+	// Strategy decides the per-server setting each epoch.
+	Strategy strategy.Strategy
+	// Table is the workload's profiling table (built if nil).
+	Table *profile.Table
+	// Burst is the workload burst to serve.
+	Burst workload.Burst
+	// Supply is the green AC power trace covering the run; the
+	// simulation starts at Supply.Start.
+	Supply *trace.Trace
+	// Offered optionally replays a time-varying offered-rate trace
+	// (req/s per server) instead of the square Burst profile. When
+	// set, the strategy sees the EWMA-predicted rate (the paper's
+	// workload Predictor) rather than the true rate, and Burst only
+	// delimits the sprinting window.
+	Offered *trace.Trace
+	// Lead and Tail are non-burst periods before/after the burst
+	// during which the servers run Normal mode and the batteries
+	// recharge.
+	Lead, Tail time.Duration
+	// Epoch is the scheduling-epoch length (DefaultEpoch if zero).
+	Epoch time.Duration
+	// AllowBreakerOverdraw enables the paper's last resort (§III-A
+	// Case 3): when green and battery are exhausted mid-burst, the
+	// green servers keep sprinting on grid power drawn *above* the
+	// budget, bounded by the PDU breaker's thermal trip curve. Once
+	// the breaker's stress budget is spent, the rack falls back to
+	// Normal mode for the rest of the run.
+	AllowBreakerOverdraw bool
+}
+
+// EpochRecord captures one scheduling epoch of one run.
+type EpochRecord struct {
+	Start    time.Time
+	InBurst  bool
+	Case     pss.Case
+	Config   server.Config
+	Supply   units.Watt // green power available (observed)
+	Green    units.Watt // green power delivered to servers
+	Battery  units.Watt // battery power delivered
+	Grid     units.Watt // grid power delivered (fallback/Normal)
+	Offered  float64    // per-server offered rate
+	Goodput  float64    // per-server QoS-compliant throughput
+	NormPerf float64    // goodput normalized to Normal mode
+	Latency  float64    // effective SLA-percentile latency (s)
+	SoC      float64    // battery mean state of charge after epoch
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Records []EpochRecord
+	// MeanNormPerf is the time-average normalized performance over
+	// the burst epochs — the y-axis of Figures 6-10.
+	MeanNormPerf float64
+	// Account is the cumulative energy accounting.
+	Account cluster.EnergyAccount
+	// BatteryCycles is the equivalent battery cycle usage.
+	BatteryCycles float64
+	// Fleet exposes the knob fleet (for transition counting).
+	Fleet *pmk.Fleet
+}
+
+// BurstRecords returns only the in-burst epochs.
+func (r *Result) BurstRecords() []EpochRecord {
+	var out []EpochRecord
+	for _, rec := range r.Records {
+		if rec.InBurst {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if err := c.Green.Validate(); err != nil {
+		return err
+	}
+	if c.Strategy == nil {
+		return fmt.Errorf("sim: nil strategy")
+	}
+	if c.Supply == nil || c.Supply.Len() == 0 {
+		return fmt.Errorf("sim: empty supply trace")
+	}
+	if c.Burst.Duration <= 0 {
+		return fmt.Errorf("sim: non-positive burst duration %v", c.Burst.Duration)
+	}
+	if c.Epoch < 0 {
+		return fmt.Errorf("sim: negative epoch %v", c.Epoch)
+	}
+	return nil
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = DefaultEpoch
+	}
+	tab := cfg.Table
+	if tab == nil {
+		var err error
+		if tab, err = profile.Build(cfg.Workload, profile.DefaultLevels); err != nil {
+			return nil, err
+		}
+	}
+	bank, err := cfg.Green.NewBank()
+	if err != nil {
+		return nil, err
+	}
+	selector := pss.New(bank)
+	n := cfg.Green.GreenServers
+	if n == 0 {
+		return nil, fmt.Errorf("sim: no green servers in config %q", cfg.Green.Name)
+	}
+	fleet := pmk.NewSimFleet(n)
+	var breaker *cluster.Breaker
+	if cfg.AllowBreakerOverdraw {
+		cl, err := cluster.New(cfg.Green)
+		if err != nil {
+			return nil, err
+		}
+		breaker = cluster.NewBreaker(cl.GridBudget)
+	}
+
+	normalPower := cfg.Workload.LoadPower(server.Normal(), cfg.Burst.Rate(cfg.Workload))
+	baseGoodput := cfg.Workload.MaxGoodput(server.Normal())
+	burstStart := cfg.Supply.Start.Add(cfg.Lead)
+	burstEnd := burstStart.Add(cfg.Burst.Duration)
+	runEnd := burstEnd.Add(cfg.Tail)
+	offeredBurst := cfg.Burst.Rate(cfg.Workload)
+	// Outside the burst the rack serves a comfortable background
+	// load, as SquareTrace models.
+	offeredIdle := 0.6 * baseGoodput
+
+	// Prime the supply predictor with the pre-run observation so the
+	// first epoch has a sensible forecast (the paper's predictor has
+	// been running continuously before any burst).
+	selector.ObserveSupply(units.Watt(cfg.Supply.At(cfg.Supply.Start)))
+	// Workload predictor (the paper's L_pre EWMA); only used when an
+	// offered-rate trace is replayed.
+	loadPred := predictor.NewEWMA(predictor.DefaultAlpha)
+	if cfg.Offered != nil {
+		loadPred.Observe(meanWindow(cfg.Offered, cfg.Supply.Start, epoch))
+	}
+
+	res := &Result{Fleet: fleet}
+	var burstPerfSum float64
+	burstEpochs := 0
+
+	for at := cfg.Supply.Start; at.Before(runEnd); at = at.Add(epoch) {
+		inBurst := !at.Before(burstStart) && at.Before(burstEnd)
+		offered := offeredIdle
+		if inBurst {
+			offered = offeredBurst
+		}
+		predicted := offered
+		if cfg.Offered != nil {
+			offered = meanWindow(cfg.Offered, at, epoch)
+			predicted = loadPred.Predict()
+		}
+		greenObserved := units.Watt(meanWindow(cfg.Supply, at, epoch))
+
+		var rec EpochRecord
+		rec.Start = at
+		rec.InBurst = inBurst
+		rec.Supply = greenObserved
+		rec.Offered = offered
+
+		if inBurst {
+			rec = runBurstEpoch(rec, cfg, tab, selector, fleet, breaker, n, epoch, greenObserved, offered, predicted, normalPower, at, burstEnd)
+		} else {
+			rec = runIdleEpoch(rec, cfg, selector, fleet, epoch, greenObserved, offered)
+			if breaker != nil {
+				// Non-burst epochs stay within the budget and cool
+				// the breaker.
+				breaker.Step(0, epoch)
+			}
+		}
+
+		if baseGoodput > 0 {
+			rec.NormPerf = rec.Goodput / baseGoodput
+		}
+		rec.SoC = bank.SoC()
+		selector.ObserveSupply(greenObserved)
+		loadPred.Observe(offered)
+		res.Records = append(res.Records, rec)
+		if inBurst {
+			burstPerfSum += rec.NormPerf
+			burstEpochs++
+		}
+	}
+	if burstEpochs > 0 {
+		res.MeanNormPerf = burstPerfSum / float64(burstEpochs)
+	}
+	res.Account = selector.Account()
+	res.BatteryCycles = bank.EquivalentCycles()
+	return res, nil
+}
+
+// runBurstEpoch executes one sprinting epoch.
+func runBurstEpoch(rec EpochRecord, cfg Config, tab *profile.Table, selector *pss.Selector,
+	fleet *pmk.Fleet, breaker *cluster.Breaker, n int, epoch time.Duration, greenObserved units.Watt,
+	offered, predicted float64, normalPower units.Watt, at, burstEnd time.Time) EpochRecord {
+
+	// The strategy sees the PSS's committed budget: predicted green
+	// plus Peukert-sustainable battery power, per server.
+	budget := units.Watt(float64(selector.AvailablePower(epoch)) / float64(n))
+	predGreen := selector.PredictedSupply()
+	in := strategy.Inputs{
+		Table:         tab,
+		PredictedRate: predicted, // EWMA of the offered rate; equals it for square bursts
+		Budget:        budget,
+		Epoch:         epoch,
+		SprintFraction: func(perServer units.Watt) float64 {
+			return selector.SustainFraction(units.Watt(float64(perServer)*float64(n)), predGreen, epoch)
+		},
+	}
+	chosen := cfg.Strategy.Decide(in)
+	fleet.ApplyAll(chosen)
+
+	level := tab.LevelFor(offered)
+	perServer, ok := tab.LoadPower(level, chosen)
+	if !ok {
+		perServer = cfg.Workload.LoadPower(chosen, offered)
+	}
+	demand := units.Watt(float64(perServer) * float64(n))
+	var al pss.Allocation
+	useOverdraw := false
+	if breaker != nil && !breaker.Tripped() && chosen.IsSprinting() &&
+		selector.SustainFraction(demand, greenObserved, epoch) <= 0 {
+		// Last resort (§III-A Case 3): green+battery cannot carry the
+		// sprint; keep sprinting on bounded grid overdraw. To avoid
+		// tripping the breaker, the total downstream power is limited
+		// to what the breaker's remaining thermal budget tolerates
+		// for a full epoch, and the setting is downgraded to fit.
+		stressLeft := 1 - breaker.Stress()
+		maxExtra := units.Watt(float64(breaker.Rated) * (breaker.MaxOverload - 1) *
+			stressLeft * float64(breaker.TripAfter) / float64(epoch))
+		budget := units.Watt((float64(greenObserved) + float64(maxExtra)) / float64(n))
+		if e, ok := tab.BestWithin(level, budget, nil); ok && e.Config().IsSprinting() {
+			chosen = e.Config()
+			fleet.ApplyAll(chosen)
+			demand = units.Watt(float64(e.Power) * float64(n))
+			if overdraw := demand - greenObserved; overdraw > 0 {
+				breaker.Step(breaker.Rated+overdraw, epoch)
+				useOverdraw = true
+			}
+			// If the downgraded setting fits the green supply
+			// alone, the regular allocation below handles it as
+			// a green-only epoch.
+		}
+	}
+	if useOverdraw {
+		al = selector.AllocateOverdraw(demand, greenObserved, epoch)
+	} else {
+		al = selector.Allocate(demand, greenObserved, epoch, units.Watt(float64(normalPower)*float64(n)))
+		if breaker != nil {
+			breaker.Step(breaker.Rated, epoch) // within budget: no extra stress
+		}
+	}
+
+	// The sprint runs for al.SprintFraction of the epoch; for the
+	// remainder the servers are back on grid-powered Normal mode.
+	frac := al.SprintFraction
+	executed := chosen
+	if frac < 0.5 {
+		executed = server.Normal()
+	}
+	if al.Case == pss.CaseGridFallback {
+		executed = server.Normal()
+		fleet.ApplyAll(executed)
+	}
+	rec.Case = al.Case
+	rec.Config = executed
+	rec.Green = units.Watt(float64(al.Green) / float64(n))
+	rec.Battery = units.Watt(float64(al.Battery) / float64(n))
+	rec.Grid = units.Watt(float64(al.Grid) / float64(n))
+	goodSprint := cfg.Workload.Goodput(chosen, offered)
+	goodNormal := cfg.Workload.Goodput(server.Normal(), offered)
+	rec.Goodput = frac*goodSprint + (1-frac)*goodNormal
+	latSprint := strategy.EffectiveLatency(cfg.Workload, chosen, offered)
+	latNormal := strategy.EffectiveLatency(cfg.Workload, server.Normal(), offered)
+	rec.Latency = frac*latSprint + (1-frac)*latNormal
+
+	// Feed the measured epoch back to the learner with the next
+	// epoch's state.
+	nextBudget := units.Watt(float64(selector.AvailablePower(epoch)) / float64(n))
+	nextOffered := offered
+	if !at.Add(epoch).Before(burstEnd) {
+		nextOffered = 0
+	}
+	actualPower := units.Watt(frac*float64(cfg.Workload.LoadPower(chosen, offered)) +
+		(1-frac)*float64(cfg.Workload.LoadPower(server.Normal(), offered)))
+	cfg.Strategy.Learn(strategy.Feedback{
+		Chosen:  executed,
+		Supply:  units.Watt(float64(greenObserved)/float64(n)) + selector.BatterySustainable(epoch)/units.Watt(n),
+		Power:   actualPower,
+		Offered: offered,
+		Goodput: rec.Goodput,
+		Latency: rec.Latency,
+		Next: strategy.Inputs{
+			Table:         tab,
+			PredictedRate: nextOffered,
+			Budget:        nextBudget,
+			Epoch:         epoch,
+		},
+	})
+	return rec
+}
+
+// runIdleEpoch executes one non-burst epoch: Normal mode on the grid,
+// batteries recharging from green surplus (or the grid once the DoD
+// trigger fires).
+func runIdleEpoch(rec EpochRecord, cfg Config, selector *pss.Selector,
+	fleet *pmk.Fleet, epoch time.Duration, greenObserved units.Watt, offered float64) EpochRecord {
+
+	fleet.ApplyAll(server.Normal())
+	rec.Case = pss.CaseGridFallback
+	rec.Config = server.Normal()
+	rec.Goodput = cfg.Workload.Goodput(server.Normal(), offered)
+	rec.Latency = strategy.EffectiveLatency(cfg.Workload, server.Normal(), offered)
+	// Outside bursts the green servers ride the grid; green output
+	// charges the batteries, topped up from the grid when the DoD
+	// trigger has fired (§III-A Case 3).
+	selector.RechargeFromGreen(greenObserved, epoch)
+	if selector.NeedsRecharge() {
+		selector.RechargeFromGrid(100, epoch)
+	}
+	rec.Grid = cfg.Workload.LoadPower(server.Normal(), offered)
+	return rec
+}
+
+func meanWindow(tr *trace.Trace, at time.Time, d time.Duration) float64 {
+	w := tr.Window(at, d)
+	if len(w) == 0 {
+		return tr.At(at)
+	}
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	return sum / float64(len(w))
+}
+
+// PeakDemand returns the aggregate full-sprint power demand of the
+// green servers, used to scale Figure 5's demand line.
+func PeakDemand(p workload.Profile, greenServers int) units.Watt {
+	return units.Watt(float64(p.PeakPower) * float64(greenServers))
+}

@@ -1,0 +1,125 @@
+package solar
+
+import (
+	"fmt"
+	"time"
+
+	"greensprint/internal/trace"
+)
+
+// Availability is the renewable-energy availability class used by the
+// paper's evaluation (the Min / Med / Max cases of Figures 5-10).
+type Availability int
+
+const (
+	// Min availability: renewable output is (nearly) absent and
+	// sprinting can only be powered by the batteries.
+	Min Availability = iota
+	// Med availability: renewable output covers roughly half of the
+	// sprinting demand; batteries supplement the rest.
+	Med
+	// Max availability: renewable output alone can carry the
+	// maximum sprinting intensity.
+	Max
+)
+
+// String implements fmt.Stringer.
+func (a Availability) String() string {
+	switch a {
+	case Min:
+		return "Min"
+	case Med:
+		return "Med"
+	case Max:
+		return "Max"
+	default:
+		return fmt.Sprintf("Availability(%d)", int(a))
+	}
+}
+
+// Levels lists the availability classes in evaluation order.
+func Levels() []Availability { return []Availability{Min, Med, Max} }
+
+// band returns the [lo,hi] fraction-of-peak band that defines an
+// availability class for window classification.
+func (a Availability) band() (lo, hi float64) {
+	switch a {
+	case Min:
+		return 0, 0.05
+	case Med:
+		return 0.35, 0.65
+	default: // Max
+		return 0.90, 1.01
+	}
+}
+
+// FindWindow scans tr for the first window of length d whose mean
+// output, as a fraction of peakAC, falls inside the availability band
+// of level. It returns the window start time. The scan advances in
+// steps of d/4 for efficiency.
+func FindWindow(tr *trace.Trace, d time.Duration, level Availability, peakAC float64) (time.Time, error) {
+	if peakAC <= 0 {
+		return time.Time{}, fmt.Errorf("solar: non-positive peak %v", peakAC)
+	}
+	if d <= 0 {
+		return time.Time{}, fmt.Errorf("solar: non-positive window %v", d)
+	}
+	lo, hi := level.band()
+	stride := d / 4
+	if stride < tr.Step {
+		stride = tr.Step
+	}
+	for at := tr.Start; !at.Add(d).After(tr.End()); at = at.Add(stride) {
+		w := tr.Window(at, d)
+		if len(w) == 0 {
+			break
+		}
+		sum := 0.0
+		for _, v := range w {
+			sum += v
+		}
+		frac := sum / float64(len(w)) / peakAC
+		if frac >= lo && frac <= hi {
+			return at, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("solar: no %v-availability window of %v in trace %q", level, d, tr.Name)
+}
+
+// Synthesize produces a canonical supply trace for an availability
+// class: Min is zero output, Med is a half-peak plateau with a mild
+// diurnal slope and passing-cloud ripple, Max is a full-peak plateau.
+// It is used when a scanned trace lacks a matching window, and by unit
+// tests that need a deterministic supply shape.
+func Synthesize(level Availability, d, step time.Duration, peakAC float64, seed int64) *trace.Trace {
+	if step <= 0 {
+		step = time.Minute
+	}
+	n := int(d / step)
+	if n < 1 {
+		n = 1
+	}
+	samples := make([]float64, n)
+	switch level {
+	case Min:
+		// all zeros
+	case Med:
+		cl := newCloudProcess(PartlyCloudy, newSeededRand(seed))
+		for i := range samples {
+			// Plateau at ~55% of peak so that after cloud
+			// attenuation the mean lands near half peak.
+			samples[i] = 0.62 * peakAC * cl.next()
+		}
+	case Max:
+		cl := newCloudProcess(Clear, newSeededRand(seed))
+		for i := range samples {
+			v := 1.04 * peakAC * cl.next()
+			if v > peakAC {
+				v = peakAC
+			}
+			samples[i] = v
+		}
+	}
+	name := fmt.Sprintf("solar_synth_%s", level)
+	return trace.New(name, time.Date(2018, 5, 1, 12, 0, 0, 0, time.UTC), step, samples)
+}

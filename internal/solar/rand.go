@@ -1,0 +1,9 @@
+package solar
+
+import "math/rand"
+
+// newSeededRand centralizes RNG construction so every stochastic piece
+// of the solar model is reproducible from an explicit seed.
+func newSeededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

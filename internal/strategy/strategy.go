@@ -1,0 +1,488 @@
+// Package strategy implements the paper's four power-management
+// strategies (§III-B) plus the Normal baseline:
+//
+//	Normal   — never sprint: S0 (6 cores @ 1.2 GHz).
+//	Greedy   — sprint at the maximum intensity whenever the supply can
+//	           carry it; otherwise fall back to Normal.
+//	Parallel — scale only the core count (frequency pinned at max).
+//	Pacing   — scale only the frequency (all cores active).
+//	Hybrid   — Q-learning over the joint core×frequency space,
+//	           bootstrapped from the profiling table and updated each
+//	           epoch with the reward mechanism.
+//
+// Every strategy decides a per-server setting for the next scheduling
+// epoch from the profiling table (LoadPower(L,S)), the predicted
+// workload level and the per-server power budget the PSS can commit —
+// solving the paper's Eq. 2/3 power-mismatch problem by exhaustive
+// search over the (small) knob space.
+package strategy
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"greensprint/internal/profile"
+	"greensprint/internal/rl"
+	"greensprint/internal/server"
+	"greensprint/internal/units"
+	"greensprint/internal/workload"
+)
+
+// Inputs carries everything a strategy may consult when choosing the
+// next epoch's setting for one green server.
+type Inputs struct {
+	// Table is the workload's profiling table.
+	Table *profile.Table
+	// PredictedRate is the EWMA-predicted per-server offered rate
+	// for the next epoch (L_pre in the paper).
+	PredictedRate float64
+	// Budget is the per-server power the PSS can commit for the
+	// epoch (green prediction + Peukert-sustainable battery share).
+	Budget units.Watt
+	// Epoch is the scheduling-epoch length.
+	Epoch time.Duration
+	// SprintFraction estimates, for a per-server demand, the
+	// fraction of the epoch the PSS can power it before the battery
+	// floor ends the sprint (1 = the whole epoch). When nil, a
+	// demand within Budget is treated as fully sustainable and
+	// anything above it as unsustainable. Strategies use it to value
+	// partial-epoch sprints: the paper's prototype burns the battery
+	// at full intensity and lets the sprint end mid-epoch rather
+	// than refusing to sprint at all.
+	SprintFraction func(units.Watt) float64
+}
+
+// fraction returns the sustainable fraction of the epoch for a
+// per-server demand.
+func (in Inputs) fraction(p units.Watt) float64 {
+	if in.SprintFraction != nil {
+		f := in.SprintFraction(p)
+		if f < 0 {
+			return 0
+		}
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	if p <= in.Budget {
+		return 1
+	}
+	return 0
+}
+
+// Feedback carries the measured outcome of the previous epoch, used by
+// learning strategies.
+type Feedback struct {
+	// Chosen is the setting that ran.
+	Chosen server.Config
+	// Supply is the per-server power that was actually available.
+	Supply units.Watt
+	// Power is the per-server power actually drawn.
+	Power units.Watt
+	// Offered and Goodput are the per-server request rates.
+	Offered float64
+	Goodput float64
+	// Latency is the measured SLA-percentile latency in seconds of
+	// served requests (+Inf if overloaded).
+	Latency float64
+	// Next is the strategy input for the upcoming epoch (the MDP's
+	// successor state).
+	Next Inputs
+}
+
+// Strategy chooses a per-server sprinting intensity each epoch.
+type Strategy interface {
+	// Name returns the paper's strategy name.
+	Name() string
+	// Decide picks the setting for the next epoch.
+	Decide(in Inputs) server.Config
+	// Learn feeds back the measured outcome of the previous epoch.
+	Learn(fb Feedback)
+}
+
+// Normal is the non-sprinting baseline.
+type Normal struct{}
+
+// Name implements Strategy.
+func (Normal) Name() string { return "Normal" }
+
+// Decide implements Strategy.
+func (Normal) Decide(Inputs) server.Config { return server.Normal() }
+
+// Learn implements Strategy.
+func (Normal) Learn(Feedback) {}
+
+// Greedy activates all cores at the highest frequency whenever the
+// budget sustains it, with no prediction of future green production
+// (§III-B); otherwise it returns to Normal.
+type Greedy struct{}
+
+// Name implements Strategy.
+func (Greedy) Name() string { return "Greedy" }
+
+// Decide implements Strategy: Greedy demands the maximum intensity
+// whenever any sprint-capable supply exists — even if the battery will
+// end the sprint mid-epoch — and otherwise returns to Normal. It has
+// no middle ground, which is why it wastes green supply periods that
+// are too weak to carry the full sprint.
+func (Greedy) Decide(in Inputs) server.Config {
+	if in.Table == nil {
+		return server.Normal()
+	}
+	level := in.Table.LevelFor(in.PredictedRate)
+	if p, ok := in.Table.LoadPower(level, server.MaxSprint()); ok {
+		if in.fraction(p) > 0.02 {
+			return server.MaxSprint()
+		}
+	}
+	return server.Normal()
+}
+
+// Learn implements Strategy.
+func (Greedy) Learn(Feedback) {}
+
+// Parallel scales only the core count, pinning the frequency at the
+// maximum.
+type Parallel struct{}
+
+// Name implements Strategy.
+func (Parallel) Name() string { return "Parallel" }
+
+// Decide implements Strategy.
+func (Parallel) Decide(in Inputs) server.Config {
+	return bestWithin(in, func(c server.Config) bool { return c.Freq == units.FreqMax })
+}
+
+// Learn implements Strategy.
+func (Parallel) Learn(Feedback) {}
+
+// Pacing scales only the frequency, keeping every core active.
+type Pacing struct{}
+
+// Name implements Strategy.
+func (Pacing) Name() string { return "Pacing" }
+
+// Decide implements Strategy.
+func (Pacing) Decide(in Inputs) server.Config {
+	return bestWithin(in, func(c server.Config) bool { return c.Cores == server.MaxCores })
+}
+
+// Learn implements Strategy.
+func (Pacing) Learn(Feedback) {}
+
+// bestWithin picks the setting (among those admitted by filter) with
+// the highest expected epoch goodput, valuing partial-epoch sprints:
+// a setting the battery can only power for fraction f of the epoch
+// delivers f·goodput(S) + (1−f)·goodput(Normal). Ties break toward
+// lower power. Normal is always a candidate.
+func bestWithin(in Inputs, filter func(server.Config) bool) server.Config {
+	if in.Table == nil {
+		return server.Normal()
+	}
+	level := in.Table.LevelFor(in.PredictedRate)
+	normalGood := 0.0
+	if e, ok := in.Table.Lookup(level, server.Normal()); ok {
+		normalGood = e.Goodput
+	}
+	best := server.Normal()
+	bestVal := normalGood
+	bestPower := units.Watt(math.Inf(1))
+	if e, ok := in.Table.Lookup(level, server.Normal()); ok {
+		bestPower = e.Power
+	}
+	for _, e := range in.Table.LevelEntries(level) {
+		c := e.Config()
+		if filter != nil && !filter(c) {
+			continue
+		}
+		f := in.fraction(e.Power)
+		if f <= 0 {
+			continue
+		}
+		val := f*e.Goodput + (1-f)*normalGood
+		if val > bestVal+1e-9 || (val > bestVal-1e-9 && e.Power < bestPower) {
+			best, bestVal, bestPower = c, val, e.Power
+		}
+	}
+	return best
+}
+
+// Hybrid combines core-count and frequency scaling with tabular
+// Q-learning (§III-B). Its state is the quantized per-server supply
+// and the workload level; its actions are the full knob space; its
+// reward is the shaped Algorithm 1 signal (see rl.ShapedReward). The
+// table is bootstrapped from the profiling data so the very first
+// decisions are already sensible, then refined online.
+type Hybrid struct {
+	table     *rl.Table
+	quantizer rl.Quantizer
+	profile   workload.Profile
+	profTable *profile.Table
+	opts      HybridOptions
+	// last links the previous decision to the next state for the
+	// Q update.
+	last struct {
+		valid  bool
+		state  rl.State
+		action int
+	}
+}
+
+// HybridOptions tunes the Hybrid strategy away from the paper's
+// defaults; the zero value reproduces the paper (5% quantization,
+// shaped reward). Used by the ablation experiments.
+type HybridOptions struct {
+	// QuantizationStep overrides the 5% power-state step.
+	QuantizationStep float64
+	// LiteralReward switches learning to the verbatim Algorithm 1
+	// reward instead of the shaped variant (see rl.ShapedReward for
+	// why the default is shaped).
+	LiteralReward bool
+	// DisableBurnValue removes the expected-goodput comparison from
+	// Decide, leaving a pure greedy-Q policy. With it disabled, the
+	// policy's quality depends entirely on the reward signal — the
+	// ablation that shows the literal Algorithm 1 reward collapsing
+	// to Normal mode.
+	DisableBurnValue bool
+}
+
+// NewHybrid builds a Hybrid strategy for one workload, bootstrapping
+// the Q-table from its profiling table.
+func NewHybrid(p workload.Profile, tab *profile.Table) (*Hybrid, error) {
+	return NewHybridWithOptions(p, tab, HybridOptions{})
+}
+
+// NewHybridWithOptions builds a Hybrid with explicit tuning.
+func NewHybridWithOptions(p workload.Profile, tab *profile.Table, opts HybridOptions) (*Hybrid, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if tab == nil {
+		return nil, fmt.Errorf("strategy: hybrid needs a profiling table")
+	}
+	qt, err := rl.NewTable(rl.DefaultLearningRate, rl.DefaultDiscount)
+	if err != nil {
+		return nil, err
+	}
+	quant := rl.NewQuantizer(server.IdlePower, p.PeakPower)
+	if opts.QuantizationStep > 0 {
+		if opts.QuantizationStep > 1 {
+			return nil, fmt.Errorf("strategy: quantization step %v outside (0,1]", opts.QuantizationStep)
+		}
+		quant.Step = opts.QuantizationStep
+	}
+	h := &Hybrid{
+		table:     qt,
+		quantizer: quant,
+		profile:   p,
+		profTable: tab,
+		opts:      opts,
+	}
+	h.bootstrap()
+	return h, nil
+}
+
+// bootstrap seeds the Q-table with one-step shaped rewards estimated
+// from the profiling data ("we learn the initial values of lookup
+// table from the profiling data collected by Parallel and Pacing").
+func (h *Hybrid) bootstrap() {
+	actions := h.table.Actions()
+	for pl := 0; pl < h.quantizer.Levels(); pl++ {
+		supply := h.supplyOf(pl)
+		for ll := 0; ll < h.profTable.Levels; ll++ {
+			st := rl.State{PowerLevel: pl, LoadLevel: ll}
+			for ai, cfg := range actions {
+				e, ok := h.profTable.Lookup(ll, cfg)
+				if !ok {
+					continue
+				}
+				lat := EffectiveLatency(h.profile, cfg, e.OfferedRate)
+				r := h.reward(supply, e.Power, h.profile.Deadline, lat)
+				h.table.Seed(st, ai, r)
+			}
+		}
+	}
+}
+
+// supplyOf converts a power level back to the center of its bucket.
+func (h *Hybrid) supplyOf(level int) units.Watt {
+	frac := float64(level) * h.quantizer.Step
+	return h.quantizer.Min + units.Watt(frac*float64(h.quantizer.Max-h.quantizer.Min))
+}
+
+// Name implements Strategy.
+func (*Hybrid) Name() string { return "Hybrid" }
+
+// stateFor derives the MDP state from strategy inputs.
+func (h *Hybrid) stateFor(in Inputs) rl.State {
+	return rl.State{
+		PowerLevel: h.quantizer.Level(in.Budget),
+		LoadLevel:  h.profTable.LevelFor(in.PredictedRate),
+	}
+}
+
+// Decide implements Strategy. Among settings the PSS can power for the
+// whole epoch, Hybrid takes the greedy Q action (power-provision
+// safety plus learned QoS/efficiency trade-offs). It then compares
+// that choice against the best partial-epoch "burn": a setting the
+// battery can only sustain for part of the epoch may still deliver
+// more total goodput (the paper's observation that maximal sprinting
+// on batteries is the best policy for SPECjbb). The higher expected
+// goodput wins; Normal remains the fallback when nothing is powerable.
+func (h *Hybrid) Decide(in Inputs) server.Config {
+	st := h.stateFor(in)
+	level := h.profTable.LevelFor(in.PredictedRate)
+	normalGood := 0.0
+	if e, ok := h.profTable.Lookup(level, server.Normal()); ok {
+		normalGood = e.Goodput
+	}
+	// Greedy Q action among fully sustainable settings.
+	bestIdx, bestQ, bestQGood := -1, math.Inf(-1), 0.0
+	for ai, cfg := range h.table.Actions() {
+		e, ok := h.profTable.Lookup(level, cfg)
+		if !ok || in.fraction(e.Power) < 0.999 {
+			continue
+		}
+		if q := h.table.Q(st, ai); q > bestQ {
+			bestIdx, bestQ, bestQGood = ai, q, e.Goodput
+		}
+	}
+	if h.opts.DisableBurnValue {
+		if bestIdx < 0 {
+			h.last.valid = false
+			return server.Normal()
+		}
+		h.last.valid = true
+		h.last.state = st
+		h.last.action = bestIdx
+		return h.table.Actions()[bestIdx]
+	}
+	// Best partial-epoch burn by expected goodput.
+	burnIdx, burnVal := -1, normalGood
+	for ai, cfg := range h.table.Actions() {
+		e, ok := h.profTable.Lookup(level, cfg)
+		if !ok {
+			continue
+		}
+		f := in.fraction(e.Power)
+		if f <= 0 {
+			continue
+		}
+		if v := f*e.Goodput + (1-f)*normalGood; v > burnVal+1e-9 {
+			burnIdx, burnVal = ai, v
+		}
+	}
+	chosen := -1
+	switch {
+	case bestIdx >= 0 && bestQGood >= burnVal-1e-9:
+		chosen = bestIdx
+	case burnIdx >= 0:
+		chosen = burnIdx
+	}
+	if chosen < 0 {
+		h.last.valid = false
+		return server.Normal()
+	}
+	h.last.valid = true
+	h.last.state = st
+	h.last.action = chosen
+	return h.table.Actions()[chosen]
+}
+
+// Learn implements Strategy: updates R(c_t, a_t) from the measured
+// epoch outcome using the shaped Algorithm 1 reward.
+func (h *Hybrid) Learn(fb Feedback) {
+	if !h.last.valid {
+		return
+	}
+	lat := fb.Latency
+	if fb.Goodput < fb.Offered*0.999 && fb.Offered > 0 {
+		// Shedding: degrade the effective latency by the unserved
+		// share, as EffectiveLatency does.
+		lat = h.profile.Deadline * fb.Offered / math.Max(fb.Goodput, 1e-9)
+	}
+	r := h.reward(fb.Supply, fb.Power, h.profile.Deadline, lat)
+	h.table.Update(h.last.state, h.last.action, r, h.stateFor(fb.Next))
+	h.last.valid = false
+}
+
+// reward dispatches to the literal Algorithm 1 reward or the shaped
+// default.
+func (h *Hybrid) reward(supp, curr units.Watt, target, current float64) float64 {
+	if h.opts.LiteralReward {
+		return rl.Reward(supp, curr, target, current)
+	}
+	return rl.ShapedReward(supp, curr, target, current)
+}
+
+// QTable exposes the learned table for inspection and ablation.
+func (h *Hybrid) QTable() *rl.Table { return h.table }
+
+// EffectiveLatency returns the SLA-relevant latency of running profile
+// p at config c under offered load: the SLA-percentile sojourn time
+// when the load is fully served, or the deadline inflated by the
+// unserved share when the setting sheds load. It is finite and
+// monotone in the setting's capacity, which the learning layer needs.
+func EffectiveLatency(p workload.Profile, c server.Config, offered float64) float64 {
+	if offered <= 0 {
+		return p.Deadline / 10
+	}
+	good := p.Goodput(c, offered)
+	if good >= offered*0.999 {
+		lat := p.LatencyPercentile(c, offered)
+		if !math.IsInf(lat, 1) {
+			return lat
+		}
+	}
+	return p.Deadline * offered / math.Max(good, offered/100)
+}
+
+// Evaluated returns the four sprinting strategies compared in every
+// figure, in the paper's plotting order.
+func Evaluated(p workload.Profile, tab *profile.Table) ([]Strategy, error) {
+	h, err := NewHybrid(p, tab)
+	if err != nil {
+		return nil, err
+	}
+	return []Strategy{Greedy{}, Parallel{}, Pacing{}, h}, nil
+}
+
+// ByName builds a single strategy by its paper name.
+func ByName(name string, p workload.Profile, tab *profile.Table) (Strategy, error) {
+	switch name {
+	case "Normal":
+		return Normal{}, nil
+	case "Greedy":
+		return Greedy{}, nil
+	case "Parallel":
+		return Parallel{}, nil
+	case "Pacing":
+		return Pacing{}, nil
+	case "Hybrid":
+		return NewHybrid(p, tab)
+	default:
+		return nil, fmt.Errorf("strategy: unknown strategy %q", name)
+	}
+}
+
+// Names lists all five strategies.
+func Names() []string { return []string{"Normal", "Greedy", "Parallel", "Pacing", "Hybrid"} }
+
+// SaveQ serializes the learned Q-table so a restarted controller can
+// resume with its accumulated experience.
+func (h *Hybrid) SaveQ(w io.Writer) error { return h.table.WriteJSON(w) }
+
+// LoadQ replaces the Q-table with a previously saved one (validated
+// against the current knob space).
+func (h *Hybrid) LoadQ(r io.Reader) error {
+	t, err := rl.ReadJSON(r)
+	if err != nil {
+		return err
+	}
+	h.table = t
+	h.last.valid = false
+	return nil
+}

@@ -1,0 +1,155 @@
+package tco
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []func(*Model){
+		func(m *Model) { m.RevenuePerKWMin = 0 },
+		func(m *Model) { m.PVCostPerWatt = -1 },
+		func(m *Model) { m.PVLifetimeYears = 0 },
+		func(m *Model) { m.BatteryCostPerKWYear = -1 },
+		func(m *Model) { m.PCMCostPerKWYear = -1 },
+	}
+	for i, mut := range mutations {
+		m := Default()
+		mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestAnnualCost(t *testing.T) {
+	m := Default()
+	// PV: $4.74/W * 1000 / 25 = $189.6/kW/yr; + $50 battery + $2 PCM.
+	want := 189.6 + 50 + 2
+	if got := m.AnnualCostPerKW(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+}
+
+func TestRevenue(t *testing.T) {
+	m := Default()
+	// 0.28 $/kW/min * 60 min * 10 h = $168/kW.
+	if got := m.AnnualRevenuePerKW(10); math.Abs(got-168) > 1e-9 {
+		t.Errorf("revenue = %v", got)
+	}
+	if got := m.AnnualRevenuePerKW(-5); got != 0 {
+		t.Errorf("negative hours revenue = %v", got)
+	}
+}
+
+func TestCrossoverNear14Hours(t *testing.T) {
+	// §IV-F: "all values to the right of the cross-over point
+	// (around 14 hours per year in this case) indicate profitable
+	// operations".
+	h := Default().CrossoverHours()
+	if h < 13 || h < 0 || h > 15.5 {
+		t.Errorf("crossover = %v h, want ~14", h)
+	}
+}
+
+func TestBenefitSigns(t *testing.T) {
+	m := Default()
+	cross := m.CrossoverHours()
+	if b := m.Benefit(cross - 5); b >= 0 {
+		t.Errorf("below crossover should lose money: %v", b)
+	}
+	if b := m.Benefit(cross + 5); b <= 0 {
+		t.Errorf("above crossover should profit: %v", b)
+	}
+	if b := m.Benefit(cross); math.Abs(b) > 1e-9 {
+		t.Errorf("at crossover benefit = %v", b)
+	}
+}
+
+func TestFigure11Points(t *testing.T) {
+	// The figure's x-axis: 12, 24, 36 hours. 12 is unprofitable,
+	// 24 and 36 profitable, and the series is increasing.
+	pts := Default().Sweep([]float64{12, 24, 36})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Profitable {
+		t.Errorf("12 h should be unprofitable: %+v", pts[0])
+	}
+	if !pts[1].Profitable || !pts[2].Profitable {
+		t.Errorf("24/36 h should be profitable: %+v %+v", pts[1], pts[2])
+	}
+	if !(pts[0].Benefit < pts[1].Benefit && pts[1].Benefit < pts[2].Benefit) {
+		t.Error("benefit should increase with sprinting hours")
+	}
+	// The figure's y-range is roughly [-400, 600] $/kW/yr.
+	for _, p := range pts {
+		if p.Benefit < -400 || p.Benefit > 600 {
+			t.Errorf("benefit %v outside the figure's range", p.Benefit)
+		}
+	}
+}
+
+// Property: benefit is monotone non-decreasing in sprinting hours.
+func TestBenefitMonotoneProperty(t *testing.T) {
+	m := Default()
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := float64(aRaw)/100, float64(bRaw)/100
+		if a > b {
+			a, b = b, a
+		}
+		return m.Benefit(a) <= m.Benefit(b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWearAdjustedBatteryCost(t *testing.T) {
+	m := Default()
+	// Light cycling: calendar-life limited, base cost unchanged.
+	if got := m.WearAdjustedBatteryCost(100, 1300, 4); got != m.BatteryCostPerKWYear {
+		t.Errorf("light cycling cost = %v", got)
+	}
+	// Heavy cycling: 650 cycles/yr exhausts 1300 cycles in 2 years,
+	// half the 4-year calendar life → cost doubles.
+	if got := m.WearAdjustedBatteryCost(650, 1300, 4); math.Abs(got-2*m.BatteryCostPerKWYear) > 1e-9 {
+		t.Errorf("heavy cycling cost = %v, want %v", got, 2*m.BatteryCostPerKWYear)
+	}
+	// Degenerate inputs fall back to the base provision.
+	for _, got := range []float64{
+		m.WearAdjustedBatteryCost(0, 1300, 4),
+		m.WearAdjustedBatteryCost(100, 0, 4),
+		m.WearAdjustedBatteryCost(100, 1300, 0),
+	} {
+		if got != m.BatteryCostPerKWYear {
+			t.Errorf("degenerate cost = %v", got)
+		}
+	}
+}
+
+func TestBenefitWithWear(t *testing.T) {
+	m := Default()
+	h := 24.0
+	light := m.BenefitWithWear(h, 50, 1300)
+	if math.Abs(light-m.Benefit(h)) > 1e-9 {
+		t.Errorf("light wear should match the base benefit: %v vs %v", light, m.Benefit(h))
+	}
+	heavy := m.BenefitWithWear(h, 1300, 1300) // one full life per year
+	if heavy >= light {
+		t.Errorf("heavy wear %v should cost more than light %v", heavy, light)
+	}
+	// The wear penalty shifts the break-even to the right: at the
+	// nominal crossover, a heavily cycled system still loses money.
+	cross := m.CrossoverHours()
+	if b := m.BenefitWithWear(cross+0.5, 1300, 1300); b >= 0 {
+		t.Errorf("wear-adjusted benefit just past nominal crossover = %v, want < 0", b)
+	}
+}

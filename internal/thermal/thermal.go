@@ -1,0 +1,188 @@
+// Package thermal models the chip/server-level thermal constraint that
+// bounds computational sprinting, and the phase-change-material (PCM)
+// heat buffer that GreenSprint assumes (§II "Thermal concerns at the
+// chip level", citing Skach et al.'s thermal time shifting): sprinting
+// dissipates more heat than the steady-state cooling can remove; the
+// excess melts the PCM, which stores it as latent heat and releases it
+// during non-sprinting periods when there is spare cooling capacity.
+// The paper's claim — "PCM can delay the onset of thermal limits by
+// hours" — is reproduced as a model property here, which justifies the
+// simulator treating thermals as non-binding for its 10-60 minute
+// bursts.
+//
+// The model is a lumped thermal capacitance with a latent-heat
+// plateau: below the melt point, temperature rises with sensible heat;
+// at the melt point, excess heat melts PCM at constant temperature
+// until the buffer is exhausted; then temperature climbs again toward
+// the trip limit.
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"greensprint/internal/units"
+)
+
+// Package models a server's thermal package with a PCM buffer.
+type Package struct {
+	// Ambient is the inlet/ambient temperature (°C).
+	Ambient float64
+	// Conductance is the steady-state heat removal per degree above
+	// ambient (W/°C): cooling capacity = Conductance·(T−Ambient).
+	Conductance float64
+	// Capacitance is the sensible heat capacity (J/°C) of the
+	// server masses below the melt point.
+	Capacitance float64
+	// MeltPoint is the PCM phase-change temperature (°C); chosen
+	// just above the Normal-mode steady state so the PCM only
+	// engages while sprinting.
+	MeltPoint float64
+	// LatentHeat is the PCM's total latent storage (J).
+	LatentHeat float64
+	// TripLimit is the temperature at which the server must stop
+	// sprinting (°C).
+	TripLimit float64
+}
+
+// DefaultPackage returns a paraffin-wax package sized like Skach et
+// al.'s per-server retrofit: a few kilograms of wax (≈200 kJ/kg) on a
+// server whose steady-state cooling comfortably absorbs Normal-mode
+// power.
+func DefaultPackage() Package {
+	return Package{
+		Ambient:     25,
+		Conductance: 2.4, // 100 W Normal mode → ~67 °C steady state
+		Capacitance: 2e3,
+		MeltPoint:   70,
+		LatentHeat:  600e3, // 3 kg × 200 kJ/kg
+		TripLimit:   85,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Package) Validate() error {
+	switch {
+	case p.Conductance <= 0:
+		return fmt.Errorf("thermal: non-positive conductance %v", p.Conductance)
+	case p.Capacitance <= 0:
+		return fmt.Errorf("thermal: non-positive capacitance %v", p.Capacitance)
+	case p.MeltPoint <= p.Ambient:
+		return fmt.Errorf("thermal: melt point %v at or below ambient %v", p.MeltPoint, p.Ambient)
+	case p.TripLimit <= p.MeltPoint:
+		return fmt.Errorf("thermal: trip limit %v at or below melt point %v", p.TripLimit, p.MeltPoint)
+	case p.LatentHeat < 0:
+		return fmt.Errorf("thermal: negative latent heat %v", p.LatentHeat)
+	}
+	return nil
+}
+
+// State is a server's thermal state.
+type State struct {
+	pkg Package
+	// Temp is the lumped temperature (°C).
+	Temp float64
+	// Melted is the latent heat absorbed so far (J).
+	Melted float64
+	// tripped latches once the trip limit is reached.
+	tripped bool
+}
+
+// NewState returns a state at the steady-state temperature of the
+// given idle/normal power.
+func NewState(pkg Package, steadyPower units.Watt) (*State, error) {
+	if err := pkg.Validate(); err != nil {
+		return nil, err
+	}
+	return &State{pkg: pkg, Temp: pkg.SteadyTemp(steadyPower)}, nil
+}
+
+// SteadyTemp returns the steady-state temperature at constant power.
+func (p Package) SteadyTemp(power units.Watt) float64 {
+	return p.Ambient + float64(power)/p.Conductance
+}
+
+// Tripped reports whether the thermal limit has been reached.
+func (s *State) Tripped() bool { return s.tripped }
+
+// PCMFraction returns the melted share of the PCM buffer in [0,1].
+func (s *State) PCMFraction() float64 {
+	if s.pkg.LatentHeat == 0 {
+		return 1
+	}
+	return s.Melted / s.pkg.LatentHeat
+}
+
+// Step advances the state by dt under the given power draw. It uses
+// sub-stepping for stability and returns the new temperature.
+func (s *State) Step(power units.Watt, dt time.Duration) float64 {
+	const maxSub = 10 * time.Second
+	remaining := dt
+	for remaining > 0 {
+		step := remaining
+		if step > maxSub {
+			step = maxSub
+		}
+		s.sub(float64(power), step.Seconds())
+		remaining -= step
+	}
+	if s.Temp >= s.pkg.TripLimit {
+		s.tripped = true
+	}
+	return s.Temp
+}
+
+func (s *State) sub(power, dt float64) {
+	cooling := s.pkg.Conductance * (s.Temp - s.pkg.Ambient)
+	net := power - cooling // W = J/s
+	switch {
+	case net > 0 && s.Temp >= s.pkg.MeltPoint && s.Melted < s.pkg.LatentHeat:
+		// Excess heat melts PCM at constant temperature.
+		s.Melted += net * dt
+		if over := s.Melted - s.pkg.LatentHeat; over > 0 {
+			// Buffer exhausted mid-step: the overflow heats the
+			// sensible mass.
+			s.Melted = s.pkg.LatentHeat
+			s.Temp += over / s.pkg.Capacitance
+		}
+		s.Temp = math.Max(s.Temp, s.pkg.MeltPoint)
+	case net < 0 && s.Melted > 0 && s.Temp <= s.pkg.MeltPoint:
+		// Spare cooling refreezes PCM at constant temperature.
+		s.Melted += net * dt // net is negative
+		if s.Melted < 0 {
+			s.Temp += s.Melted / s.pkg.Capacitance
+			s.Melted = 0
+		}
+		s.Temp = math.Min(s.Temp, s.pkg.MeltPoint)
+	default:
+		s.Temp += net / s.pkg.Capacitance * dt
+		// Crossing the melt point clamps at it; the next sub-step
+		// takes the latent branch.
+		if net > 0 && s.Temp > s.pkg.MeltPoint && s.Melted < s.pkg.LatentHeat {
+			s.Temp = s.pkg.MeltPoint
+		}
+	}
+}
+
+// SprintBudget returns how long the package can sustain a constant
+// sprinting power before tripping, starting from the Normal-mode
+// steady state. It returns a very large duration when the power is
+// sustainable indefinitely (steady state below the trip limit).
+func (p Package) SprintBudget(sprintPower, normalPower units.Watt) (time.Duration, error) {
+	st, err := NewState(p, normalPower)
+	if err != nil {
+		return 0, err
+	}
+	if p.SteadyTemp(sprintPower) < p.TripLimit {
+		return time.Duration(math.MaxInt64), nil
+	}
+	const step = time.Second
+	for elapsed := time.Duration(0); elapsed < 48*time.Hour; elapsed += step {
+		st.Step(sprintPower, step)
+		if st.Tripped() {
+			return elapsed + step, nil
+		}
+	}
+	return time.Duration(math.MaxInt64), nil
+}

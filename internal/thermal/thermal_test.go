@@ -1,0 +1,165 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultPackage().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Package){
+		func(p *Package) { p.Conductance = 0 },
+		func(p *Package) { p.Capacitance = 0 },
+		func(p *Package) { p.MeltPoint = p.Ambient },
+		func(p *Package) { p.TripLimit = p.MeltPoint },
+		func(p *Package) { p.LatentHeat = -1 },
+	}
+	for i, mut := range bad {
+		p := DefaultPackage()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+		if _, err := NewState(p, 100); err == nil {
+			t.Errorf("case %d: NewState should reject", i)
+		}
+	}
+}
+
+func TestSteadyTemp(t *testing.T) {
+	p := DefaultPackage()
+	// Normal mode (100 W): steady state below the melt point — PCM
+	// untouched outside sprints.
+	if got := p.SteadyTemp(100); got >= p.MeltPoint {
+		t.Errorf("Normal steady temp %v should sit below melt point %v", got, p.MeltPoint)
+	}
+	// Max sprint (155 W): steady state above the trip limit — the
+	// sprint is thermally bounded, which is the whole premise.
+	if got := p.SteadyTemp(155); got <= p.TripLimit {
+		t.Errorf("sprint steady temp %v should exceed trip limit %v", got, p.TripLimit)
+	}
+}
+
+func TestNormalModeNeverTrips(t *testing.T) {
+	st, err := NewState(DefaultPackage(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24*60; i++ {
+		st.Step(100, time.Minute)
+	}
+	if st.Tripped() {
+		t.Error("Normal mode tripped")
+	}
+	if st.PCMFraction() > 0 {
+		t.Errorf("PCM melted at Normal mode: %v", st.PCMFraction())
+	}
+}
+
+// TestPCMDelaysThermalLimitByHours reproduces the §II claim (citing
+// Skach et al.): the PCM buffer delays the onset of thermal limits by
+// hours, which is why the 10-60 minute sprints in the evaluation never
+// hit the thermal wall.
+func TestPCMDelaysThermalLimitByHours(t *testing.T) {
+	p := DefaultPackage()
+	budget, err := p.SprintBudget(155, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget < 2*time.Hour {
+		t.Errorf("PCM sprint budget = %v, want hours", budget)
+	}
+	// Without PCM, the same sprint trips in minutes.
+	bare := p
+	bare.LatentHeat = 0
+	bareBudget, err := bare.SprintBudget(155, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bareBudget >= 30*time.Minute {
+		t.Errorf("bare sprint budget = %v, want minutes", bareBudget)
+	}
+	if budget < 4*bareBudget {
+		t.Errorf("PCM should extend the budget several-fold: %v vs %v", budget, bareBudget)
+	}
+}
+
+func TestSustainablePowerIsUnbounded(t *testing.T) {
+	p := DefaultPackage()
+	// A power whose steady state is below the trip limit can run
+	// forever.
+	budget, err := p.SprintBudget(120, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget != time.Duration(math.MaxInt64) {
+		t.Errorf("120W budget = %v, want unbounded", budget)
+	}
+}
+
+func TestMeltPlateauAndRefreeze(t *testing.T) {
+	p := DefaultPackage()
+	st, err := NewState(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sprint until the PCM engages.
+	for i := 0; i < 60 && st.Temp < p.MeltPoint; i++ {
+		st.Step(155, time.Minute)
+	}
+	if st.Temp < p.MeltPoint-1 {
+		t.Fatalf("never reached melt point: %v", st.Temp)
+	}
+	// During melting the temperature plateaus at the melt point.
+	st.Step(155, 10*time.Minute)
+	if math.Abs(st.Temp-p.MeltPoint) > 0.5 {
+		t.Errorf("temperature off the melt plateau: %v", st.Temp)
+	}
+	melted := st.PCMFraction()
+	if melted <= 0 {
+		t.Fatal("no PCM melted")
+	}
+	// Back to Normal mode: spare cooling refreezes the PCM.
+	for i := 0; i < 6*60; i++ {
+		st.Step(100, time.Minute)
+	}
+	if st.PCMFraction() >= melted {
+		t.Errorf("PCM did not refreeze: %v -> %v", melted, st.PCMFraction())
+	}
+	if st.Temp > p.MeltPoint {
+		t.Errorf("temperature above melt point after cooldown: %v", st.Temp)
+	}
+}
+
+func TestTrippedLatches(t *testing.T) {
+	p := DefaultPackage()
+	p.LatentHeat = 0
+	st, err := NewState(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 240 && !st.Tripped(); i++ {
+		st.Step(155, time.Minute)
+	}
+	if !st.Tripped() {
+		t.Fatal("bare package never tripped at sprint power")
+	}
+	// Cooling afterwards does not clear the latch (the server was
+	// forced out of the sprint).
+	st.Step(80, time.Hour)
+	if !st.Tripped() {
+		t.Error("trip latch cleared")
+	}
+}
+
+func TestPCMFractionEdge(t *testing.T) {
+	p := DefaultPackage()
+	p.LatentHeat = 0
+	st, _ := NewState(p, 100)
+	if st.PCMFraction() != 1 {
+		t.Error("zero-latent package reports fully melted")
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := New("solar_w", t0, time.Minute, []float64{0, 12.5, 211.75, 7})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "solar_w" {
+		t.Errorf("name = %q", back.Name)
+	}
+	if back.Step != time.Minute {
+		t.Errorf("step = %v", back.Step)
+	}
+	if !back.Start.Equal(t0) {
+		t.Errorf("start = %v", back.Start)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("len = %d", back.Len())
+	}
+	for i := range tr.Samples {
+		if back.Samples[i] != tr.Samples[i] {
+			t.Errorf("sample %d = %v, want %v", i, back.Samples[i], tr.Samples[i])
+		}
+	}
+}
+
+func TestCSVDefaultHeader(t *testing.T) {
+	tr := New("", t0, time.Minute, []float64{1, 2})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "timestamp,value") {
+		t.Errorf("header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name, in string
+	}{
+		{"too short", "timestamp,value\n2018-05-01T00:00:00Z,1\n"},
+		{"bad timestamp", "timestamp,value\nnot-a-time,1\n2018-05-01T00:01:00Z,2\n"},
+		{"bad value", "timestamp,value\n2018-05-01T00:00:00Z,x\n2018-05-01T00:01:00Z,2\n"},
+		{"irregular step", "timestamp,value\n2018-05-01T00:00:00Z,1\n2018-05-01T00:01:00Z,2\n2018-05-01T00:03:00Z,3\n"},
+		{"non-increasing", "timestamp,value\n2018-05-01T00:01:00Z,1\n2018-05-01T00:00:00Z,2\n2018-05-01T00:02:00Z,2\n"},
+		{"wrong columns", "timestamp,value,extra\n2018-05-01T00:00:00Z,1,9\n"},
+	}
+	for _, tt := range tests {
+		if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+			t.Errorf("%s: expected error", tt.name)
+		}
+	}
+}

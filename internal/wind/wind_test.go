@@ -1,0 +1,172 @@
+package wind
+
+import (
+	"testing"
+	"testing/quick"
+
+	"greensprint/internal/solar"
+	"greensprint/internal/units"
+)
+
+func TestTurbineValidate(t *testing.T) {
+	if err := DefaultTurbine().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Turbine{
+		{Rated: 0, CutIn: 3, RatedSpeed: 11, CutOut: 24},
+		{Rated: 100, CutIn: -1, RatedSpeed: 11, CutOut: 24},
+		{Rated: 100, CutIn: 11, RatedSpeed: 11, CutOut: 24},
+		{Rated: 100, CutIn: 3, RatedSpeed: 11, CutOut: 11},
+	}
+	for i, tb := range bad {
+		if err := tb.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPowerCurve(t *testing.T) {
+	tb := DefaultTurbine()
+	tests := []struct {
+		speed float64
+		want  units.Watt
+	}{
+		{0, 0},
+		{2.9, 0}, // below cut-in
+		{11, tb.Rated},
+		{15, tb.Rated}, // rated region
+		{24, 0},        // cut-out
+		{30, 0},        // storm
+	}
+	for _, tt := range tests {
+		if got := tb.Power(tt.speed); got != tt.want {
+			t.Errorf("Power(%v) = %v, want %v", tt.speed, got, tt.want)
+		}
+	}
+	// Cubic region is strictly increasing and bounded.
+	prev := units.Watt(-1)
+	for s := 3.0; s < 11; s += 0.5 {
+		p := tb.Power(s)
+		if p <= prev {
+			t.Fatalf("power curve not increasing at %v", s)
+		}
+		if p > tb.Rated {
+			t.Fatalf("power above rated at %v", s)
+		}
+		prev = p
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Duration = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("zero duration should fail")
+	}
+	cfg = DefaultGeneratorConfig()
+	cfg.Step = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("zero step should fail")
+	}
+	cfg = DefaultGeneratorConfig()
+	cfg.MeanSpeed = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("zero mean speed should fail")
+	}
+	cfg = DefaultGeneratorConfig()
+	cfg.Turbine.Rated = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("invalid turbine should fail")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	tr, err := Generate(DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 24*60 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	st := tr.Stats()
+	if st.Min < 0 || st.Max > 635.25+1e-9 {
+		t.Errorf("range [%v,%v]", st.Min, st.Max)
+	}
+	// A 7 m/s site should produce meaningful but not rated-flat
+	// output on average.
+	if st.Mean < 50 || st.Mean > 600 {
+		t.Errorf("mean = %v", st.Mean)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, _ := Generate(DefaultGeneratorConfig())
+	b, _ := Generate(DefaultGeneratorConfig())
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("same seed should reproduce")
+		}
+	}
+	cfg := DefaultGeneratorConfig()
+	cfg.Seed = 99
+	c, _ := Generate(cfg)
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+// TestWindIsBurstierThanSolar quantifies why wind is the harder source
+// for sprinting: at a matched mean, its minute-to-minute variation
+// (mean absolute step change) exceeds a clear solar day's.
+func TestWindIsBurstierThanSolar(t *testing.T) {
+	w, err := Generate(DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := solar.DefaultGeneratorConfig()
+	scfg.Days = 1
+	scfg.Skies = []solar.Sky{solar.Clear}
+	s, err := solar.Generate(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roughness(w.Samples) <= roughness(s.Samples) {
+		t.Errorf("wind roughness %v should exceed clear-sky solar %v",
+			roughness(w.Samples), roughness(s.Samples))
+	}
+}
+
+func roughness(s []float64) float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i := 1; i < len(s); i++ {
+		d := s[i] - s[i-1]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(s)-1)
+}
+
+// Property: power output is always within [0, Rated] for any speed.
+func TestPowerBoundedProperty(t *testing.T) {
+	tb := DefaultTurbine()
+	f := func(raw uint16) bool {
+		speed := float64(raw) / 1000 // 0..65 m/s
+		p := tb.Power(speed)
+		return p >= 0 && p <= tb.Rated
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

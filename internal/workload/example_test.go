@@ -1,0 +1,33 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"greensprint/internal/server"
+	"greensprint/internal/workload"
+)
+
+// Example reproduces the paper's headline gains: the QoS-constrained
+// throughput of the maximum sprint over Normal mode.
+func Example() {
+	for _, p := range workload.All() {
+		fmt.Printf("%s: %.1fx\n", p.Name, p.NormalizedPerf(server.MaxSprint()))
+	}
+	// Output:
+	// SPECjbb: 4.8x
+	// Web-Search: 4.1x
+	// Memcached: 4.7x
+}
+
+// ExampleProfile_IntensityRate shows the paper's Int=N burst notation:
+// the offered load that saturates N cores at 2.0 GHz.
+func ExampleProfile_IntensityRate() {
+	p := workload.SPECjbb()
+	for _, n := range []int{7, 9, 12} {
+		fmt.Printf("Int=%d: %.0f jops/s per server\n", n, p.IntensityRate(n))
+	}
+	// Output:
+	// Int=7: 270 jops/s per server
+	// Int=9: 393 jops/s per server
+	// Int=12: 590 jops/s per server
+}

@@ -1,0 +1,320 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greensprint/internal/server"
+	"greensprint/internal/units"
+)
+
+func TestProfilesValidate(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.Deadline = 0 },
+		func(p *Profile) { p.Quantile = 0 },
+		func(p *Profile) { p.Quantile = 1 },
+		func(p *Profile) { p.PeakPower = 50 },
+		func(p *Profile) { p.BaseRate = 0 },
+		func(p *Profile) { p.FreqExponent = 0 },
+		func(p *Profile) { p.OversubPenalty = -0.1 },
+		func(p *Profile) { p.Threads = 0 },
+	}
+	for i, mutate := range mutations {
+		p := SPECjbb()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, want := range []string{"SPECjbb", "Web-Search", "Memcached"} {
+		p, err := ByName(want)
+		if err != nil || p.Name != want {
+			t.Errorf("ByName(%q) = %v, %v", want, p.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	// Table II of the paper.
+	tests := []struct {
+		p        Profile
+		mem      int
+		metric   string
+		deadline float64
+		quantile float64
+	}{
+		{SPECjbb(), 10, "jops", 0.5, 0.99},
+		{WebSearch(), 20, "ops", 0.5, 0.90},
+		{Memcached(), 20, "rps", 0.010, 0.95},
+	}
+	for _, tt := range tests {
+		if tt.p.MemoryGB != tt.mem {
+			t.Errorf("%s memory = %d, want %d", tt.p.Name, tt.p.MemoryGB, tt.mem)
+		}
+		if tt.p.MetricName != tt.metric {
+			t.Errorf("%s metric = %q", tt.p.Name, tt.p.MetricName)
+		}
+		if tt.p.Deadline != tt.deadline || tt.p.Quantile != tt.quantile {
+			t.Errorf("%s QoS = %v@%v", tt.p.Name, tt.p.Deadline, tt.p.Quantile)
+		}
+	}
+}
+
+func TestPeakPowers(t *testing.T) {
+	// §IV: measured maximal sprinting power demands.
+	want := map[string]units.Watt{"SPECjbb": 155, "Web-Search": 156, "Memcached": 146}
+	for _, p := range All() {
+		if p.PeakPower != want[p.Name] {
+			t.Errorf("%s peak = %v, want %v", p.Name, p.PeakPower, want[p.Name])
+		}
+		if got := p.PowerModel().PeakPower(); !units.NearlyEqual(float64(got), float64(want[p.Name]), 1e-9) {
+			t.Errorf("%s model peak = %v", p.Name, got)
+		}
+	}
+}
+
+// TestHeadlineGains pins the paper's headline result: maximum sprint
+// improves QoS-constrained throughput by ~4.8x (SPECjbb), ~4.1x
+// (Web-Search) and ~4.7x (Memcached) over Normal mode.
+func TestHeadlineGains(t *testing.T) {
+	want := map[string]float64{"SPECjbb": 4.8, "Web-Search": 4.1, "Memcached": 4.7}
+	for _, p := range All() {
+		got := p.NormalizedPerf(server.MaxSprint())
+		if math.Abs(got-want[p.Name])/want[p.Name] > 0.05 {
+			t.Errorf("%s max-sprint gain = %.2fx, want %.1fx ±5%%", p.Name, got, want[p.Name])
+		}
+	}
+}
+
+func TestNormalizedPerfBaseline(t *testing.T) {
+	for _, p := range All() {
+		if got := p.NormalizedPerf(server.Normal()); !units.NearlyEqual(got, 1, 1e-9) {
+			t.Errorf("%s Normal baseline = %v", p.Name, got)
+		}
+	}
+}
+
+func TestServiceRateMonotone(t *testing.T) {
+	for _, p := range All() {
+		// Higher frequency always helps the per-core rate.
+		fs := server.Frequencies()
+		for i := 1; i < len(fs); i++ {
+			a := p.ServiceRate(server.Config{Cores: 12, Freq: fs[i-1]})
+			b := p.ServiceRate(server.Config{Cores: 12, Freq: fs[i]})
+			if b <= a {
+				t.Errorf("%s: rate not increasing in freq", p.Name)
+			}
+		}
+		// More cores never reduce total capacity.
+		for n := server.MinCores; n < server.MaxCores; n++ {
+			a := float64(n) * p.ServiceRate(server.Config{Cores: n, Freq: 2000})
+			b := float64(n+1) * p.ServiceRate(server.Config{Cores: n + 1, Freq: 2000})
+			if b <= a {
+				t.Errorf("%s: capacity not increasing in cores at %d", p.Name, n)
+			}
+		}
+	}
+}
+
+func TestOversubscriptionPenalty(t *testing.T) {
+	p := SPECjbb()
+	// Per-core rate at 6 cores (12 threads) is lower than at 12.
+	r6 := p.ServiceRate(server.Config{Cores: 6, Freq: 2000})
+	r12 := p.ServiceRate(server.Config{Cores: 12, Freq: 2000})
+	if r6 >= r12 {
+		t.Errorf("oversubscription should tax per-core rate: %v vs %v", r6, r12)
+	}
+	want := p.BaseRate / (1 + p.OversubPenalty)
+	if !units.NearlyEqual(r6, want, 1e-9) {
+		t.Errorf("r6 = %v, want %v", r6, want)
+	}
+	// Web-Search has no penalty.
+	ws := WebSearch()
+	if ws.ServiceRate(server.Config{Cores: 6, Freq: 2000}) != ws.ServiceRate(server.Config{Cores: 12, Freq: 2000}) {
+		t.Error("Web-Search per-core rate should be core-count independent")
+	}
+}
+
+func TestAppKnobPreferences(t *testing.T) {
+	// §IV-C: at an equal power budget, frequency scaling (Pacing:
+	// 12 cores, reduced freq) beats core scaling (Parallel: fewer
+	// cores at 2.0 GHz) for SPECjbb and Memcached, while for
+	// Web-Search the two are comparable.
+	budget := units.Watt(130)
+	for _, p := range All() {
+		pm := p.PowerModel()
+		bestPar, bestPac := 0.0, 0.0
+		for _, c := range server.Configs() {
+			if pm.Power(c, 1) > budget {
+				continue
+			}
+			perf := p.NormalizedPerf(c)
+			if c.Freq == units.FreqMax && perf > bestPar {
+				bestPar = perf
+			}
+			if c.Cores == server.MaxCores && perf > bestPac {
+				bestPac = perf
+			}
+		}
+		switch p.Name {
+		case "SPECjbb", "Memcached":
+			if bestPac <= bestPar {
+				t.Errorf("%s: Pacing (%v) should beat Parallel (%v) at %v", p.Name, bestPac, bestPar, budget)
+			}
+		case "Web-Search":
+			if math.Abs(bestPac-bestPar)/bestPar > 0.10 {
+				t.Errorf("Web-Search: Pacing %v and Parallel %v should be within 10%%", bestPac, bestPar)
+			}
+		}
+	}
+}
+
+func TestIntensityRate(t *testing.T) {
+	p := SPECjbb()
+	// Int=12 saturates the maximum sprint.
+	if got, want := p.IntensityRate(12), p.MaxGoodput(server.MaxSprint()); !units.NearlyEqual(got, want, 1e-9) {
+		t.Errorf("Int=12 rate = %v, want %v", got, want)
+	}
+	// Intensity is monotone.
+	prev := 0.0
+	for i := 1; i <= 12; i++ {
+		r := p.IntensityRate(i)
+		if r <= prev {
+			t.Errorf("Int=%d rate %v not increasing", i, r)
+		}
+		prev = r
+	}
+	// Clamps above 12, zero below 1.
+	if p.IntensityRate(15) != p.IntensityRate(12) {
+		t.Error("intensity above 12 should clamp")
+	}
+	if p.IntensityRate(0) != 0 {
+		t.Error("Int=0 should be zero rate")
+	}
+}
+
+func TestGoodputCapping(t *testing.T) {
+	p := SPECjbb()
+	c := server.MaxSprint()
+	max := p.MaxGoodput(c)
+	if got := p.Goodput(c, max/2); !units.NearlyEqual(got, max/2, 1e-9) {
+		t.Errorf("underload goodput = %v", got)
+	}
+	if got := p.Goodput(c, max*3); !units.NearlyEqual(got, max, 1e-6) {
+		t.Errorf("overload goodput = %v, want %v", got, max)
+	}
+}
+
+func TestLatencyPercentile(t *testing.T) {
+	p := SPECjbb()
+	c := server.MaxSprint()
+	max := p.MaxGoodput(c)
+	// At half the QoS-max rate the p99 meets the deadline easily.
+	lat := p.LatencyPercentile(c, max/2)
+	if lat >= p.Deadline {
+		t.Errorf("p99 at half load = %v, want < %v", lat, p.Deadline)
+	}
+	// Overload is infinite.
+	if got := p.LatencyPercentile(c, 1e12); !math.IsInf(got, 1) {
+		t.Errorf("overload latency = %v", got)
+	}
+}
+
+func TestGreedyLatencyExample(t *testing.T) {
+	// §III-B: "Greedy can achieve an average 270 ms latency for
+	// SPECjbb at 70% burst load intensity, while a best-efficiency
+	// policy can only provide 466 ms with a 500 ms constraint."
+	// Shape check: at 70% of the max-sprint saturation rate, the
+	// max sprint yields comfortably lower SLA-percentile latency
+	// than the tightest config that still meets the deadline.
+	p := SPECjbb()
+	offered := 0.7 * p.IntensityRate(12)
+	greedyLat := p.LatencyPercentile(server.MaxSprint(), offered)
+	if greedyLat >= p.Deadline {
+		t.Fatalf("greedy latency %v misses deadline", greedyLat)
+	}
+	// Find the most frugal config that still meets QoS at this load.
+	bestEff := math.Inf(1)
+	var bestLat float64
+	for _, c := range server.Configs() {
+		if p.MaxGoodput(c) < offered {
+			continue
+		}
+		pw := float64(p.Power(c, offered))
+		if pw < bestEff {
+			bestEff = pw
+			bestLat = p.LatencyPercentile(c, offered)
+		}
+	}
+	if math.IsInf(bestEff, 1) {
+		t.Fatal("no config meets QoS at 70% intensity")
+	}
+	if bestLat <= greedyLat {
+		t.Errorf("best-efficiency latency %v should exceed greedy %v", bestLat, greedyLat)
+	}
+	if bestLat > p.Deadline {
+		t.Errorf("best-efficiency config misses the deadline: %v", bestLat)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	p := Memcached()
+	c := server.Normal()
+	cap := p.Station(c).Capacity()
+	if got := p.Utilization(c, cap/2); !units.NearlyEqual(got, 0.5, 1e-9) {
+		t.Errorf("util = %v", got)
+	}
+}
+
+func TestLoadPowerMonotoneInLoad(t *testing.T) {
+	p := SPECjbb()
+	c := server.MaxSprint()
+	cap := p.Station(c).Capacity()
+	prev := units.Watt(0)
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		pw := p.LoadPower(c, frac*cap)
+		if pw < prev {
+			t.Errorf("LoadPower decreasing at %v: %v < %v", frac, pw, prev)
+		}
+		prev = pw
+	}
+	// Saturated power equals the model's full-utilization power.
+	if got, want := p.LoadPower(c, 10*cap), p.PowerModel().Power(c, 1); got != want {
+		t.Errorf("saturated power = %v, want %v", got, want)
+	}
+}
+
+// Property: NormalizedPerf is strictly positive and bounded by the max
+// sprint gain for every valid config.
+func TestNormalizedPerfBoundsProperty(t *testing.T) {
+	for _, p := range All() {
+		maxGain := p.NormalizedPerf(server.MaxSprint())
+		f := func(nRaw, fRaw uint8) bool {
+			c := server.Config{
+				Cores: server.MinCores + int(nRaw)%7,
+				Freq:  units.FreqMin + units.MHz(int(fRaw)%9)*units.FreqStep,
+			}
+			g := p.NormalizedPerf(c)
+			return g > 0 && g <= maxGain+1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
