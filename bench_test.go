@@ -14,8 +14,10 @@ import (
 	"testing"
 	"time"
 
+	"greensprint/internal/ablation"
 	"greensprint/internal/experiments"
 	"greensprint/internal/solar"
+	"greensprint/internal/sweep"
 )
 
 func BenchmarkFig01_DiurnalPattern(b *testing.B) {
@@ -135,6 +137,33 @@ func BenchmarkHeadlineGains(b *testing.B) {
 	b.ReportMetric(gains["Web-Search"], "websearch_x")
 	b.ReportMetric(gains["Memcached"], "memcached_x")
 }
+
+// benchDoDSweep runs the 8-point DoD ablation with the sweep engine
+// pinned to the given worker count (0 = GOMAXPROCS-wide pool). The
+// Serial/Parallel pair tracks the engine's speedup in the bench
+// trajectory; results are bit-identical between the two by the golden
+// determinism tests.
+func benchDoDSweep(b *testing.B, workers int) {
+	b.Helper()
+	prev := sweep.SetDefaultWorkers(workers)
+	defer sweep.SetDefaultWorkers(prev)
+	dods := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		pts, err := ablation.DoDSweep(dods)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != len(dods) {
+			b.Fatalf("points = %d", len(pts))
+		}
+		last = pts[3].Perf // the paper's 40% DoD operating point
+	}
+	b.ReportMetric(last, "dod40_perf_x")
+}
+
+func BenchmarkDoDSweep8Serial(b *testing.B)   { benchDoDSweep(b, 1) }
+func BenchmarkDoDSweep8Parallel(b *testing.B) { benchDoDSweep(b, 0) }
 
 func BenchmarkDayInTheLife(b *testing.B) {
 	var sprintHours float64

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	greensprint-ablate [-which all|ewma|quant|reward|dod|source|integration|calibration|overdraw|failures]
+//	greensprint-ablate [-which all|ewma|quant|reward|dod|source|integration|calibration|overdraw|failures] [-parallel]
 package main
 
 import (
@@ -19,11 +19,17 @@ import (
 	"greensprint/internal/ablation"
 	"greensprint/internal/report"
 	"greensprint/internal/sim"
+	"greensprint/internal/sweep"
 )
 
 func main() {
 	which := flag.String("which", "all", "ablation to run")
+	parallel := flag.Bool("parallel", true,
+		"fan independent sweep cells out across CPUs (results are bit-identical to -parallel=false)")
 	flag.Parse()
+	if !*parallel {
+		sweep.SetDefaultWorkers(1)
+	}
 	if err := run(os.Stdout, *which); err != nil {
 		fmt.Fprintln(os.Stderr, "greensprint-ablate:", err)
 		os.Exit(1)

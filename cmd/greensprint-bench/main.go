@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	greensprint-bench [-fig all|1|5|6|7|8|9|10a|10b|11|day|tables|headline] [-out DIR]
+//	greensprint-bench [-fig all|1|5|6|7|8|9|10a|10b|11|day|tables|headline] [-out DIR] [-parallel]
 package main
 
 import (
@@ -17,12 +17,18 @@ import (
 
 	"greensprint/internal/experiments"
 	"greensprint/internal/report"
+	"greensprint/internal/sweep"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which figure/table to regenerate")
 	out := flag.String("out", "", "directory for CSV outputs (optional)")
+	parallel := flag.Bool("parallel", true,
+		"fan independent figure cells out across CPUs (results are bit-identical to -parallel=false)")
 	flag.Parse()
+	if !*parallel {
+		sweep.SetDefaultWorkers(1)
+	}
 	if err := run(os.Stdout, *fig, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "greensprint-bench:", err)
 		os.Exit(1)

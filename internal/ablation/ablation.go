@@ -16,6 +16,7 @@
 package ablation
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"greensprint/internal/sim"
 	"greensprint/internal/solar"
 	"greensprint/internal/strategy"
+	"greensprint/internal/sweep"
 	"greensprint/internal/trace"
 	"greensprint/internal/units"
 	"greensprint/internal/wind"
@@ -61,13 +63,12 @@ func EWMASweep(alphas []float64) ([]AlphaPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	accs := predictor.SweepAlpha(epochs, alphas)
-	out := make([]AlphaPoint, 0, len(alphas))
-	for _, a := range alphas {
-		acc := accs[a]
-		out = append(out, AlphaPoint{Alpha: a, RMSE: acc.RMSE, MAPE: acc.MAPE})
-	}
-	return out, nil
+	// Each cell evaluates its own EWMA predictor over the shared,
+	// read-only epoch trace.
+	return sweep.Map(context.Background(), alphas, func(_ context.Context, _ int, a float64) (AlphaPoint, error) {
+		acc := predictor.Evaluate(predictor.NewEWMA(a), epochs)
+		return AlphaPoint{Alpha: a, RMSE: acc.RMSE, MAPE: acc.MAPE}, nil
+	})
 }
 
 // QuantizationPoint is one quantization-sweep sample.
@@ -89,24 +90,24 @@ func QuantizationSweep(steps []float64) ([]QuantizationPoint, error) {
 		return nil, err
 	}
 	green := cluster.REBatt()
-	out := make([]QuantizationPoint, 0, len(steps))
-	for _, step := range steps {
+	// The profiling table is shared read-only; every cell builds its
+	// own Hybrid (and thus its own mutable Q-table).
+	return sweep.Map(context.Background(), steps, func(_ context.Context, _ int, step float64) (QuantizationPoint, error) {
 		h, err := strategy.NewHybridWithOptions(p, tab, strategy.HybridOptions{QuantizationStep: step})
 		if err != nil {
-			return nil, err
+			return QuantizationPoint{}, err
 		}
 		res, err := runCell(p, tab, green, h, solar.Med, 30*time.Minute)
 		if err != nil {
-			return nil, err
+			return QuantizationPoint{}, err
 		}
-		out = append(out, QuantizationPoint{
+		return QuantizationPoint{
 			Step:    step,
 			Levels:  int(1/step) + 1,
 			Perf:    res.MeanNormPerf,
 			QStates: h.QTable().States(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RewardAblation compares three Hybrid variants on the
@@ -133,17 +134,19 @@ func RewardAblation() (shaped, literal, naive float64, err error) {
 		{LiteralReward: true},
 		{LiteralReward: true, DisableBurnValue: true},
 	}
-	out := make([]float64, len(variants))
-	for i, opts := range variants {
+	out, err := sweep.Map(context.Background(), variants, func(_ context.Context, _ int, opts strategy.HybridOptions) (float64, error) {
 		h, err := strategy.NewHybridWithOptions(p, tab, opts)
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, err
 		}
 		res, err := runCell(p, tab, green, h, solar.Med, 60*time.Minute)
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, err
 		}
-		out[i] = res.MeanNormPerf
+		return res.MeanNormPerf, nil
+	})
+	if err != nil {
+		return 0, 0, 0, err
 	}
 	return out[0], out[1], out[2], nil
 }
@@ -168,26 +171,26 @@ func DoDSweep(dods []float64) ([]DoDPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]DoDPoint, 0, len(dods))
-	for _, dod := range dods {
+	// Each cell gets its own GreenConfig value (and battery bank via
+	// sim.Run) and its own Hybrid learner.
+	return sweep.Map(context.Background(), dods, func(_ context.Context, _ int, dod float64) (DoDPoint, error) {
 		green := cluster.REBatt()
 		green.MaxDoD = dod
 		h, err := strategy.NewHybrid(p, tab)
 		if err != nil {
-			return nil, err
+			return DoDPoint{}, err
 		}
 		res, err := runCell(p, tab, green, h, solar.Min, 30*time.Minute)
 		if err != nil {
-			return nil, err
+			return DoDPoint{}, err
 		}
-		out = append(out, DoDPoint{
+		return DoDPoint{
 			MaxDoD:         dod,
 			Perf:           res.MeanNormPerf,
 			Cycles:         res.BatteryCycles,
 			LifetimeCycles: 1300 * 0.40 / dod,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // SourceComparison contrasts a solar-powered Med-availability burst
@@ -215,29 +218,29 @@ func SourceComparison(d time.Duration) (solarPerf, windPerf float64, err error) 
 		breeze = breeze.Scale(sun.Mean()/m).Clip(0, float64(green.PeakGreen()))
 	}
 
-	for i, supply := range []*trace.Trace{sun, breeze} {
-		h, err := strategy.NewHybrid(p, tab)
-		if err != nil {
-			return 0, 0, err
-		}
-		res, err := sim.Run(sim.Config{
-			Workload: p,
-			Green:    green,
-			Strategy: h,
-			Table:    tab,
-			Burst:    workload.Burst{Intensity: 12, Duration: d},
-			Supply:   supply,
+	perfs, err := sweep.Map(context.Background(), []*trace.Trace{sun, breeze},
+		func(_ context.Context, _ int, supply *trace.Trace) (float64, error) {
+			h, err := strategy.NewHybrid(p, tab)
+			if err != nil {
+				return 0, err
+			}
+			res, err := sim.Run(sim.Config{
+				Workload: p,
+				Green:    green,
+				Strategy: h,
+				Table:    tab,
+				Burst:    workload.Burst{Intensity: 12, Duration: d},
+				Supply:   supply,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MeanNormPerf, nil
 		})
-		if err != nil {
-			return 0, 0, err
-		}
-		if i == 0 {
-			solarPerf = res.MeanNormPerf
-		} else {
-			windPerf = res.MeanNormPerf
-		}
+	if err != nil {
+		return 0, 0, err
 	}
-	return solarPerf, windPerf, nil
+	return perfs[0], perfs[1], nil
 }
 
 // IntegrationComparison quantifies §II's architectural argument: with
@@ -258,28 +261,29 @@ func IntegrationComparison() (distributed, centralized float64, err error) {
 	level := tab.Levels - 1
 
 	normalPower := float64(p.LoadPower(server.Normal(), p.IntensityRate(12)))
-	perf := func(extraPerServer float64) float64 {
-		budget := units.Watt(normalPower + extraPerServer)
+	// Two cells over the shared read-only table:
+	//
+	//   distributed — 3 servers split the array; each can draw its
+	//   share on top of nothing (green bus replaces grid), so the
+	//   full per-server share is the budget.
+	//
+	//   centralized — every server gets peak/10 extra on top of its
+	//   Normal grid allocation.
+	budgets := []units.Watt{
+		units.Watt(peak / float64(green.GreenServers)),
+		units.Watt(normalPower + peak/float64(cluster.DefaultServers)),
+	}
+	perfs, err := sweep.Map(context.Background(), budgets, func(_ context.Context, _ int, budget units.Watt) (float64, error) {
 		e, ok := tab.BestWithin(level, budget, nil)
 		if !ok {
-			return 1
+			return 1, nil
 		}
-		return e.NormPerf
+		return e.NormPerf, nil
+	})
+	if err != nil {
+		return 0, 0, err
 	}
-	// Distributed: 3 servers split the array; each can draw its
-	// share on top of nothing (green bus replaces grid) — use the
-	// full per-server share as the budget.
-	distShare := peak / float64(green.GreenServers)
-	eDist, ok := tab.BestWithin(level, units.Watt(distShare), nil)
-	if !ok {
-		distributed = 1
-	} else {
-		distributed = eDist.NormPerf
-	}
-	// Centralized: every server gets peak/10 extra on top of its
-	// Normal grid allocation.
-	centralized = perf(peak / float64(cluster.DefaultServers))
-	return distributed, centralized, nil
+	return perfs[0], perfs[1], nil
 }
 
 func runCell(p workload.Profile, tab *profile.Table, green cluster.GreenConfig,
@@ -317,26 +321,26 @@ func OverdrawComparison() (plain, overdraw float64, err error) {
 	}
 	start := time.Date(2018, 5, 1, 12, 0, 0, 0, time.UTC)
 	supply := trace.New("dipping", start, time.Minute, samples)
-	for i, allow := range []bool{false, true} {
-		res, err := sim.Run(sim.Config{
-			Workload:             p,
-			Green:                cluster.REOnly(),
-			Strategy:             strategy.Pacing{},
-			Table:                tab,
-			Burst:                workload.Burst{Intensity: 12, Duration: d},
-			Supply:               supply,
-			AllowBreakerOverdraw: allow,
+	perfs, err := sweep.Map(context.Background(), []bool{false, true},
+		func(_ context.Context, _ int, allow bool) (float64, error) {
+			res, err := sim.Run(sim.Config{
+				Workload:             p,
+				Green:                cluster.REOnly(),
+				Strategy:             strategy.Pacing{},
+				Table:                tab,
+				Burst:                workload.Burst{Intensity: 12, Duration: d},
+				Supply:               supply,
+				AllowBreakerOverdraw: allow,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MeanNormPerf, nil
 		})
-		if err != nil {
-			return 0, 0, err
-		}
-		if i == 0 {
-			plain = res.MeanNormPerf
-		} else {
-			overdraw = res.MeanNormPerf
-		}
+	if err != nil {
+		return 0, 0, err
 	}
-	return plain, overdraw, nil
+	return perfs[0], perfs[1], nil
 }
 
 // FailureKind names an injected fault.
@@ -418,35 +422,35 @@ type CalibrationPoint struct {
 // shapes do not hinge on a knife-edge calibration.
 func CalibrationSensitivity() ([]CalibrationPoint, error) {
 	base := workload.SPECjbb()
-	var out []CalibrationPoint
-	eval := func(knob string, delta float64, mutate func(*workload.Profile)) error {
-		p := base
-		mutate(&p)
-		if err := p.Validate(); err != nil {
-			return err
-		}
-		out = append(out, CalibrationPoint{
-			Knob:  knob,
-			Delta: delta,
-			Gain:  p.NormalizedPerf(server.MaxSprint()),
-		})
-		return nil
+	type perturbation struct {
+		knob   string
+		delta  float64
+		mutate func(*workload.Profile)
 	}
-	if err := eval("baseline", 0, func(*workload.Profile) {}); err != nil {
-		return nil, err
+	cells := []perturbation{
+		{"baseline", 0, func(*workload.Profile) {}},
 	}
 	for _, d := range []float64{-0.2, 0.2} {
 		d := d
-		if err := eval("freq_exponent", d, func(p *workload.Profile) {
-			p.FreqExponent *= 1 + d
-		}); err != nil {
-			return nil, err
-		}
-		if err := eval("oversub_penalty", d, func(p *workload.Profile) {
-			p.OversubPenalty *= 1 + d
-		}); err != nil {
-			return nil, err
-		}
+		cells = append(cells,
+			perturbation{"freq_exponent", d, func(p *workload.Profile) {
+				p.FreqExponent *= 1 + d
+			}},
+			perturbation{"oversub_penalty", d, func(p *workload.Profile) {
+				p.OversubPenalty *= 1 + d
+			}})
 	}
-	return out, nil
+	// Each cell mutates its own value copy of the base profile.
+	return sweep.Map(context.Background(), cells, func(_ context.Context, _ int, c perturbation) (CalibrationPoint, error) {
+		p := base
+		c.mutate(&p)
+		if err := p.Validate(); err != nil {
+			return CalibrationPoint{}, err
+		}
+		return CalibrationPoint{
+			Knob:  c.knob,
+			Delta: c.delta,
+			Gain:  p.NormalizedPerf(server.MaxSprint()),
+		}, nil
+	})
 }

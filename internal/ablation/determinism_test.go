@@ -1,0 +1,61 @@
+package ablation
+
+import (
+	"math"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"greensprint/internal/sweep"
+)
+
+// sameBits reports whether two floats are bit-identical (the golden
+// determinism bar: not "close", equal).
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestDoDSweepGoldenDeterminism is the ablation half of the
+// determinism golden test: the DoD sweep must produce bit-identical
+// results run serially twice and under the parallel engine with
+// GOMAXPROCS forced to 1, 4 and 8.
+func TestDoDSweepGoldenDeterminism(t *testing.T) {
+	dods := []float64{0.2, 0.4, 0.6, 0.8}
+	run := func() []DoDPoint {
+		t.Helper()
+		pts, err := DoDSweep(dods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != len(dods) {
+			t.Fatalf("points = %d", len(pts))
+		}
+		return pts
+	}
+	check := func(label string, got, want []DoDPoint) {
+		t.Helper()
+		for i := range want {
+			if !sameBits(got[i].Perf, want[i].Perf) ||
+				!sameBits(got[i].Cycles, want[i].Cycles) ||
+				!sameBits(got[i].MaxDoD, want[i].MaxDoD) ||
+				!sameBits(got[i].LifetimeCycles, want[i].LifetimeCycles) {
+				t.Errorf("%s: point %d = %+v, want bit-identical %+v", label, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Golden reference: two strictly serial runs must agree with each
+	// other first.
+	prevWorkers := sweep.SetDefaultWorkers(1)
+	defer sweep.SetDefaultWorkers(prevWorkers)
+	golden := run()
+	check("serial rerun", run(), golden)
+
+	sweep.SetDefaultWorkers(0) // back to GOMAXPROCS-wide pools
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		check("GOMAXPROCS="+strconv.Itoa(procs), run(), golden)
+	}
+}

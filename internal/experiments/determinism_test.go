@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"greensprint/internal/sweep"
+)
+
+// TestFig10aGoldenDeterminism is the experiments half of the
+// determinism golden test: a full figure grid (durations x burst
+// intensities, Hybrid learning in every cell) must be bit-identical
+// run serially twice and under the parallel engine with GOMAXPROCS
+// forced to 1, 4 and 8.
+func TestFig10aGoldenDeterminism(t *testing.T) {
+	run := func() *FigureGrid {
+		t.Helper()
+		g, err := Fig10a()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	check := func(label string, got, want *FigureGrid) {
+		t.Helper()
+		for _, d := range want.Durations {
+			for _, level := range want.Levels {
+				for _, v := range want.Variants {
+					g, w := got.Value(d, level, v), want.Value(d, level, v)
+					if math.Float64bits(g) != math.Float64bits(w) {
+						t.Errorf("%s: %v/%v/%s = %v (bits %x), want bit-identical %v (bits %x)",
+							label, d, level, v, g, math.Float64bits(g), w, math.Float64bits(w))
+					}
+				}
+			}
+		}
+	}
+
+	prevWorkers := sweep.SetDefaultWorkers(1)
+	defer sweep.SetDefaultWorkers(prevWorkers)
+	golden := run()
+	check("serial rerun", run(), golden)
+
+	sweep.SetDefaultWorkers(0)
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		check("GOMAXPROCS="+strconv.Itoa(procs), run(), golden)
+	}
+}
+
+// TestSensitivitySeeds pins the CellSeed-derived seed list: stable,
+// length-n, and collision-free.
+func TestSensitivitySeeds(t *testing.T) {
+	a, b := SensitivitySeeds(16), SensitivitySeeds(16)
+	if len(a) != 16 {
+		t.Fatalf("len = %d", len(a))
+	}
+	seen := map[int64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d unstable: %d vs %d", i, a[i], b[i])
+		}
+		if seen[a[i]] {
+			t.Fatalf("duplicate seed %d", a[i])
+		}
+		seen[a[i]] = true
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"greensprint/internal/sim"
 	"greensprint/internal/solar"
 	"greensprint/internal/strategy"
+	"greensprint/internal/sweep"
 	"greensprint/internal/tco"
 	"greensprint/internal/trace"
 	"greensprint/internal/workload"
@@ -132,16 +134,20 @@ func Fig10a() (*FigureGrid, error) {
 	for _, in := range intensities {
 		g.Variants = append(g.Variants, fmt.Sprintf("Int=%d", in))
 	}
-	for _, d := range g.Durations {
-		g.Perf[d] = map[solar.Availability]map[string]float64{solar.Med: {}}
-		for _, in := range intensities {
+	vals, err := sweep.Grid(context.Background(),
+		[]int{len(g.Durations), len(intensities)},
+		func(_ context.Context, _ int, c []int) (float64, error) {
+			d, in := g.Durations[c[0]], intensities[c[1]]
 			v, err := runCell(p, green, "Hybrid", solar.Med, d, in)
 			if err != nil {
-				return nil, fmt.Errorf("Fig10a %v Int=%d: %w", d, in, err)
+				return 0, fmt.Errorf("Fig10a %v Int=%d: %w", d, in, err)
 			}
-			g.Perf[d][solar.Med][fmt.Sprintf("Int=%d", in)] = v
-		}
+			return v, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	g.fill(vals)
 	return g, nil
 }
 
@@ -150,13 +156,20 @@ func Fig10a() (*FigureGrid, error) {
 func Fig10b() (map[string]float64, error) {
 	p := workload.SPECjbb()
 	green := cluster.RESBatt()
-	out := map[string]float64{}
-	for _, s := range []string{"Greedy", "Parallel", "Pacing", "Hybrid"} {
+	strats := []string{"Greedy", "Parallel", "Pacing", "Hybrid"}
+	vals, err := sweep.Map(context.Background(), strats, func(_ context.Context, _ int, s string) (float64, error) {
 		v, err := runCell(p, green, s, solar.Min, 10*time.Minute, 9)
 		if err != nil {
-			return nil, fmt.Errorf("Fig10b %s: %w", s, err)
+			return 0, fmt.Errorf("Fig10b %s: %w", s, err)
 		}
-		out[s] = v
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for i, s := range strats {
+		out[s] = vals[i]
 	}
 	return out, nil
 }

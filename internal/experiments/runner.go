@@ -6,7 +6,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"greensprint/internal/cluster"
@@ -15,6 +17,7 @@ import (
 	"greensprint/internal/sim"
 	"greensprint/internal/solar"
 	"greensprint/internal/strategy"
+	"greensprint/internal/sweep"
 	"greensprint/internal/workload"
 )
 
@@ -22,10 +25,18 @@ import (
 const Seed = 42
 
 // tableCache memoizes the per-workload profiling tables (they are
-// deterministic and moderately expensive to build).
-var tableCache = map[string]*profile.Table{}
+// deterministic and moderately expensive to build). Parallel sweep
+// cells hit it concurrently, so it is guarded by a mutex; the cached
+// *profile.Table itself is read-only after Build and safe to share
+// across cells.
+var (
+	tableMu    sync.Mutex
+	tableCache = map[string]*profile.Table{}
+)
 
 func tableFor(p workload.Profile) (*profile.Table, error) {
+	tableMu.Lock()
+	defer tableMu.Unlock()
 	if t, ok := tableCache[p.Name]; ok {
 		return t, nil
 	}
@@ -140,20 +151,40 @@ func strategyGrid(id string, p workload.Profile, green cluster.GreenConfig) (*Fi
 		Variants:  []string{"Greedy", "Parallel", "Pacing", "Hybrid"},
 		Perf:      map[time.Duration]map[solar.Availability]map[string]float64{},
 	}
+	// Fan the duration x availability x strategy cells out across the
+	// sweep pool (each cell builds its own strategy instance inside
+	// runCell), then fill the nested result maps serially.
+	vals, err := sweep.Grid(context.Background(),
+		[]int{len(g.Durations), len(g.Levels), len(g.Variants)},
+		func(_ context.Context, _ int, c []int) (float64, error) {
+			d, level, s := g.Durations[c[0]], g.Levels[c[1]], g.Variants[c[2]]
+			v, err := runCell(p, green, s, level, d, 12)
+			if err != nil {
+				return 0, fmt.Errorf("%s %v/%v/%s: %w", id, d, level, s, err)
+			}
+			return v, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	g.fill(vals)
+	return g, nil
+}
+
+// fill populates the nested Perf maps from a flat row-major
+// duration x level x variant value slice (sweep.Grid's output order).
+func (g *FigureGrid) fill(vals []float64) {
+	i := 0
 	for _, d := range g.Durations {
 		g.Perf[d] = map[solar.Availability]map[string]float64{}
 		for _, level := range g.Levels {
 			g.Perf[d][level] = map[string]float64{}
 			for _, s := range g.Variants {
-				v, err := runCell(p, green, s, level, d, 12)
-				if err != nil {
-					return nil, fmt.Errorf("%s %v/%v/%s: %w", id, d, level, s, err)
-				}
-				g.Perf[d][level][s] = v
+				g.Perf[d][level][s] = vals[i]
+				i++
 			}
 		}
 	}
-	return g, nil
 }
 
 // Fig6 reproduces Figure 6: SPECjbb under RE-Batt, four strategies ×
@@ -188,19 +219,20 @@ func Fig7() (*FigureGrid, error) {
 	for _, c := range configs {
 		g.Variants = append(g.Variants, c.Name)
 	}
-	for _, d := range g.Durations {
-		g.Perf[d] = map[solar.Availability]map[string]float64{}
-		for _, level := range g.Levels {
-			g.Perf[d][level] = map[string]float64{}
-			for _, c := range configs {
-				v, err := runCell(p, c, "Hybrid", level, d, 12)
-				if err != nil {
-					return nil, fmt.Errorf("Fig7 %v/%v/%s: %w", d, level, c.Name, err)
-				}
-				g.Perf[d][level][c.Name] = v
+	vals, err := sweep.Grid(context.Background(),
+		[]int{len(g.Durations), len(g.Levels), len(configs)},
+		func(_ context.Context, _ int, c []int) (float64, error) {
+			d, level, green := g.Durations[c[0]], g.Levels[c[1]], configs[c[2]]
+			v, err := runCell(p, green, "Hybrid", level, d, 12)
+			if err != nil {
+				return 0, fmt.Errorf("Fig7 %v/%v/%s: %w", d, level, green.Name, err)
 			}
-		}
+			return v, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	g.fill(vals)
 	return g, nil
 }
 
@@ -211,12 +243,16 @@ func Fig7() (*FigureGrid, error) {
 // the paper's replayed NREL afternoons.
 func SeedSensitivity(level solar.Availability, d time.Duration, seeds []int64) (mean, lo, hi float64, err error) {
 	p := workload.SPECjbb()
+	vals, err := sweep.Map(context.Background(), seeds, func(_ context.Context, _ int, s int64) (float64, error) {
+		return runCellSeeded(p, cluster.REBatt(), "Hybrid", level, d, 12, s)
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
 	lo, hi = 1e18, -1e18
-	for _, s := range seeds {
-		v, err := runCellSeeded(p, cluster.REBatt(), "Hybrid", level, d, 12, s)
-		if err != nil {
-			return 0, 0, 0, err
-		}
+	// Reduce serially in input order so the mean's floating-point
+	// accumulation order never depends on worker scheduling.
+	for _, v := range vals {
 		mean += v
 		if v < lo {
 			lo = v
@@ -229,17 +265,30 @@ func SeedSensitivity(level solar.Availability, d time.Duration, seeds []int64) (
 	return mean, lo, hi, nil
 }
 
+// SensitivitySeeds derives n well-mixed seeds for SeedSensitivity from
+// the package root Seed via the sweep engine's per-cell derivation.
+func SensitivitySeeds(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = sweep.CellSeed(Seed, i)
+	}
+	return out
+}
+
 // HeadlineGains reproduces the abstract's headline: the maximum
 // performance improvement per workload with sufficient renewable
 // supply (4.8x SPECjbb, 4.1x Web-Search, 4.7x Memcached).
 func HeadlineGains() (map[string]float64, error) {
+	all := workload.All()
+	vals, err := sweep.Map(context.Background(), all, func(_ context.Context, _ int, p workload.Profile) (float64, error) {
+		return runCell(p, cluster.REBatt(), "Hybrid", solar.Max, 30*time.Minute, 12)
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := map[string]float64{}
-	for _, p := range workload.All() {
-		v, err := runCell(p, cluster.REBatt(), "Hybrid", solar.Max, 30*time.Minute, 12)
-		if err != nil {
-			return nil, err
-		}
-		out[p.Name] = v
+	for i, p := range all {
+		out[p.Name] = vals[i]
 	}
 	return out, nil
 }
