@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	greensprint-bench [-fig all|1|5|6|7|8|9|10a|10b|11|day|tables|headline] [-out DIR] [-parallel]
+//	greensprint-bench [-fig all|1|5|6|7|8|9|10a|10b|11|day|tables|headline] [-out DIR] [-parallel] [-workers N]
 package main
 
 import (
@@ -25,8 +25,13 @@ func main() {
 	out := flag.String("out", "", "directory for CSV outputs (optional)")
 	parallel := flag.Bool("parallel", true,
 		"fan independent figure cells out across CPUs (results are bit-identical to -parallel=false)")
+	workers := flag.Int("workers", 0,
+		"cap the sweep worker pool at N (0 = GOMAXPROCS; overrides -parallel when set)")
 	flag.Parse()
-	if !*parallel {
+	switch {
+	case *workers > 0:
+		sweep.SetDefaultWorkers(*workers)
+	case !*parallel:
 		sweep.SetDefaultWorkers(1)
 	}
 	if err := run(os.Stdout, *fig, *out); err != nil {

@@ -7,15 +7,24 @@
 //	greensprint-sim [-config FILE] [-workload W] [-green G]
 //	                [-strategy S] [-intensity N] [-duration D]
 //	                [-availability Min|Med|Max] [-trace FILE] [-csv]
+//	                [-checkpoint FILE] [-resume]
 //
-// Flags override the config file.
+// Flags override the config file. With -checkpoint the simulator
+// persists its full state (battery, PSS, predictors, strategy) to FILE
+// after every epoch, atomically; an interrupted run restarted with
+// -resume continues from the last completed epoch and produces the
+// same schedule the uninterrupted run would have.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"greensprint/internal/cluster"
@@ -39,6 +48,8 @@ func main() {
 	avail := flag.String("availability", "", "renewable availability: Min, Med, Max")
 	tracePath := flag.String("trace", "", "CSV supply trace to replay instead of synthetic availability")
 	csvOut := flag.Bool("csv", false, "emit the epoch schedule as CSV instead of a text table")
+	ckptPath := flag.String("checkpoint", "", "persist engine state to this file after every epoch")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint file if it exists")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -72,7 +83,14 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
-	if err := run(os.Stdout, cfg, *csvOut); err != nil {
+	if *resume && *ckptPath == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	// Ctrl-C / SIGTERM stop the run at the next epoch boundary, after
+	// the epoch's checkpoint has been persisted.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, cfg, *csvOut, *ckptPath, *resume); err != nil {
 		fatal(err)
 	}
 }
@@ -82,7 +100,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(w io.Writer, cfg config.Config, csvOut bool) error {
+func run(ctx context.Context, w io.Writer, cfg config.Config, csvOut bool, ckptPath string, resume bool) error {
 	p, err := cfg.WorkloadProfile()
 	if err != nil {
 		return err
@@ -103,7 +121,7 @@ func run(w io.Writer, cfg config.Config, csvOut bool) error {
 	if err != nil {
 		return err
 	}
-	res, err := sim.Run(sim.Config{
+	eng, err := sim.New(sim.Config{
 		Workload: p,
 		Green:    green,
 		Strategy: strat,
@@ -117,6 +135,48 @@ func run(w io.Writer, cfg config.Config, csvOut bool) error {
 	if err != nil {
 		return err
 	}
+	if resume {
+		cp, err := sim.ReadCheckpointFile(ckptPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// Nothing to resume from: run from the start.
+		case err != nil:
+			return err
+		default:
+			if err := eng.Restore(cp); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "resumed from %s at epoch %d/%d\n", ckptPath, eng.EpochIndex(), eng.TotalEpochs())
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			if ckptPath != "" {
+				fmt.Fprintf(w, "interrupted at epoch %d/%d; state saved to %s\n",
+					eng.EpochIndex(), eng.TotalEpochs(), ckptPath)
+			}
+			return ctx.Err()
+		default:
+		}
+		_, ok, err := eng.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if ckptPath != "" {
+			cp, err := eng.Checkpoint()
+			if err != nil {
+				return err
+			}
+			if err := cp.WriteFile(ckptPath); err != nil {
+				return err
+			}
+		}
+	}
+	res := eng.Result()
 
 	t := report.NewTable(
 		fmt.Sprintf("Schedule: %s on %s, %s strategy, Int=%d for %v",

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,7 +22,7 @@ func smallConfig() config.Config {
 
 func TestRunText(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, smallConfig(), false); err != nil {
+	if err := run(context.Background(), &buf, smallConfig(), false, "", false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -34,7 +35,7 @@ func TestRunText(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, smallConfig(), true); err != nil {
+	if err := run(context.Background(), &buf, smallConfig(), true, "", false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "epoch,burst,case,config") {
@@ -47,7 +48,7 @@ func TestRunAllStrategiesAndWorkloads(t *testing.T) {
 		cfg := smallConfig()
 		cfg.Strategy = s
 		var buf bytes.Buffer
-		if err := run(&buf, cfg, false); err != nil {
+		if err := run(context.Background(), &buf, cfg, false, "", false); err != nil {
 			t.Errorf("%s: %v", s, err)
 		}
 	}
@@ -55,7 +56,7 @@ func TestRunAllStrategiesAndWorkloads(t *testing.T) {
 		cfg := smallConfig()
 		cfg.Workload = w
 		var buf bytes.Buffer
-		if err := run(&buf, cfg, false); err != nil {
+		if err := run(context.Background(), &buf, cfg, false, "", false); err != nil {
 			t.Errorf("%s: %v", w, err)
 		}
 	}
@@ -101,12 +102,94 @@ func TestLoadSupplyFromFile(t *testing.T) {
 	}
 	// Replayed trace drives a full run.
 	var buf bytes.Buffer
-	if err := run(&buf, cfg, false); err != nil {
+	if err := run(context.Background(), &buf, cfg, false, "", false); err != nil {
 		t.Fatal(err)
 	}
 	// Missing file errors.
 	cfg.SupplyTrace = filepath.Join(dir, "missing.csv")
 	if _, err := loadSupply(cfg, cluster.REBatt()); err == nil {
 		t.Error("missing trace should error")
+	}
+}
+
+// checkCountCtx reports cancellation after its Done channel has been
+// consulted a fixed number of times; run checks ctx once per epoch, so
+// this interrupts the loop at a deterministic epoch boundary.
+type checkCountCtx struct {
+	context.Context
+	remaining int
+	closed    chan struct{}
+}
+
+func newCheckCountCtx(n int) *checkCountCtx {
+	ch := make(chan struct{})
+	close(ch)
+	return &checkCountCtx{Context: context.Background(), remaining: n, closed: ch}
+}
+
+func (c *checkCountCtx) Done() <-chan struct{} {
+	c.remaining--
+	if c.remaining < 0 {
+		return c.closed
+	}
+	return nil
+}
+
+func (c *checkCountCtx) Err() error {
+	if c.remaining < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestRunCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "state.json")
+	cfg := smallConfig()
+	cfg.BurstDuration = config.Duration(30 * time.Minute) // 6 epochs
+
+	// Reference: the uninterrupted run.
+	var ref bytes.Buffer
+	if err := run(context.Background(), &ref, cfg, true, "", false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt after three epochs; the per-epoch checkpoint survives.
+	var interrupted bytes.Buffer
+	err := run(newCheckCountCtx(3), &interrupted, cfg, true, ckpt, false)
+	if err != context.Canceled {
+		t.Fatalf("interrupted run err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(interrupted.String(), "interrupted at epoch 3/") {
+		t.Errorf("missing interruption notice:\n%s", interrupted.String())
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not persisted: %v", err)
+	}
+
+	// Resume: picks up at epoch 3 and reproduces the reference output
+	// exactly (everything after the resume notice is bit-identical).
+	var resumed bytes.Buffer
+	if err := run(context.Background(), &resumed, cfg, true, ckpt, true); err != nil {
+		t.Fatal(err)
+	}
+	out := resumed.String()
+	if !strings.Contains(out, "resumed from "+ckpt+" at epoch 3/") {
+		t.Errorf("missing resume notice:\n%s", out)
+	}
+	if !strings.HasSuffix(out, ref.String()) {
+		t.Errorf("resumed schedule differs from uninterrupted run:\nwant suffix:\n%s\ngot:\n%s", ref.String(), out)
+	}
+
+	// -resume with no checkpoint file on disk is a fresh start.
+	var freshStart bytes.Buffer
+	missing := filepath.Join(t.TempDir(), "absent.json")
+	if err := run(context.Background(), &freshStart, cfg, true, missing, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(freshStart.String(), "resumed") {
+		t.Error("fresh start claimed to resume")
+	}
+	if freshStart.String() != ref.String() {
+		t.Error("fresh start with -resume differs from the plain run")
 	}
 }

@@ -17,10 +17,19 @@
 //
 //	greensprintd [-addr :8479] [-config FILE] [-backend sim|sysfs]
 //	             [-sysfs-root DIR] [-epoch 5m] [-once N]
+//	             [-checkpoint FILE] [-resume] [-qtable FILE]
+//
+// With -checkpoint the daemon persists the full controller state
+// (battery model, PSS accounting, predictors, decision history and the
+// Hybrid Q-table) after every epoch and on shutdown; -resume restores
+// it on startup so the control loop continues where it left off. The
+// older -qtable flag persists only the Q-table and is kept for
+// compatibility.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -49,7 +59,12 @@ func main() {
 	epoch := flag.Duration("epoch", 0, "override the scheduling epoch (e.g. 2s for demos)")
 	once := flag.Int("once", 0, "run N epochs and exit (0 = serve forever)")
 	qtable := flag.String("qtable", "", "file persisting the Hybrid Q-table across restarts")
+	ckpt := flag.String("checkpoint", "", "file persisting the full controller state after every epoch")
+	resume := flag.Bool("resume", false, "restore controller state from the -checkpoint file on startup")
 	flag.Parse()
+	if *resume && *ckpt == "" {
+		log.Fatal("greensprintd: -resume requires -checkpoint")
+	}
 
 	cfg := config.Default()
 	if *cfgPath != "" {
@@ -58,12 +73,12 @@ func main() {
 			log.Fatalf("greensprintd: %v", err)
 		}
 	}
-	if err := run(cfg, *addr, *backend, *sysfsRoot, *epoch, *once, *qtable); err != nil {
+	if err := run(cfg, *addr, *backend, *sysfsRoot, *epoch, *once, *qtable, *ckpt, *resume); err != nil {
 		log.Fatalf("greensprintd: %v", err)
 	}
 }
 
-func run(cfg config.Config, addr, backend, sysfsRoot string, epoch time.Duration, once int, qtablePath string) error {
+func run(cfg config.Config, addr, backend, sysfsRoot string, epoch time.Duration, once int, qtablePath, ckptPath string, resume bool) error {
 	p, err := cfg.WorkloadProfile()
 	if err != nil {
 		return err
@@ -108,6 +123,11 @@ func run(cfg config.Config, addr, backend, sysfsRoot string, epoch time.Duration
 			log.Printf("greensprintd: qtable: %v (starting fresh)", err)
 		}
 	}
+	if resume {
+		if err := loadCheckpoint(ctrl, ckptPath); err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+	}
 
 	srv := &http.Server{Addr: addr, Handler: httpapi.New(ctrl)}
 	errCh := make(chan error, 1)
@@ -123,7 +143,7 @@ func run(cfg config.Config, addr, backend, sysfsRoot string, epoch time.Duration
 	defer stop()
 
 	if ticker {
-		go tickLoop(ctx, ctrl, cfg, green.PeakGreen(), epoch, once, stop)
+		go tickLoop(ctx, ctrl, cfg, green.PeakGreen(), epoch, once, ckptPath, stop)
 	}
 
 	select {
@@ -136,6 +156,11 @@ func run(cfg config.Config, addr, backend, sysfsRoot string, epoch time.Duration
 	if qtablePath != "" {
 		if err := saveQTable(ctrl, qtablePath); err != nil {
 			log.Printf("greensprintd: qtable: %v", err)
+		}
+	}
+	if ckptPath != "" {
+		if err := saveCheckpoint(ctrl, ckptPath); err != nil {
+			log.Printf("greensprintd: checkpoint: %v", err)
 		}
 	}
 	return srv.Shutdown(shutdownCtx)
@@ -181,13 +206,66 @@ func saveQTable(ctrl *core.Controller, path string) error {
 	return nil
 }
 
+// loadCheckpoint restores the full controller state from a checkpoint
+// file written by a previous run; a missing file means a first run.
+func loadCheckpoint(ctrl *core.Controller, path string) error {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil // first run
+	}
+	if err != nil {
+		return err
+	}
+	var cp core.Checkpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if err := ctrl.Restore(&cp); err != nil {
+		return err
+	}
+	log.Printf("greensprintd: resumed from %s at epoch %d", path, cp.Count)
+	return nil
+}
+
+// saveCheckpoint atomically persists the full controller state: a
+// temporary file in the destination directory renamed into place, so a
+// crash mid-write never truncates the previous checkpoint.
+func saveCheckpoint(ctrl *core.Controller, path string) error {
+	cp, err := ctrl.Checkpoint()
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
 // tickLoop drives the controller each epoch: an open-loop load
 // generator (the Faban role) offers requests to the current server
 // setting, its measured latencies flow through the Monitor, and the
 // resulting telemetry steps the control loop. The green supply comes
 // from the configured availability window.
 func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
-	peak units.Watt, epoch time.Duration, once int, stop func()) {
+	peak units.Watt, epoch time.Duration, once int, ckptPath string, stop func()) {
 
 	level, err := cfg.AvailabilityLevel()
 	if err != nil {
@@ -242,6 +320,11 @@ func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
 		if err != nil {
 			log.Printf("greensprintd: step: %v", err)
 		} else {
+			if ckptPath != "" {
+				if err := saveCheckpoint(ctrl, ckptPath); err != nil {
+					log.Printf("greensprintd: checkpoint: %v", err)
+				}
+			}
 			log.Printf("epoch %d: config=%v case=%v budget=%v sprint=%.0f%% goodput=%.0f/s p%v=%.0fms",
 				d.Epoch, d.Config, d.Case, d.Budget, d.SprintFraction*100,
 				tel.Goodput, p.Quantile*100, tel.Latency*1000)

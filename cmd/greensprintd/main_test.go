@@ -17,7 +17,7 @@ func TestRunOnce(t *testing.T) {
 	cfg.BurstDuration = config.Duration(10 * time.Minute)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(cfg, "127.0.0.1:0", "sim", "", 5*time.Millisecond, 4, "")
+		done <- run(cfg, "127.0.0.1:0", "sim", "", 5*time.Millisecond, 4, "", "", false)
 	}()
 	select {
 	case err := <-done:
@@ -31,7 +31,7 @@ func TestRunOnce(t *testing.T) {
 
 func TestRunRejectsUnknownBackend(t *testing.T) {
 	cfg := config.Default()
-	if err := run(cfg, "127.0.0.1:0", "warp", "", time.Second, 1, ""); err == nil {
+	if err := run(cfg, "127.0.0.1:0", "warp", "", time.Second, 1, "", "", false); err == nil {
 		t.Error("unknown backend should error")
 	}
 }
@@ -39,7 +39,7 @@ func TestRunRejectsUnknownBackend(t *testing.T) {
 func TestRunRejectsBadConfig(t *testing.T) {
 	cfg := config.Default()
 	cfg.Workload = "nope"
-	if err := run(cfg, "127.0.0.1:0", "sim", "", time.Second, 1, ""); err == nil {
+	if err := run(cfg, "127.0.0.1:0", "sim", "", time.Second, 1, "", "", false); err == nil {
 		t.Error("bad workload should error")
 	}
 }
@@ -53,7 +53,7 @@ func TestQTablePersistence(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		done := make(chan error, 1)
 		go func() {
-			done <- run(cfg, "127.0.0.1:0", "sim", "", 5*time.Millisecond, 3, path)
+			done <- run(cfg, "127.0.0.1:0", "sim", "", 5*time.Millisecond, 3, path, "", false)
 		}()
 		select {
 		case err := <-done:

@@ -8,10 +8,16 @@
 // passing clouds in the sample force the controller through all three
 // PSS cases within one burst.
 //
-//	go run ./examples/nrel-replay [midc.csv]
+//	go run ./examples/nrel-replay [-windows N] [midc.csv]
+//
+// With -windows N the replay is split into N contiguous time shards
+// chained through sim.Checkpoint hand-off (sweep.ShardedRun); the
+// stitched schedule is bit-identical to the sequential run.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -23,13 +29,16 @@ import (
 	"greensprint/internal/profile"
 	"greensprint/internal/sim"
 	"greensprint/internal/strategy"
+	"greensprint/internal/sweep"
 	"greensprint/internal/workload"
 )
 
 func main() {
+	windows := flag.Int("windows", 1, "split the replay into N checkpoint-chained time shards")
+	flag.Parse()
 	path := filepath.Join("examples", "nrel-replay", "midc_sample.csv")
-	if len(os.Args) > 1 {
-		path = os.Args[1]
+	if flag.NArg() > 0 {
+		path = flag.Arg(0)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -55,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sim.Run(sim.Config{
+	res, err := sweep.ShardedRun(context.Background(), sim.Config{
 		Workload: app,
 		Green:    green,
 		Strategy: strat,
@@ -63,7 +72,7 @@ func main() {
 		Burst:    workload.Burst{Intensity: 12, Duration: 60 * time.Minute},
 		Supply:   supply,
 		Lead:     30 * time.Minute, // charge batteries from the morning sun
-	})
+	}, *windows)
 	if err != nil {
 		log.Fatal(err)
 	}

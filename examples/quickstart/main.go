@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -45,7 +46,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sim.Run(sim.Config{
+		res, err := sim.Run(context.Background(), sim.Config{
 			Workload: app,
 			Green:    green,
 			Strategy: strat,

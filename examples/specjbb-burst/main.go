@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -69,7 +70,7 @@ func runOne(app workload.Profile, table *profile.Table, green cluster.GreenConfi
 		log.Fatal(err)
 	}
 	supply := solar.Synthesize(level, d, time.Minute, float64(green.PeakGreen()), 42)
-	res, err := sim.Run(sim.Config{
+	res, err := sim.Run(context.Background(), sim.Config{
 		Workload: app,
 		Green:    green,
 		Strategy: strat,

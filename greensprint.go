@@ -26,6 +26,7 @@
 package greensprint
 
 import (
+	"context"
 	"time"
 
 	"greensprint/internal/cluster"
@@ -148,8 +149,27 @@ type (
 	SimulationResult = sim.Result
 )
 
-// RunSimulation executes an offline simulation.
-func RunSimulation(cfg Simulation) (*SimulationResult, error) { return sim.Run(cfg) }
+// RunSimulation executes an offline simulation to completion.
+func RunSimulation(cfg Simulation) (*SimulationResult, error) {
+	return sim.Run(context.Background(), cfg)
+}
+
+// RunSimulationContext executes an offline simulation, stopping at the
+// next epoch boundary if ctx is cancelled.
+func RunSimulationContext(ctx context.Context, cfg Simulation) (*SimulationResult, error) {
+	return sim.Run(ctx, cfg)
+}
+
+// SimulationEngine is the steppable simulation engine (one epoch per
+// Step); SimulationCheckpoint is its serializable mid-run state.
+type (
+	SimulationEngine     = sim.Engine
+	SimulationCheckpoint = sim.Checkpoint
+)
+
+// NewSimulation builds a steppable engine for epoch-by-epoch control,
+// checkpointing, and resumption.
+func NewSimulation(cfg Simulation) (*SimulationEngine, error) { return sim.New(cfg) }
 
 // SupplyTrace is a renewable power time series.
 type SupplyTrace = trace.Trace

@@ -92,12 +92,12 @@ func QuantizationSweep(steps []float64) ([]QuantizationPoint, error) {
 	green := cluster.REBatt()
 	// The profiling table is shared read-only; every cell builds its
 	// own Hybrid (and thus its own mutable Q-table).
-	return sweep.Map(context.Background(), steps, func(_ context.Context, _ int, step float64) (QuantizationPoint, error) {
+	return sweep.Map(context.Background(), steps, func(ctx context.Context, _ int, step float64) (QuantizationPoint, error) {
 		h, err := strategy.NewHybridWithOptions(p, tab, strategy.HybridOptions{QuantizationStep: step})
 		if err != nil {
 			return QuantizationPoint{}, err
 		}
-		res, err := runCell(p, tab, green, h, solar.Med, 30*time.Minute)
+		res, err := runCell(ctx, p, tab, green, h, solar.Med, 30*time.Minute)
 		if err != nil {
 			return QuantizationPoint{}, err
 		}
@@ -134,12 +134,12 @@ func RewardAblation() (shaped, literal, naive float64, err error) {
 		{LiteralReward: true},
 		{LiteralReward: true, DisableBurnValue: true},
 	}
-	out, err := sweep.Map(context.Background(), variants, func(_ context.Context, _ int, opts strategy.HybridOptions) (float64, error) {
+	out, err := sweep.Map(context.Background(), variants, func(ctx context.Context, _ int, opts strategy.HybridOptions) (float64, error) {
 		h, err := strategy.NewHybridWithOptions(p, tab, opts)
 		if err != nil {
 			return 0, err
 		}
-		res, err := runCell(p, tab, green, h, solar.Med, 60*time.Minute)
+		res, err := runCell(ctx, p, tab, green, h, solar.Med, 60*time.Minute)
 		if err != nil {
 			return 0, err
 		}
@@ -173,14 +173,14 @@ func DoDSweep(dods []float64) ([]DoDPoint, error) {
 	}
 	// Each cell gets its own GreenConfig value (and battery bank via
 	// sim.Run) and its own Hybrid learner.
-	return sweep.Map(context.Background(), dods, func(_ context.Context, _ int, dod float64) (DoDPoint, error) {
+	return sweep.Map(context.Background(), dods, func(ctx context.Context, _ int, dod float64) (DoDPoint, error) {
 		green := cluster.REBatt()
 		green.MaxDoD = dod
 		h, err := strategy.NewHybrid(p, tab)
 		if err != nil {
 			return DoDPoint{}, err
 		}
-		res, err := runCell(p, tab, green, h, solar.Min, 30*time.Minute)
+		res, err := runCell(ctx, p, tab, green, h, solar.Min, 30*time.Minute)
 		if err != nil {
 			return DoDPoint{}, err
 		}
@@ -219,12 +219,12 @@ func SourceComparison(d time.Duration) (solarPerf, windPerf float64, err error) 
 	}
 
 	perfs, err := sweep.Map(context.Background(), []*trace.Trace{sun, breeze},
-		func(_ context.Context, _ int, supply *trace.Trace) (float64, error) {
+		func(ctx context.Context, _ int, supply *trace.Trace) (float64, error) {
 			h, err := strategy.NewHybrid(p, tab)
 			if err != nil {
 				return 0, err
 			}
-			res, err := sim.Run(sim.Config{
+			res, err := sim.Run(ctx, sim.Config{
 				Workload: p,
 				Green:    green,
 				Strategy: h,
@@ -286,11 +286,11 @@ func IntegrationComparison() (distributed, centralized float64, err error) {
 	return perfs[0], perfs[1], nil
 }
 
-func runCell(p workload.Profile, tab *profile.Table, green cluster.GreenConfig,
+func runCell(ctx context.Context, p workload.Profile, tab *profile.Table, green cluster.GreenConfig,
 	strat strategy.Strategy, level solar.Availability, d time.Duration) (*sim.Result, error) {
 
 	supply := solar.Synthesize(level, d, time.Minute, float64(green.PeakGreen()), Seed)
-	return sim.Run(sim.Config{
+	return sim.Run(ctx, sim.Config{
 		Workload: p,
 		Green:    green,
 		Strategy: strat,
@@ -322,8 +322,8 @@ func OverdrawComparison() (plain, overdraw float64, err error) {
 	start := time.Date(2018, 5, 1, 12, 0, 0, 0, time.UTC)
 	supply := trace.New("dipping", start, time.Minute, samples)
 	perfs, err := sweep.Map(context.Background(), []bool{false, true},
-		func(_ context.Context, _ int, allow bool) (float64, error) {
-			res, err := sim.Run(sim.Config{
+		func(ctx context.Context, _ int, allow bool) (float64, error) {
+			res, err := sim.Run(ctx, sim.Config{
 				Workload:             p,
 				Green:                cluster.REOnly(),
 				Strategy:             strategy.Pacing{},
@@ -395,7 +395,7 @@ func InjectFailure(kind FailureKind) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(sim.Config{
+	return sim.Run(context.Background(), sim.Config{
 		Workload: p,
 		Green:    green,
 		Strategy: h,

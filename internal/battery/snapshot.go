@@ -1,0 +1,63 @@
+package battery
+
+import "fmt"
+
+// Snapshot is the serializable state of one battery unit: everything
+// that evolves during a run. The configuration itself is not captured —
+// a snapshot is restored into a unit built from the same Config, and
+// Restore rejects state a unit of that configuration could never reach.
+type Snapshot struct {
+	// SoC is the state of charge as a fraction of rated capacity.
+	SoC float64 `json:"soc"`
+	// DischargedAh is the cumulative discharged charge (rated-Ah
+	// equivalent) backing cycle accounting.
+	DischargedAh float64 `json:"discharged_ah"`
+}
+
+// Snapshot captures the unit's mutable state.
+func (b *Battery) Snapshot() Snapshot {
+	return Snapshot{SoC: b.soc, DischargedAh: b.dischargedAh}
+}
+
+// Restore replaces the unit's mutable state with a snapshot taken from
+// a unit of the same configuration.
+func (b *Battery) Restore(s Snapshot) error {
+	if s.SoC < 0 || s.SoC > 1 || s.SoC != s.SoC {
+		return fmt.Errorf("battery: restore: SoC %v outside [0,1]", s.SoC)
+	}
+	if s.DischargedAh < 0 || s.DischargedAh != s.DischargedAh {
+		return fmt.Errorf("battery: restore: negative discharged charge %v", s.DischargedAh)
+	}
+	b.soc = s.SoC
+	b.dischargedAh = s.DischargedAh
+	return nil
+}
+
+// BankSnapshot is the serializable state of a bank: one Snapshot per
+// unit, in unit order.
+type BankSnapshot struct {
+	Units []Snapshot `json:"units"`
+}
+
+// Snapshot captures the per-unit state of the whole bank.
+func (b *Bank) Snapshot() BankSnapshot {
+	s := BankSnapshot{Units: make([]Snapshot, len(b.units))}
+	for i, u := range b.units {
+		s.Units[i] = u.Snapshot()
+	}
+	return s
+}
+
+// Restore replaces every unit's state from a snapshot of a bank with
+// the same unit count and configuration.
+func (b *Bank) Restore(s BankSnapshot) error {
+	if len(s.Units) != len(b.units) {
+		return fmt.Errorf("battery: restore: snapshot has %d units, bank has %d", len(s.Units), len(b.units))
+	}
+	for i, u := range b.units {
+		if err := u.Restore(s.Units[i]); err != nil {
+			return fmt.Errorf("battery: restore unit %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"time"
 
 	"greensprint/internal/units"
@@ -77,6 +78,29 @@ func (b *Breaker) Step(draw units.Watt, dt time.Duration) bool {
 func (b *Breaker) Reset() {
 	b.stress = 0
 	b.tripped = false
+}
+
+// BreakerSnapshot is the serializable thermal state of a breaker; the
+// trip-curve parameters (Rated, MaxOverload, TripAfter) come from the
+// configuration the breaker is rebuilt with, not the snapshot.
+type BreakerSnapshot struct {
+	Stress  float64 `json:"stress"`
+	Tripped bool    `json:"tripped"`
+}
+
+// Snapshot captures the breaker's mutable state.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	return BreakerSnapshot{Stress: b.stress, Tripped: b.tripped}
+}
+
+// Restore replaces the breaker's thermal state with a snapshot.
+func (b *Breaker) Restore(s BreakerSnapshot) error {
+	if s.Stress < 0 || s.Stress > 1 || s.Stress != s.Stress {
+		return fmt.Errorf("cluster: restore breaker: stress %v outside [0,1]", s.Stress)
+	}
+	b.stress = s.Stress
+	b.tripped = s.Tripped
+	return nil
 }
 
 // EnergyAccount accumulates energy delivered per source over a run; it

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"greensprint/internal/pmk"
+	"greensprint/internal/predictor"
+	"greensprint/internal/pss"
+)
+
+// CheckpointVersion is the format version written into controller
+// checkpoints; Restore rejects any other version.
+const CheckpointVersion = 1
+
+// Checkpoint is the serializable state of a Controller between two
+// epochs: every stateful layer (battery bank, PSS accounting,
+// predictors, knob fleet, strategy) plus the decision log. A daemon
+// that persists one on shutdown and restores it on startup resumes its
+// control loop — including a Hybrid strategy's learned Q-table — as if
+// it had never stopped.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Workload, Strategy and Green fingerprint the configuration the
+	// checkpoint was cut from; Restore rejects a mismatch.
+	Workload string `json:"workload"`
+	Strategy string `json:"strategy"`
+	Green    string `json:"green_config"`
+
+	Count   int        `json:"epoch_count"`
+	Last    Decision   `json:"last_decision"`
+	History []Decision `json:"history"`
+
+	Selector pss.SelectorSnapshot   `json:"selector"`
+	Fleet    pmk.FleetSnapshot      `json:"fleet"`
+	LoadPred predictor.EWMASnapshot `json:"load_predictor"`
+	// StrategyState is the strategy's opaque state (nil for stateless
+	// strategies; the Hybrid's persisted Q-table pins the knob space).
+	StrategyState json.RawMessage `json:"strategy_state,omitempty"`
+}
+
+// Checkpoint captures the controller's state at the current epoch
+// boundary. The controller keeps running.
+func (c *Controller) Checkpoint() (*Checkpoint, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, err := c.strat.SnapshotState()
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint strategy: %w", err)
+	}
+	return &Checkpoint{
+		Version:       CheckpointVersion,
+		Workload:      c.opts.Workload.Name,
+		Strategy:      c.strat.Name(),
+		Green:         c.opts.Green.Name,
+		Count:         c.count,
+		Last:          c.last,
+		History:       append([]Decision(nil), c.history...),
+		Selector:      c.selector.Snapshot(),
+		Fleet:         c.fleet.Snapshot(),
+		LoadPred:      c.loadPred.Snapshot(),
+		StrategyState: raw,
+	}, nil
+}
+
+// Restore replaces the controller's state with a checkpoint cut from a
+// controller with the same workload, strategy and green configuration.
+// Component snapshots must fit the controller's layout (bank size,
+// fleet size) and a strategy snapshot must match the strategy's knob
+// space, so a stale or foreign checkpoint fails loudly.
+func (c *Controller) Restore(cp *Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("core: restore: nil checkpoint")
+	}
+	if cp.Version != CheckpointVersion {
+		return fmt.Errorf("core: restore: checkpoint version %d, controller supports %d", cp.Version, CheckpointVersion)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cp.Workload != c.opts.Workload.Name {
+		return fmt.Errorf("core: restore: checkpoint workload %q, controller runs %q", cp.Workload, c.opts.Workload.Name)
+	}
+	if cp.Strategy != c.strat.Name() {
+		return fmt.Errorf("core: restore: checkpoint strategy %q, controller runs %q", cp.Strategy, c.strat.Name())
+	}
+	if cp.Green != c.opts.Green.Name {
+		return fmt.Errorf("core: restore: checkpoint green config %q, controller runs %q", cp.Green, c.opts.Green.Name)
+	}
+	if cp.Count < 0 {
+		return fmt.Errorf("core: restore: negative epoch count %d", cp.Count)
+	}
+	if err := c.selector.Restore(cp.Selector); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	if err := c.fleet.Restore(cp.Fleet); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	if err := c.loadPred.Restore(cp.LoadPred); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	if err := c.strat.RestoreState(cp.StrategyState); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	c.count = cp.Count
+	c.last = cp.Last
+	c.history = append([]Decision(nil), cp.History...)
+	if len(c.history) > HistoryLimit {
+		c.history = c.history[len(c.history)-HistoryLimit:]
+	}
+	return nil
+}

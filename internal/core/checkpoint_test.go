@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"greensprint/internal/cluster"
+)
+
+// TestControllerCheckpointRoundTrip drives a controller through a few
+// epochs, serializes its checkpoint through JSON, restores it into a
+// fresh controller, and checks the two controllers decide identically
+// from then on — the daemon's restart-without-amnesia property.
+func TestControllerCheckpointRoundTrip(t *testing.T) {
+	a := newController(t, "Hybrid", cluster.REBatt())
+	for i := 0; i < 5; i++ {
+		if _, err := a.Step(burstTelemetry(400)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp2 Checkpoint
+	if err := json.Unmarshal(raw, &cp2); err != nil {
+		t.Fatal(err)
+	}
+
+	b := newController(t, "Hybrid", cluster.REBatt())
+	if err := b.Restore(&cp2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.Snapshot().Epoch, a.Snapshot().Epoch; got != want {
+		t.Fatalf("restored epoch count = %d, want %d", got, want)
+	}
+	if got, want := len(b.History()), len(a.History()); got != want {
+		t.Fatalf("restored history = %d decisions, want %d", got, want)
+	}
+	for i := 0; i < 3; i++ {
+		da, err := a.Step(burstTelemetry(300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := b.Step(burstTelemetry(300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if da != db {
+			t.Errorf("post-restore epoch %d diverged:\noriginal %+v\nrestored %+v", i, da, db)
+		}
+	}
+}
+
+// TestControllerRestoreRejectsMismatch verifies the checkpoint's
+// configuration fingerprint: a checkpoint only restores into a
+// controller running the same workload, strategy and green config, at
+// the same format version.
+func TestControllerRestoreRejectsMismatch(t *testing.T) {
+	src := newController(t, "Hybrid", cluster.REBatt())
+	if _, err := src.Step(burstTelemetry(400)); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := newController(t, "Hybrid", cluster.REBatt()).Restore(nil); err == nil {
+		t.Error("nil checkpoint accepted")
+	}
+
+	bad := *cp
+	bad.Version = 99
+	if err := newController(t, "Hybrid", cluster.REBatt()).Restore(&bad); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("version mismatch = %v, want version error", err)
+	}
+
+	if err := newController(t, "Greedy", cluster.REBatt()).Restore(cp); err == nil ||
+		!strings.Contains(err.Error(), "strategy") {
+		t.Errorf("strategy mismatch = %v, want strategy error", err)
+	}
+
+	if err := newController(t, "Hybrid", cluster.RESBatt()).Restore(cp); err == nil ||
+		!strings.Contains(err.Error(), "green config") {
+		t.Errorf("green-config mismatch = %v, want green-config error", err)
+	}
+
+	bad = *cp
+	bad.Workload = "Web-Search"
+	if err := newController(t, "Hybrid", cluster.REBatt()).Restore(&bad); err == nil ||
+		!strings.Contains(err.Error(), "workload") {
+		t.Errorf("workload mismatch = %v, want workload error", err)
+	}
+}

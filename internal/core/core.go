@@ -30,6 +30,7 @@ import (
 	"greensprint/internal/profile"
 	"greensprint/internal/pss"
 	"greensprint/internal/server"
+	"greensprint/internal/sim"
 	"greensprint/internal/strategy"
 	"greensprint/internal/units"
 	"greensprint/internal/workload"
@@ -262,7 +263,7 @@ func (c *Controller) Step(t Telemetry) (Decision, error) {
 		// completed in this period").
 		bursting := c.table.MaxRate > 0 && predRate > 0.5*c.table.MaxRate
 		if !bursting && c.selector.NeedsRecharge() {
-			c.selector.RechargeFromGrid(units.Watt(100*float64(n)), c.epoch)
+			c.selector.RechargeFromGrid(units.Watt(float64(sim.GridRechargePower)*float64(n)), c.epoch)
 		}
 	}
 	applied := chosen

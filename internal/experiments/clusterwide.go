@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"greensprint/internal/cluster"
@@ -52,7 +53,7 @@ func ClusterWide(level solar.Availability, d time.Duration) (*ClusterWideResult,
 		gridPerf = e.NormPerf
 		gridCfg = e.Config()
 	}
-	greenPerf, err := runCell(p, green, "Hybrid", level, d, 12)
+	greenPerf, err := runCell(context.Background(), p, green, "Hybrid", level, d, 12)
 	if err != nil {
 		return nil, err
 	}

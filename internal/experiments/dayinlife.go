@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"greensprint/internal/sim"
 	"greensprint/internal/solar"
 	"greensprint/internal/strategy"
+	"greensprint/internal/sweep"
 	"greensprint/internal/tco"
 	"greensprint/internal/workload"
 )
@@ -41,16 +43,36 @@ type DayResult struct {
 // pattern drives the cluster-wide offered rate (1.0 = ten Normal-mode
 // servers fully used); the spikes above 1.0 are the sprinting windows.
 func DayInTheLife() (*DayResult, error) {
+	return DayInTheLifeSharded(context.Background(), 1)
+}
+
+// DayInTheLifeSharded is DayInTheLife split into `windows` contiguous
+// time shards chained through sim.Checkpoint hand-off (windows <= 1
+// runs the plain sequential engine). The stitched result is
+// bit-identical to the sequential replay; sharding exists so
+// multi-day replays can persist progress between windows.
+func DayInTheLifeSharded(ctx context.Context, windows int) (*DayResult, error) {
+	cfg, err := dayInTheLifeConfig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := sweep.ShardedRun(ctx, cfg, windows)
+	if err != nil {
+		return nil, err
+	}
+	return summarizeDay(cfg, res)
+}
+
+// dayInTheLifeConfig assembles the day-long replay configuration: the
+// Figure 1 load pattern offered to the green servers and a generated
+// partly-cloudy solar day.
+func dayInTheLifeConfig() (sim.Config, error) {
 	p := workload.SPECjbb()
 	tab, err := tableFor(p)
 	if err != nil {
-		return nil, err
+		return sim.Config{}, err
 	}
 	green := cluster.REBatt()
-	cl, err := cluster.New(green)
-	if err != nil {
-		return nil, err
-	}
 
 	// Inputs: the Figure 1 load pattern and a partly-cloudy solar day.
 	load := workload.DiurnalPattern(figStart, time.Minute)
@@ -61,7 +83,7 @@ func DayInTheLife() (*DayResult, error) {
 	scfg.Array = green.Array()
 	sun, err := solar.Generate(scfg)
 	if err != nil {
-		return nil, err
+		return sim.Config{}, err
 	}
 
 	// The green servers run under the controller for the whole day;
@@ -74,9 +96,9 @@ func DayInTheLife() (*DayResult, error) {
 	perServerOffered := load.Scale(normalCap)
 	strat, err := strategy.NewHybrid(p, tab)
 	if err != nil {
-		return nil, err
+		return sim.Config{}, err
 	}
-	res, err := sim.Run(sim.Config{
+	return sim.Config{
 		Workload: p,
 		Green:    green,
 		Strategy: strat,
@@ -84,10 +106,18 @@ func DayInTheLife() (*DayResult, error) {
 		Burst:    workload.Burst{Intensity: 12, Duration: 24 * time.Hour},
 		Supply:   sun,
 		Offered:  perServerOffered,
-	})
+	}, nil
+}
+
+// summarizeDay reduces a day-long replay result to the DayResult
+// headline numbers.
+func summarizeDay(cfg sim.Config, res *sim.Result) (*DayResult, error) {
+	p, green, tab := cfg.Workload, cfg.Green, cfg.Table
+	cl, err := cluster.New(green)
 	if err != nil {
 		return nil, err
 	}
+	normalCap := p.MaxGoodput(server.Normal())
 
 	out := &DayResult{
 		GreenFraction:       res.Account.GreenFraction(),

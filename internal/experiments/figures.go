@@ -92,7 +92,7 @@ func Fig5() ([]report.Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(sim.Config{
+	res, err := sim.Run(context.Background(), sim.Config{
 		Workload: p,
 		Green:    green,
 		Strategy: strat,
@@ -136,9 +136,9 @@ func Fig10a() (*FigureGrid, error) {
 	}
 	vals, err := sweep.Grid(context.Background(),
 		[]int{len(g.Durations), len(intensities)},
-		func(_ context.Context, _ int, c []int) (float64, error) {
+		func(ctx context.Context, _ int, c []int) (float64, error) {
 			d, in := g.Durations[c[0]], intensities[c[1]]
-			v, err := runCell(p, green, "Hybrid", solar.Med, d, in)
+			v, err := runCell(ctx, p, green, "Hybrid", solar.Med, d, in)
 			if err != nil {
 				return 0, fmt.Errorf("Fig10a %v Int=%d: %w", d, in, err)
 			}
@@ -157,8 +157,8 @@ func Fig10b() (map[string]float64, error) {
 	p := workload.SPECjbb()
 	green := cluster.RESBatt()
 	strats := []string{"Greedy", "Parallel", "Pacing", "Hybrid"}
-	vals, err := sweep.Map(context.Background(), strats, func(_ context.Context, _ int, s string) (float64, error) {
-		v, err := runCell(p, green, s, solar.Min, 10*time.Minute, 9)
+	vals, err := sweep.Map(context.Background(), strats, func(ctx context.Context, _ int, s string) (float64, error) {
+		v, err := runCell(ctx, p, green, s, solar.Min, 10*time.Minute, 9)
 		if err != nil {
 			return 0, fmt.Errorf("Fig10b %s: %w", s, err)
 		}

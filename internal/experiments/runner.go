@@ -49,15 +49,16 @@ func tableFor(p workload.Profile) (*profile.Table, error) {
 }
 
 // runCell simulates one figure cell and returns the mean normalized
-// performance over the burst.
-func runCell(p workload.Profile, green cluster.GreenConfig, stratName string,
+// performance over the burst. ctx cancellation stops the underlying
+// run at an epoch boundary.
+func runCell(ctx context.Context, p workload.Profile, green cluster.GreenConfig, stratName string,
 	level solar.Availability, d time.Duration, intensity int) (float64, error) {
-	return runCellSeeded(p, green, stratName, level, d, intensity, Seed)
+	return runCellSeeded(ctx, p, green, stratName, level, d, intensity, Seed)
 }
 
 // runCellSeeded is runCell with an explicit supply seed, used by the
 // seed-sensitivity analysis.
-func runCellSeeded(p workload.Profile, green cluster.GreenConfig, stratName string,
+func runCellSeeded(ctx context.Context, p workload.Profile, green cluster.GreenConfig, stratName string,
 	level solar.Availability, d time.Duration, intensity int, seed int64) (float64, error) {
 
 	tab, err := tableFor(p)
@@ -69,7 +70,7 @@ func runCellSeeded(p workload.Profile, green cluster.GreenConfig, stratName stri
 		return 0, err
 	}
 	supply := solar.Synthesize(level, d, time.Minute, float64(green.PeakGreen()), seed)
-	res, err := sim.Run(sim.Config{
+	res, err := sim.Run(ctx, sim.Config{
 		Workload: p,
 		Green:    green,
 		Strategy: strat,
@@ -156,9 +157,9 @@ func strategyGrid(id string, p workload.Profile, green cluster.GreenConfig) (*Fi
 	// runCell), then fill the nested result maps serially.
 	vals, err := sweep.Grid(context.Background(),
 		[]int{len(g.Durations), len(g.Levels), len(g.Variants)},
-		func(_ context.Context, _ int, c []int) (float64, error) {
+		func(ctx context.Context, _ int, c []int) (float64, error) {
 			d, level, s := g.Durations[c[0]], g.Levels[c[1]], g.Variants[c[2]]
-			v, err := runCell(p, green, s, level, d, 12)
+			v, err := runCell(ctx, p, green, s, level, d, 12)
 			if err != nil {
 				return 0, fmt.Errorf("%s %v/%v/%s: %w", id, d, level, s, err)
 			}
@@ -221,9 +222,9 @@ func Fig7() (*FigureGrid, error) {
 	}
 	vals, err := sweep.Grid(context.Background(),
 		[]int{len(g.Durations), len(g.Levels), len(configs)},
-		func(_ context.Context, _ int, c []int) (float64, error) {
+		func(ctx context.Context, _ int, c []int) (float64, error) {
 			d, level, green := g.Durations[c[0]], g.Levels[c[1]], configs[c[2]]
-			v, err := runCell(p, green, "Hybrid", level, d, 12)
+			v, err := runCell(ctx, p, green, "Hybrid", level, d, 12)
 			if err != nil {
 				return 0, fmt.Errorf("Fig7 %v/%v/%s: %w", d, level, green.Name, err)
 			}
@@ -242,9 +243,14 @@ func Fig7() (*FigureGrid, error) {
 // and extremes. EXPERIMENTS.md cites this when comparing Med cells to
 // the paper's replayed NREL afternoons.
 func SeedSensitivity(level solar.Availability, d time.Duration, seeds []int64) (mean, lo, hi float64, err error) {
+	if len(seeds) == 0 {
+		// Default fan-out: eight seeds derived from the package root
+		// Seed via the sweep engine's per-cell derivation.
+		seeds = SensitivitySeeds(8)
+	}
 	p := workload.SPECjbb()
-	vals, err := sweep.Map(context.Background(), seeds, func(_ context.Context, _ int, s int64) (float64, error) {
-		return runCellSeeded(p, cluster.REBatt(), "Hybrid", level, d, 12, s)
+	vals, err := sweep.Map(context.Background(), seeds, func(ctx context.Context, _ int, s int64) (float64, error) {
+		return runCellSeeded(ctx, p, cluster.REBatt(), "Hybrid", level, d, 12, s)
 	})
 	if err != nil {
 		return 0, 0, 0, err
@@ -280,8 +286,8 @@ func SensitivitySeeds(n int) []int64 {
 // supply (4.8x SPECjbb, 4.1x Web-Search, 4.7x Memcached).
 func HeadlineGains() (map[string]float64, error) {
 	all := workload.All()
-	vals, err := sweep.Map(context.Background(), all, func(_ context.Context, _ int, p workload.Profile) (float64, error) {
-		return runCell(p, cluster.REBatt(), "Hybrid", solar.Max, 30*time.Minute, 12)
+	vals, err := sweep.Map(context.Background(), all, func(ctx context.Context, _ int, p workload.Profile) (float64, error) {
+		return runCell(ctx, p, cluster.REBatt(), "Hybrid", solar.Max, 30*time.Minute, 12)
 	})
 	if err != nil {
 		return nil, err

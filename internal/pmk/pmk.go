@@ -187,3 +187,74 @@ func (f *Fleet) Configs() []server.Config {
 	}
 	return out
 }
+
+// KnobSnapshot is the serializable state of one knob: the applied
+// setting plus the transition count (meaningful for Sim knobs; other
+// backends report 0).
+type KnobSnapshot struct {
+	Config      server.Config `json:"config"`
+	Transitions int           `json:"transitions"`
+}
+
+// Snapshot captures the knob's state without actuating anything.
+func (s *Sim) Snapshot() KnobSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return KnobSnapshot{Config: s.cur, Transitions: s.transitions}
+}
+
+// Restore replaces the knob's state without counting a transition, so
+// a resumed run's actuation accounting matches the uninterrupted one.
+func (s *Sim) Restore(snap KnobSnapshot) error {
+	if !snap.Config.Valid() {
+		return fmt.Errorf("pmk: restore: invalid config %v", snap.Config)
+	}
+	if snap.Transitions < 0 {
+		return fmt.Errorf("pmk: restore: negative transition count %d", snap.Transitions)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur = snap.Config
+	s.transitions = snap.Transitions
+	return nil
+}
+
+// FleetSnapshot is the serializable state of a whole fleet, in server
+// order.
+type FleetSnapshot struct {
+	Knobs []KnobSnapshot `json:"knobs"`
+}
+
+// Snapshot captures every knob's state.
+func (f *Fleet) Snapshot() FleetSnapshot {
+	s := FleetSnapshot{Knobs: make([]KnobSnapshot, len(f.knobs))}
+	for i, k := range f.knobs {
+		if sim, ok := k.(*Sim); ok {
+			s.Knobs[i] = sim.Snapshot()
+		} else {
+			s.Knobs[i] = KnobSnapshot{Config: k.Current()}
+		}
+	}
+	return s
+}
+
+// Restore applies a fleet snapshot. Sim knobs restore state (including
+// transition counts) without actuating; hardware-backed knobs re-apply
+// the recorded setting so the machine converges to the checkpoint.
+func (f *Fleet) Restore(s FleetSnapshot) error {
+	if len(s.Knobs) != len(f.knobs) {
+		return fmt.Errorf("pmk: restore: snapshot has %d knobs, fleet has %d", len(s.Knobs), len(f.knobs))
+	}
+	for i, k := range f.knobs {
+		if sim, ok := k.(*Sim); ok {
+			if err := sim.Restore(s.Knobs[i]); err != nil {
+				return fmt.Errorf("pmk: restore knob %d: %w", i, err)
+			}
+			continue
+		}
+		if err := k.Apply(s.Knobs[i].Config); err != nil {
+			return fmt.Errorf("pmk: restore knob %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -62,6 +62,34 @@ func (e *EWMA) Predict() float64 { return e.value }
 // Primed reports whether at least one observation has been made.
 func (e *EWMA) Primed() bool { return e.primed }
 
+// EWMASnapshot is the serializable state of an EWMA predictor. Alpha
+// is carried so a restore into a differently-configured predictor (a
+// checkpoint from another knob setting) fails loudly instead of
+// silently changing the forecast dynamics.
+type EWMASnapshot struct {
+	Alpha  float64 `json:"alpha"`
+	Value  float64 `json:"value"`
+	Primed bool    `json:"primed"`
+}
+
+// Snapshot captures the predictor's mutable state.
+func (e *EWMA) Snapshot() EWMASnapshot {
+	return EWMASnapshot{Alpha: e.alpha, Value: e.value, Primed: e.primed}
+}
+
+// Restore replaces the predictor's state with a snapshot taken from a
+// predictor with the same smoothing factor.
+func (e *EWMA) Restore(s EWMASnapshot) error {
+	if s.Alpha != e.alpha {
+		return fmt.Errorf("predictor: restore: snapshot alpha %v does not match predictor alpha %v", s.Alpha, e.alpha)
+	}
+	if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+		return fmt.Errorf("predictor: restore: non-finite value %v", s.Value)
+	}
+	e.value, e.primed = s.Value, s.Primed
+	return nil
+}
+
 // Alpha returns the smoothing factor.
 func (e *EWMA) Alpha() float64 { return e.alpha }
 

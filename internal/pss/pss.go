@@ -297,3 +297,34 @@ func (s *Selector) RechargeFromGreen(available units.Watt, epoch time.Duration) 
 	s.acct.GreenCharged += in
 	return in
 }
+
+// SelectorSnapshot is the serializable state of the PSS: the battery
+// bank's charge and wear, the supply predictor's EWMA state, and the
+// cumulative energy accounting.
+type SelectorSnapshot struct {
+	Bank      battery.BankSnapshot   `json:"bank"`
+	Predictor predictor.EWMASnapshot `json:"predictor"`
+	Account   cluster.EnergyAccount  `json:"account"`
+}
+
+// Snapshot captures the selector's mutable state.
+func (s *Selector) Snapshot() SelectorSnapshot {
+	return SelectorSnapshot{
+		Bank:      s.bank.Snapshot(),
+		Predictor: s.pred.Snapshot(),
+		Account:   s.acct,
+	}
+}
+
+// Restore replaces the selector's state with a snapshot taken from a
+// selector over an identically configured bank.
+func (s *Selector) Restore(snap SelectorSnapshot) error {
+	if err := s.bank.Restore(snap.Bank); err != nil {
+		return fmt.Errorf("pss: %w", err)
+	}
+	if err := s.pred.Restore(snap.Predictor); err != nil {
+		return fmt.Errorf("pss: %w", err)
+	}
+	s.acct = snap.Account
+	return nil
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"greensprint/internal/cluster"
+	"greensprint/internal/pmk"
+	"greensprint/internal/predictor"
+	"greensprint/internal/pss"
+)
+
+// CheckpointVersion is the format version written into every
+// Checkpoint; Restore rejects any other version so stale files fail
+// loudly instead of silently corrupting a resumed run.
+const CheckpointVersion = 1
+
+// Checkpoint is the complete serializable state of an Engine between
+// two epochs: every stateful layer's snapshot (battery bank, PSS,
+// breaker, knob fleet, predictors, strategy) plus the epoch schedule
+// position and the records produced so far. A checkpoint restored into
+// a fresh Engine built from the same Config continues bit-identically
+// to the uninterrupted run; it round-trips through JSON.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Epoch and SupplyStart fingerprint the schedule the checkpoint
+	// was cut from; Restore rejects a mismatch.
+	Epoch       time.Duration `json:"epoch"`
+	SupplyStart time.Time     `json:"supply_start"`
+	// EpochIndex is the number of epochs already run; the resumed
+	// engine continues at SupplyStart + EpochIndex·Epoch.
+	EpochIndex int `json:"epoch_index"`
+
+	Selector pss.SelectorSnapshot     `json:"selector"`
+	Fleet    pmk.FleetSnapshot        `json:"fleet"`
+	Breaker  *cluster.BreakerSnapshot `json:"breaker,omitempty"`
+	LoadPred predictor.EWMASnapshot   `json:"load_predictor"`
+	// Strategy is the strategy's opaque state (nil for stateless
+	// strategies; the rl-backed Hybrid persists its Q-table, which
+	// pins the knob space).
+	Strategy json.RawMessage `json:"strategy,omitempty"`
+
+	Records      []EpochRecord `json:"records"`
+	BurstPerfSum float64       `json:"burst_perf_sum"`
+	BurstEpochs  int           `json:"burst_epochs"`
+}
+
+// Checkpoint captures the engine's state at the current epoch
+// boundary. The engine is not perturbed and may keep stepping.
+func (e *Engine) Checkpoint() (*Checkpoint, error) {
+	stratRaw, err := e.cfg.Strategy.SnapshotState()
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint strategy: %w", err)
+	}
+	cp := &Checkpoint{
+		Version:      CheckpointVersion,
+		Epoch:        e.epoch,
+		SupplyStart:  e.cfg.Supply.Start,
+		EpochIndex:   e.epochIndex,
+		Selector:     e.selector.Snapshot(),
+		Fleet:        e.fleet.Snapshot(),
+		LoadPred:     e.loadPred.Snapshot(),
+		Strategy:     stratRaw,
+		Records:      append([]EpochRecord(nil), e.records...),
+		BurstPerfSum: e.burstPerfSum,
+		BurstEpochs:  e.burstEpochs,
+	}
+	if e.breaker != nil {
+		s := e.breaker.Snapshot()
+		cp.Breaker = &s
+	}
+	return cp, nil
+}
+
+// Restore replaces the engine's state with a checkpoint cut from an
+// engine built over the same Config. The checkpoint's version and
+// schedule fingerprint must match, component snapshots must fit the
+// engine's layout (bank size, fleet size, breaker presence), and a
+// strategy snapshot must match the strategy's knob space.
+func (e *Engine) Restore(cp *Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("sim: restore: nil checkpoint")
+	}
+	if cp.Version != CheckpointVersion {
+		return fmt.Errorf("sim: restore: checkpoint version %d, engine supports %d", cp.Version, CheckpointVersion)
+	}
+	if cp.Epoch != e.epoch {
+		return fmt.Errorf("sim: restore: checkpoint epoch %v, engine epoch %v", cp.Epoch, e.epoch)
+	}
+	if !cp.SupplyStart.Equal(e.cfg.Supply.Start) {
+		return fmt.Errorf("sim: restore: checkpoint starts %v, engine starts %v", cp.SupplyStart, e.cfg.Supply.Start)
+	}
+	if cp.EpochIndex < 0 || cp.EpochIndex > e.TotalEpochs() {
+		return fmt.Errorf("sim: restore: epoch index %d outside run of %d epochs", cp.EpochIndex, e.TotalEpochs())
+	}
+	if len(cp.Records) != cp.EpochIndex {
+		return fmt.Errorf("sim: restore: %d records for %d epochs", len(cp.Records), cp.EpochIndex)
+	}
+	if (cp.Breaker == nil) != (e.breaker == nil) {
+		return fmt.Errorf("sim: restore: checkpoint and engine disagree on breaker overdraw")
+	}
+	if err := e.selector.Restore(cp.Selector); err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+	if err := e.fleet.Restore(cp.Fleet); err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+	if e.breaker != nil {
+		if err := e.breaker.Restore(*cp.Breaker); err != nil {
+			return fmt.Errorf("sim: restore: %w", err)
+		}
+	}
+	if err := e.loadPred.Restore(cp.LoadPred); err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+	if err := e.cfg.Strategy.RestoreState(cp.Strategy); err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+	e.records = append([]EpochRecord(nil), cp.Records...)
+	e.burstPerfSum = cp.BurstPerfSum
+	e.burstEpochs = cp.BurstEpochs
+	e.epochIndex = cp.EpochIndex
+	e.at = e.cfg.Supply.Start.Add(time.Duration(cp.EpochIndex) * e.epoch)
+	return nil
+}
+
+// Encode serializes the checkpoint as JSON.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("sim: encode checkpoint: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeCheckpoint parses a JSON checkpoint and checks its version.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		return nil, fmt.Errorf("sim: decode checkpoint: %w", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("sim: decode checkpoint: version %d, supported %d", cp.Version, CheckpointVersion)
+	}
+	return &cp, nil
+}
+
+// WriteFile atomically persists the checkpoint: it writes a temporary
+// file in the destination directory and renames it into place, so a
+// crash mid-write never leaves a truncated checkpoint behind.
+func (c *Checkpoint) WriteFile(path string) error {
+	b, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sim: write checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpointFile loads and version-checks a checkpoint file.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sim: read checkpoint: %w", err)
+	}
+	return DecodeCheckpoint(b)
+}

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"greensprint/internal/cluster"
+	"greensprint/internal/pmk"
+	"greensprint/internal/predictor"
+	"greensprint/internal/profile"
+	"greensprint/internal/pss"
+	"greensprint/internal/server"
+	"greensprint/internal/units"
+)
+
+// GridRechargePower is the grid power budget for topping up the
+// battery bank during non-sprinting epochs once the DoD recharge
+// trigger fires (§III-A Case 3: "we charge the battery with grid power
+// in anticipation of future sprints"). The paper keeps this small —
+// recharge rides spare grid-budget headroom, it never competes with
+// serving load.
+const GridRechargePower units.Watt = 100
+
+// Engine is the steppable form of the simulator: New builds the full
+// controller stack (Predictor + PSS + strategy + PMK) for a config,
+// Step advances one scheduling epoch, and Result aggregates what has
+// run so far. Run wraps the three for the common run-to-completion
+// case; callers that need mid-run control — checkpointing, sharded
+// replays, epoch-by-epoch inspection — drive the Engine directly.
+type Engine struct {
+	cfg      Config
+	epoch    time.Duration
+	tab      *profile.Table
+	selector *pss.Selector
+	fleet    *pmk.Fleet
+	breaker  *cluster.Breaker
+	loadPred *predictor.EWMA
+	n        int
+
+	normalPower  units.Watt
+	baseGoodput  float64
+	burstStart   time.Time
+	burstEnd     time.Time
+	runEnd       time.Time
+	offeredBurst float64
+	offeredIdle  float64
+
+	at           time.Time
+	epochIndex   int
+	records      []EpochRecord
+	burstPerfSum float64
+	burstEpochs  int
+}
+
+// New validates cfg and builds an Engine positioned at the first
+// epoch. The setup matches what Run has always done: the supply
+// predictor is primed with the pre-run observation and the workload
+// predictor with the first offered-rate window when a trace is
+// replayed.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = DefaultEpoch
+	}
+	tab := cfg.Table
+	if tab == nil {
+		var err error
+		if tab, err = profile.Build(cfg.Workload, profile.DefaultLevels); err != nil {
+			return nil, err
+		}
+	}
+	bank, err := cfg.Green.NewBank()
+	if err != nil {
+		return nil, err
+	}
+	selector := pss.New(bank)
+	n := cfg.Green.GreenServers
+	if n == 0 {
+		return nil, fmt.Errorf("sim: no green servers in config %q", cfg.Green.Name)
+	}
+	fleet := pmk.NewSimFleet(n)
+	var breaker *cluster.Breaker
+	if cfg.AllowBreakerOverdraw {
+		cl, err := cluster.New(cfg.Green)
+		if err != nil {
+			return nil, err
+		}
+		breaker = cluster.NewBreaker(cl.GridBudget)
+	}
+
+	baseGoodput := cfg.Workload.MaxGoodput(server.Normal())
+	burstStart := cfg.Supply.Start.Add(cfg.Lead)
+	e := &Engine{
+		cfg:      cfg,
+		epoch:    epoch,
+		tab:      tab,
+		selector: selector,
+		fleet:    fleet,
+		breaker:  breaker,
+		loadPred: predictor.NewEWMA(predictor.DefaultAlpha),
+		n:        n,
+
+		normalPower:  cfg.Workload.LoadPower(server.Normal(), cfg.Burst.Rate(cfg.Workload)),
+		baseGoodput:  baseGoodput,
+		burstStart:   burstStart,
+		burstEnd:     burstStart.Add(cfg.Burst.Duration),
+		offeredBurst: cfg.Burst.Rate(cfg.Workload),
+		// Outside the burst the rack serves a comfortable background
+		// load, as SquareTrace models.
+		offeredIdle: 0.6 * baseGoodput,
+
+		at: cfg.Supply.Start,
+	}
+	e.runEnd = e.burstEnd.Add(cfg.Tail)
+
+	// Prime the supply predictor with the pre-run observation so the
+	// first epoch has a sensible forecast (the paper's predictor has
+	// been running continuously before any burst).
+	selector.ObserveSupply(units.Watt(cfg.Supply.At(cfg.Supply.Start)))
+	// Workload predictor (the paper's L_pre EWMA); only used when an
+	// offered-rate trace is replayed.
+	if cfg.Offered != nil {
+		e.loadPred.Observe(meanWindow(cfg.Offered, cfg.Supply.Start, epoch))
+	}
+	return e, nil
+}
+
+// Step advances the simulation by one scheduling epoch. It returns the
+// epoch's record and true while the run is in progress, and a zero
+// record and false once the configured horizon has been consumed.
+func (e *Engine) Step() (EpochRecord, bool, error) {
+	if !e.at.Before(e.runEnd) {
+		return EpochRecord{}, false, nil
+	}
+	at := e.at
+	inBurst := !at.Before(e.burstStart) && at.Before(e.burstEnd)
+	offered := e.offeredIdle
+	if inBurst {
+		offered = e.offeredBurst
+	}
+	predicted := offered
+	if e.cfg.Offered != nil {
+		offered = meanWindow(e.cfg.Offered, at, e.epoch)
+		predicted = e.loadPred.Predict()
+	}
+	greenObserved := units.Watt(meanWindow(e.cfg.Supply, at, e.epoch))
+
+	var rec EpochRecord
+	rec.Start = at
+	rec.InBurst = inBurst
+	rec.Supply = greenObserved
+	rec.Offered = offered
+
+	if inBurst {
+		rec = runBurstEpoch(rec, e.cfg, e.tab, e.selector, e.fleet, e.breaker, e.n, e.epoch,
+			greenObserved, offered, predicted, e.normalPower, at, e.burstEnd)
+	} else {
+		rec = runIdleEpoch(rec, e.cfg, e.selector, e.fleet, e.epoch, greenObserved, offered)
+		if e.breaker != nil {
+			// Non-burst epochs stay within the budget and cool the
+			// breaker.
+			e.breaker.Step(0, e.epoch)
+		}
+	}
+
+	if e.baseGoodput > 0 {
+		rec.NormPerf = rec.Goodput / e.baseGoodput
+	}
+	rec.SoC = e.selector.Bank().SoC()
+	e.selector.ObserveSupply(greenObserved)
+	e.loadPred.Observe(offered)
+	e.records = append(e.records, rec)
+	if inBurst {
+		e.burstPerfSum += rec.NormPerf
+		e.burstEpochs++
+	}
+	e.at = at.Add(e.epoch)
+	e.epochIndex++
+	return rec, true, nil
+}
+
+// Done reports whether the configured horizon has been consumed.
+func (e *Engine) Done() bool { return !e.at.Before(e.runEnd) }
+
+// Result aggregates the epochs run so far. It may be called at any
+// point; after the final Step it is the same Result Run returns.
+func (e *Engine) Result() *Result {
+	res := &Result{Fleet: e.fleet}
+	res.Records = append(res.Records, e.records...)
+	if e.burstEpochs > 0 {
+		res.MeanNormPerf = e.burstPerfSum / float64(e.burstEpochs)
+	}
+	res.Account = e.selector.Account()
+	res.BatteryCycles = e.selector.Bank().EquivalentCycles()
+	return res
+}
+
+// Epoch returns the resolved scheduling-epoch length.
+func (e *Engine) Epoch() time.Duration { return e.epoch }
+
+// EpochIndex returns how many epochs have been stepped so far.
+func (e *Engine) EpochIndex() int { return e.epochIndex }
+
+// TotalEpochs returns the number of epochs the configured horizon
+// spans (the run covers [Supply.Start, burst end + tail)).
+func (e *Engine) TotalEpochs() int {
+	d := e.runEnd.Sub(e.cfg.Supply.Start)
+	if d <= 0 {
+		return 0
+	}
+	n := int(d / e.epoch)
+	if time.Duration(n)*e.epoch < d {
+		n++
+	}
+	return n
+}
+
+// Breaker exposes the PDU breaker model, or nil when the run does not
+// allow overdraw. Tests assert on its stress accounting.
+func (e *Engine) Breaker() *cluster.Breaker { return e.breaker }
+
+// Run executes the simulation to completion. It is a thin wrapper over
+// New/Step/Result whose output is identical to driving the Engine by
+// hand; ctx is checked between epochs, so cancellation stops the run
+// at an epoch boundary and returns ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		_, ok, err := e.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return e.Result(), nil
+		}
+	}
+}

@@ -17,7 +17,6 @@ import (
 
 	"greensprint/internal/cluster"
 	"greensprint/internal/pmk"
-	"greensprint/internal/predictor"
 	"greensprint/internal/profile"
 	"greensprint/internal/pss"
 	"greensprint/internal/server"
@@ -129,116 +128,6 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: negative epoch %v", c.Epoch)
 	}
 	return nil
-}
-
-// Run executes the simulation.
-func Run(cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	epoch := cfg.Epoch
-	if epoch == 0 {
-		epoch = DefaultEpoch
-	}
-	tab := cfg.Table
-	if tab == nil {
-		var err error
-		if tab, err = profile.Build(cfg.Workload, profile.DefaultLevels); err != nil {
-			return nil, err
-		}
-	}
-	bank, err := cfg.Green.NewBank()
-	if err != nil {
-		return nil, err
-	}
-	selector := pss.New(bank)
-	n := cfg.Green.GreenServers
-	if n == 0 {
-		return nil, fmt.Errorf("sim: no green servers in config %q", cfg.Green.Name)
-	}
-	fleet := pmk.NewSimFleet(n)
-	var breaker *cluster.Breaker
-	if cfg.AllowBreakerOverdraw {
-		cl, err := cluster.New(cfg.Green)
-		if err != nil {
-			return nil, err
-		}
-		breaker = cluster.NewBreaker(cl.GridBudget)
-	}
-
-	normalPower := cfg.Workload.LoadPower(server.Normal(), cfg.Burst.Rate(cfg.Workload))
-	baseGoodput := cfg.Workload.MaxGoodput(server.Normal())
-	burstStart := cfg.Supply.Start.Add(cfg.Lead)
-	burstEnd := burstStart.Add(cfg.Burst.Duration)
-	runEnd := burstEnd.Add(cfg.Tail)
-	offeredBurst := cfg.Burst.Rate(cfg.Workload)
-	// Outside the burst the rack serves a comfortable background
-	// load, as SquareTrace models.
-	offeredIdle := 0.6 * baseGoodput
-
-	// Prime the supply predictor with the pre-run observation so the
-	// first epoch has a sensible forecast (the paper's predictor has
-	// been running continuously before any burst).
-	selector.ObserveSupply(units.Watt(cfg.Supply.At(cfg.Supply.Start)))
-	// Workload predictor (the paper's L_pre EWMA); only used when an
-	// offered-rate trace is replayed.
-	loadPred := predictor.NewEWMA(predictor.DefaultAlpha)
-	if cfg.Offered != nil {
-		loadPred.Observe(meanWindow(cfg.Offered, cfg.Supply.Start, epoch))
-	}
-
-	res := &Result{Fleet: fleet}
-	var burstPerfSum float64
-	burstEpochs := 0
-
-	for at := cfg.Supply.Start; at.Before(runEnd); at = at.Add(epoch) {
-		inBurst := !at.Before(burstStart) && at.Before(burstEnd)
-		offered := offeredIdle
-		if inBurst {
-			offered = offeredBurst
-		}
-		predicted := offered
-		if cfg.Offered != nil {
-			offered = meanWindow(cfg.Offered, at, epoch)
-			predicted = loadPred.Predict()
-		}
-		greenObserved := units.Watt(meanWindow(cfg.Supply, at, epoch))
-
-		var rec EpochRecord
-		rec.Start = at
-		rec.InBurst = inBurst
-		rec.Supply = greenObserved
-		rec.Offered = offered
-
-		if inBurst {
-			rec = runBurstEpoch(rec, cfg, tab, selector, fleet, breaker, n, epoch, greenObserved, offered, predicted, normalPower, at, burstEnd)
-		} else {
-			rec = runIdleEpoch(rec, cfg, selector, fleet, epoch, greenObserved, offered)
-			if breaker != nil {
-				// Non-burst epochs stay within the budget and cool
-				// the breaker.
-				breaker.Step(0, epoch)
-			}
-		}
-
-		if baseGoodput > 0 {
-			rec.NormPerf = rec.Goodput / baseGoodput
-		}
-		rec.SoC = bank.SoC()
-		selector.ObserveSupply(greenObserved)
-		loadPred.Observe(offered)
-		res.Records = append(res.Records, rec)
-		if inBurst {
-			burstPerfSum += rec.NormPerf
-			burstEpochs++
-		}
-	}
-	if burstEpochs > 0 {
-		res.MeanNormPerf = burstPerfSum / float64(burstEpochs)
-	}
-	res.Account = selector.Account()
-	res.BatteryCycles = bank.EquivalentCycles()
-	return res, nil
 }
 
 // runBurstEpoch executes one sprinting epoch.
@@ -368,7 +257,7 @@ func runIdleEpoch(rec EpochRecord, cfg Config, selector *pss.Selector,
 	// trigger has fired (§III-A Case 3).
 	selector.RechargeFromGreen(greenObserved, epoch)
 	if selector.NeedsRecharge() {
-		selector.RechargeFromGrid(100, epoch)
+		selector.RechargeFromGrid(GridRechargePower, epoch)
 	}
 	rec.Grid = cfg.Workload.LoadPower(server.Normal(), offered)
 	return rec

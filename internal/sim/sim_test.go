@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"greensprint/internal/strategy"
 	"greensprint/internal/thermal"
 	"greensprint/internal/trace"
+	"greensprint/internal/units"
 	"greensprint/internal/workload"
 )
 
@@ -33,7 +35,7 @@ func init() {
 func runCase(t *testing.T, level solar.Availability, d time.Duration, strat strategy.Strategy, green cluster.GreenConfig) *Result {
 	t.Helper()
 	supply := solar.Synthesize(level, d, time.Minute, float64(green.PeakGreen()), 42)
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Workload: testProfile,
 		Green:    green,
 		Strategy: strat,
@@ -95,7 +97,7 @@ func TestValidate(t *testing.T) {
 	// Run rejects a no-green-server config.
 	noGreen := good
 	noGreen.Green = cluster.GreenConfig{Name: "none"}
-	if _, err := Run(noGreen); err == nil {
+	if _, err := Run(context.Background(), noGreen); err == nil {
 		t.Error("no green servers should fail at Run")
 	}
 }
@@ -239,7 +241,7 @@ func TestLeadTailRecharge(t *testing.T) {
 	for i := 0; i < int(lead/time.Minute); i++ {
 		supply.Samples[i] = 500
 	}
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Workload: testProfile,
 		Green:    cluster.REBatt(),
 		Strategy: strategy.Greedy{},
@@ -267,6 +269,13 @@ func TestLeadTailRecharge(t *testing.T) {
 	}
 	if res.Account.GridCharged <= 0 {
 		t.Error("grid recharge should be accounted after a deep discharge")
+	}
+	// Grid top-up is budgeted at GridRechargePower per idle epoch
+	// (§III-A Case 3), so the tail can bank at most that power
+	// sustained over its whole duration.
+	if max := units.WattHour(float64(GridRechargePower) * tail.Hours()); res.Account.GridCharged > max {
+		t.Errorf("grid recharge %v exceeds the %v budget over %v",
+			res.Account.GridCharged, GridRechargePower, tail)
 	}
 	// Idle epochs serve the background load at Normal mode.
 	if res.Records[0].InBurst || res.Records[0].Config != server.Normal() {
@@ -339,7 +348,7 @@ func TestEnergyConservation(t *testing.T) {
 	for _, level := range solar.Levels() {
 		for _, green := range []cluster.GreenConfig{cluster.REBatt(), cluster.RESBatt(), cluster.REOnly()} {
 			supply := solar.Synthesize(level, 30*time.Minute, time.Minute, float64(green.PeakGreen()), 42)
-			res, err := Run(Config{
+			res, err := Run(context.Background(), Config{
 				Workload: testProfile,
 				Green:    green,
 				Strategy: strategy.Greedy{},
@@ -388,7 +397,7 @@ func TestOfferedTraceReplay(t *testing.T) {
 		samples[i] = peak * (0.4 + 0.6*float64(i)/float64(n-1))
 	}
 	offered := trace.New("offered", supply.Start, time.Minute, samples)
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Workload: testProfile,
 		Green:    cluster.REBatt(),
 		Strategy: strategy.Pacing{},
@@ -440,7 +449,7 @@ func TestBreakerOverdrawLastResort(t *testing.T) {
 	}
 	supply := trace.New("dipping", start, time.Minute, samples)
 	run := func(overdraw bool) *Result {
-		res, err := Run(Config{
+		res, err := Run(context.Background(), Config{
 			Workload:             testProfile,
 			Green:                cluster.REOnly(),
 			Strategy:             strategy.Pacing{},
@@ -507,7 +516,7 @@ func TestWeekEnduranceRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Workload: testProfile,
 		Green:    cluster.REBatt(),
 		Strategy: h,

@@ -18,6 +18,8 @@
 package strategy
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -101,10 +103,32 @@ type Strategy interface {
 	Decide(in Inputs) server.Config
 	// Learn feeds back the measured outcome of the previous epoch.
 	Learn(fb Feedback)
+	// SnapshotState serializes the strategy's internal learning
+	// state for checkpointing. Stateless strategies return nil.
+	SnapshotState() (json.RawMessage, error)
+	// RestoreState replaces the strategy's internal state with a
+	// previously snapshotted one. Stateless strategies accept only
+	// an empty state.
+	RestoreState(raw json.RawMessage) error
+}
+
+// Stateless provides the no-op snapshot half of the Strategy interface
+// for strategies without internal learning state; embed it.
+type Stateless struct{}
+
+// SnapshotState implements Strategy: nothing to capture.
+func (Stateless) SnapshotState() (json.RawMessage, error) { return nil, nil }
+
+// RestoreState implements Strategy: only an empty state is valid.
+func (Stateless) RestoreState(raw json.RawMessage) error {
+	if len(raw) > 0 {
+		return fmt.Errorf("strategy: stateless strategy cannot restore %d bytes of state", len(raw))
+	}
+	return nil
 }
 
 // Normal is the non-sprinting baseline.
-type Normal struct{}
+type Normal struct{ Stateless }
 
 // Name implements Strategy.
 func (Normal) Name() string { return "Normal" }
@@ -118,7 +142,7 @@ func (Normal) Learn(Feedback) {}
 // Greedy activates all cores at the highest frequency whenever the
 // budget sustains it, with no prediction of future green production
 // (§III-B); otherwise it returns to Normal.
-type Greedy struct{}
+type Greedy struct{ Stateless }
 
 // Name implements Strategy.
 func (Greedy) Name() string { return "Greedy" }
@@ -146,7 +170,7 @@ func (Greedy) Learn(Feedback) {}
 
 // Parallel scales only the core count, pinning the frequency at the
 // maximum.
-type Parallel struct{}
+type Parallel struct{ Stateless }
 
 // Name implements Strategy.
 func (Parallel) Name() string { return "Parallel" }
@@ -160,7 +184,7 @@ func (Parallel) Decide(in Inputs) server.Config {
 func (Parallel) Learn(Feedback) {}
 
 // Pacing scales only the frequency, keeping every core active.
-type Pacing struct{}
+type Pacing struct{ Stateless }
 
 // Name implements Strategy.
 func (Pacing) Name() string { return "Pacing" }
@@ -484,5 +508,63 @@ func (h *Hybrid) LoadQ(r io.Reader) error {
 	}
 	h.table = t
 	h.last.valid = false
+	return nil
+}
+
+// hybridState is the serialized form of a Hybrid's mutable state: the
+// learned Q-table (in the rl package's persisted format, which pins
+// the knob space) plus the pending decision→feedback link when a
+// snapshot is taken between Decide and Learn.
+type hybridState struct {
+	QTable json.RawMessage `json:"q_table"`
+	Last   *hybridLast     `json:"last,omitempty"`
+}
+
+type hybridLast struct {
+	State  rl.State `json:"state"`
+	Action int      `json:"action"`
+}
+
+// SnapshotState implements Strategy by delegating to the rl package's
+// JSON persistence.
+func (h *Hybrid) SnapshotState() (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := h.table.WriteJSON(&buf); err != nil {
+		return nil, fmt.Errorf("strategy: snapshot hybrid: %w", err)
+	}
+	st := hybridState{QTable: buf.Bytes()}
+	if h.last.valid {
+		st.Last = &hybridLast{State: h.last.state, Action: h.last.action}
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("strategy: snapshot hybrid: %w", err)
+	}
+	return raw, nil
+}
+
+// RestoreState implements Strategy. The embedded Q-table is validated
+// against the current knob space by rl.ReadJSON, so a snapshot from a
+// different action space is rejected with a clear error.
+func (h *Hybrid) RestoreState(raw json.RawMessage) error {
+	if len(raw) == 0 {
+		return fmt.Errorf("strategy: hybrid cannot restore an empty state")
+	}
+	var st hybridState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("strategy: restore hybrid: %w", err)
+	}
+	t, err := rl.ReadJSON(bytes.NewReader(st.QTable))
+	if err != nil {
+		return fmt.Errorf("strategy: restore hybrid: %w", err)
+	}
+	h.table = t
+	if st.Last != nil {
+		h.last.valid = true
+		h.last.state = st.Last.State
+		h.last.action = st.Last.Action
+	} else {
+		h.last.valid = false
+	}
 	return nil
 }
