@@ -6,9 +6,17 @@
 // Usage:
 //
 //	greensprint-bench [-fig all|1|5|6|7|8|9|10a|10b|11|day|tables|headline] [-out DIR] [-parallel] [-workers N]
+//	                  [-windows N] [-events FILE]
+//
+// -windows splits the -fig day replay into N contiguous time shards
+// chained through checkpoint hand-off (matching examples/nrel-replay
+// -windows); the stitched result is bit-identical to -windows=1.
+// -events streams the day replay's per-epoch JSONL observability
+// records to FILE; the stream is identical whatever the window count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +24,7 @@ import (
 	"path/filepath"
 
 	"greensprint/internal/experiments"
+	"greensprint/internal/obs"
 	"greensprint/internal/report"
 	"greensprint/internal/sweep"
 )
@@ -27,6 +36,10 @@ func main() {
 		"fan independent figure cells out across CPUs (results are bit-identical to -parallel=false)")
 	workers := flag.Int("workers", 0,
 		"cap the sweep worker pool at N (0 = GOMAXPROCS; overrides -parallel when set)")
+	windows := flag.Int("windows", 1,
+		"split the -fig day replay into N checkpoint-chained time shards (result is bit-identical to 1)")
+	eventsPath := flag.String("events", "",
+		"stream the -fig day replay's per-epoch JSONL observability records to this file")
 	flag.Parse()
 	switch {
 	case *workers > 0:
@@ -34,13 +47,27 @@ func main() {
 	case !*parallel:
 		sweep.SetDefaultWorkers(1)
 	}
-	if err := run(os.Stdout, *fig, *out); err != nil {
+	if *windows < 1 {
+		fmt.Fprintln(os.Stderr, "greensprint-bench: -windows must be >= 1")
+		os.Exit(1)
+	}
+	var sink obs.Sink
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greensprint-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = obs.NewJSONL(f)
+	}
+	if err := run(os.Stdout, *fig, *out, *windows, sink); err != nil {
 		fmt.Fprintln(os.Stderr, "greensprint-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, fig, outDir string) error {
+func run(w io.Writer, fig, outDir string, windows int, sink obs.Sink) error {
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
@@ -72,7 +99,7 @@ func run(w io.Writer, fig, outDir string) error {
 		{"10a", func() error { return grid(w, outDir, experiments.Fig10a) }},
 		{"10b", func() error { return fig10b(w) }},
 		{"11", func() error { return fig11(w, outDir) }},
-		{"day", func() error { return dayInLife(w) }},
+		{"day", func() error { return dayInLife(w, windows, sink) }},
 	}
 	for _, s := range steps {
 		if err := runStep(s.name, s.f); err != nil {
@@ -181,10 +208,13 @@ func fig10b(w io.Writer) error {
 	return nil
 }
 
-func dayInLife(w io.Writer) error {
-	d, err := experiments.DayInTheLife()
+func dayInLife(w io.Writer, windows int, sink obs.Sink) error {
+	d, err := experiments.DayInTheLifeWithSink(context.Background(), windows, sink)
 	if err != nil {
 		return err
+	}
+	if windows > 1 {
+		fmt.Fprintf(w, "(replayed as %d checkpoint-chained windows)\n", windows)
 	}
 	fmt.Fprintln(w, "Day in the life (Figure 1 load + partly-cloudy solar day, SPECjbb, RE-Batt):")
 	fmt.Fprintln(w, " ", d)

@@ -6,11 +6,13 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"greensprint/internal/obs"
 )
 
 func TestRunTables(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "tables", ""); err != nil {
+	if err := run(&buf, "tables", "", 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -23,7 +25,7 @@ func TestRunTables(t *testing.T) {
 
 func TestRunHeadline(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "headline", ""); err != nil {
+	if err := run(&buf, "headline", "", 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "4.8") {
@@ -34,7 +36,7 @@ func TestRunHeadline(t *testing.T) {
 func TestRunFig11WithCSV(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run(&buf, "11", dir); err != nil {
+	if err := run(&buf, "11", dir, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "crossover") {
@@ -51,7 +53,7 @@ func TestRunFig11WithCSV(t *testing.T) {
 
 func TestRunFig10b(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "10b", ""); err != nil {
+	if err := run(&buf, "10b", "", 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range []string{"Greedy", "Parallel", "Pacing", "Hybrid"} {
@@ -64,7 +66,7 @@ func TestRunFig10b(t *testing.T) {
 func TestRunFig1CSV(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run(&buf, "1", dir); err != nil {
+	if err := run(&buf, "1", dir, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig1.csv")); err != nil {
@@ -77,7 +79,38 @@ func TestRunFig1CSV(t *testing.T) {
 
 func TestRunUnknownFig(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", ""); err == nil {
+	if err := run(&buf, "nope", "", 1, nil); err == nil {
 		t.Error("unknown figure should error")
+	}
+}
+
+// TestRunDaySharded checks -windows flag parity with examples/nrel-replay:
+// the day replay split into checkpoint-chained windows reports the same
+// summary and emits a byte-identical -events stream as the sequential run.
+func TestRunDaySharded(t *testing.T) {
+	day := func(windows int) (summary, events string) {
+		var out, ev bytes.Buffer
+		if err := run(&out, "day", "", windows, obs.NewJSONL(&ev)); err != nil {
+			t.Fatalf("windows=%d: %v", windows, err)
+		}
+		return out.String(), ev.String()
+	}
+	seqOut, seqEvents := day(1)
+	if !strings.Contains(seqOut, "sprint") {
+		t.Fatalf("day summary missing:\n%s", seqOut)
+	}
+	if n := strings.Count(seqEvents, "\n"); n != 288 {
+		t.Errorf("events = %d lines, want 288 (5-minute epochs over 24 h)", n)
+	}
+	shardOut, shardEvents := day(3)
+	if !strings.Contains(shardOut, "replayed as 3 checkpoint-chained windows") {
+		t.Errorf("sharded run missing window notice:\n%s", shardOut)
+	}
+	if shardEvents != seqEvents {
+		t.Error("sharded event stream differs from sequential")
+	}
+	// The summary line itself must match too (ignore the window notice).
+	if !strings.Contains(shardOut, strings.TrimPrefix(seqOut, "==== day ====\n")) {
+		t.Errorf("sharded summary differs:\nseq:\n%s\nsharded:\n%s", seqOut, shardOut)
 	}
 }

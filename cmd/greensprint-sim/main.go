@@ -7,13 +7,16 @@
 //	greensprint-sim [-config FILE] [-workload W] [-green G]
 //	                [-strategy S] [-intensity N] [-duration D]
 //	                [-availability Min|Med|Max] [-trace FILE] [-csv]
-//	                [-checkpoint FILE] [-resume]
+//	                [-checkpoint FILE] [-resume] [-events FILE]
 //
 // Flags override the config file. With -checkpoint the simulator
 // persists its full state (battery, PSS, predictors, strategy) to FILE
 // after every epoch, atomically; an interrupted run restarted with
 // -resume continues from the last completed epoch and produces the
-// same schedule the uninterrupted run would have.
+// same schedule the uninterrupted run would have. With -events the
+// run streams one JSONL observability record per epoch (telemetry in,
+// decision out, power-source split); for a fixed seed the stream is
+// bit-identical across runs.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 
 	"greensprint/internal/cluster"
 	"greensprint/internal/config"
+	"greensprint/internal/obs"
 	"greensprint/internal/profile"
 	"greensprint/internal/report"
 	"greensprint/internal/sim"
@@ -50,6 +54,7 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit the epoch schedule as CSV instead of a text table")
 	ckptPath := flag.String("checkpoint", "", "persist engine state to this file after every epoch")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint file if it exists")
+	eventsPath := flag.String("events", "", "stream one JSONL observability record per epoch to this file")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -90,7 +95,16 @@ func main() {
 	// the epoch's checkpoint has been persisted.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Stdout, cfg, *csvOut, *ckptPath, *resume); err != nil {
+	var sink obs.Sink
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sink = obs.NewJSONL(f)
+	}
+	if err := run(ctx, os.Stdout, cfg, *csvOut, *ckptPath, *resume, sink); err != nil {
 		fatal(err)
 	}
 }
@@ -100,7 +114,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(ctx context.Context, w io.Writer, cfg config.Config, csvOut bool, ckptPath string, resume bool) error {
+func run(ctx context.Context, w io.Writer, cfg config.Config, csvOut bool, ckptPath string, resume bool, sink obs.Sink) error {
 	p, err := cfg.WorkloadProfile()
 	if err != nil {
 		return err
@@ -131,6 +145,7 @@ func run(ctx context.Context, w io.Writer, cfg config.Config, csvOut bool, ckptP
 		Lead:     cfg.Lead.Std(),
 		Tail:     cfg.Tail.Std(),
 		Epoch:    cfg.Epoch.Std(),
+		Sink:     sink,
 	})
 	if err != nil {
 		return err

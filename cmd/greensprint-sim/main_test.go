@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +12,7 @@ import (
 
 	"greensprint/internal/cluster"
 	"greensprint/internal/config"
+	"greensprint/internal/obs"
 	"greensprint/internal/solar"
 )
 
@@ -22,7 +24,7 @@ func smallConfig() config.Config {
 
 func TestRunText(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, smallConfig(), false, "", false); err != nil {
+	if err := run(context.Background(), &buf, smallConfig(), false, "", false, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -35,7 +37,7 @@ func TestRunText(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, smallConfig(), true, "", false); err != nil {
+	if err := run(context.Background(), &buf, smallConfig(), true, "", false, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "epoch,burst,case,config") {
@@ -48,7 +50,7 @@ func TestRunAllStrategiesAndWorkloads(t *testing.T) {
 		cfg := smallConfig()
 		cfg.Strategy = s
 		var buf bytes.Buffer
-		if err := run(context.Background(), &buf, cfg, false, "", false); err != nil {
+		if err := run(context.Background(), &buf, cfg, false, "", false, nil); err != nil {
 			t.Errorf("%s: %v", s, err)
 		}
 	}
@@ -56,7 +58,7 @@ func TestRunAllStrategiesAndWorkloads(t *testing.T) {
 		cfg := smallConfig()
 		cfg.Workload = w
 		var buf bytes.Buffer
-		if err := run(context.Background(), &buf, cfg, false, "", false); err != nil {
+		if err := run(context.Background(), &buf, cfg, false, "", false, nil); err != nil {
 			t.Errorf("%s: %v", w, err)
 		}
 	}
@@ -102,13 +104,45 @@ func TestLoadSupplyFromFile(t *testing.T) {
 	}
 	// Replayed trace drives a full run.
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, cfg, false, "", false); err != nil {
+	if err := run(context.Background(), &buf, cfg, false, "", false, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Missing file errors.
 	cfg.SupplyTrace = filepath.Join(dir, "missing.csv")
 	if _, err := loadSupply(cfg, cluster.REBatt()); err == nil {
 		t.Error("missing trace should error")
+	}
+}
+
+// TestRunEvents checks the -events sink: one parseable JSONL record
+// per epoch, and a byte-identical stream when the run repeats.
+func TestRunEvents(t *testing.T) {
+	capture := func() string {
+		var out, events bytes.Buffer
+		if err := run(context.Background(), &out, smallConfig(), false, "", false, obs.NewJSONL(&events)); err != nil {
+			t.Fatal(err)
+		}
+		return events.String()
+	}
+	first := capture()
+	lines := strings.Split(strings.TrimRight(first, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("events = %d lines, want 2 (one per epoch)", len(lines))
+	}
+	for i, ln := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if ev.Epoch != i {
+			t.Errorf("line %d has epoch %d", i, ev.Epoch)
+		}
+		if ev.Time == "" || ev.Case == "" || ev.Config == "" {
+			t.Errorf("line %d missing fields: %+v", i, ev)
+		}
+	}
+	if second := capture(); second != first {
+		t.Error("event stream is not deterministic across identical runs")
 	}
 }
 
@@ -149,13 +183,13 @@ func TestRunCheckpointResume(t *testing.T) {
 
 	// Reference: the uninterrupted run.
 	var ref bytes.Buffer
-	if err := run(context.Background(), &ref, cfg, true, "", false); err != nil {
+	if err := run(context.Background(), &ref, cfg, true, "", false, nil); err != nil {
 		t.Fatal(err)
 	}
 
 	// Interrupt after three epochs; the per-epoch checkpoint survives.
 	var interrupted bytes.Buffer
-	err := run(newCheckCountCtx(3), &interrupted, cfg, true, ckpt, false)
+	err := run(newCheckCountCtx(3), &interrupted, cfg, true, ckpt, false, nil)
 	if err != context.Canceled {
 		t.Fatalf("interrupted run err = %v, want context.Canceled", err)
 	}
@@ -169,7 +203,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	// Resume: picks up at epoch 3 and reproduces the reference output
 	// exactly (everything after the resume notice is bit-identical).
 	var resumed bytes.Buffer
-	if err := run(context.Background(), &resumed, cfg, true, ckpt, true); err != nil {
+	if err := run(context.Background(), &resumed, cfg, true, ckpt, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := resumed.String()
@@ -183,7 +217,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	// -resume with no checkpoint file on disk is a fresh start.
 	var freshStart bytes.Buffer
 	missing := filepath.Join(t.TempDir(), "absent.json")
-	if err := run(context.Background(), &freshStart, cfg, true, missing, true); err != nil {
+	if err := run(context.Background(), &freshStart, cfg, true, missing, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(freshStart.String(), "resumed") {

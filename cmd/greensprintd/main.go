@@ -1,6 +1,7 @@
 // Command greensprintd runs the GreenSprint controller as a daemon: an
 // epoch ticker drives the Monitor → Predictor → PSS → PMK loop while
-// an HTTP API serves status, history and manual telemetry injection.
+// an HTTP API serves status, history, metrics and manual telemetry
+// injection.
 //
 // Two actuation backends are available:
 //
@@ -17,14 +18,22 @@
 //
 //	greensprintd [-addr :8479] [-config FILE] [-backend sim|sysfs]
 //	             [-sysfs-root DIR] [-epoch 5m] [-once N]
-//	             [-checkpoint FILE] [-resume] [-qtable FILE]
+//	             [-checkpoint FILE] [-resume] [-checkpoint-keep N]
+//	             [-qtable FILE] [-events FILE] [-pprof]
 //
 // With -checkpoint the daemon persists the full controller state
 // (battery model, PSS accounting, predictors, decision history and the
 // Hybrid Q-table) after every epoch and on shutdown; -resume restores
-// it on startup so the control loop continues where it left off. The
-// older -qtable flag persists only the Q-table and is kept for
+// it on startup so the control loop continues where it left off, and
+// -checkpoint-keep N additionally retains the N most recent
+// epoch-numbered checkpoint snapshots for long-haul runs. The older
+// -qtable flag persists only the Q-table and is kept for
 // compatibility.
+//
+// Observability: GET /metrics serves the Prometheus text-format
+// catalog (always on), -events FILE appends one JSONL record per
+// epoch (telemetry in, decision out, power-source split), and -pprof
+// mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -38,32 +47,58 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
+	"greensprint/internal/atomicfile"
 	"greensprint/internal/config"
 	"greensprint/internal/core"
 	"greensprint/internal/httpapi"
 	"greensprint/internal/loadgen"
+	"greensprint/internal/obs"
 	"greensprint/internal/pmk"
 	"greensprint/internal/server"
 	"greensprint/internal/solar"
 	"greensprint/internal/units"
 )
 
+// options collects the daemon's flag-derived configuration.
+type options struct {
+	addr      string
+	backend   string
+	sysfsRoot string
+	epoch     time.Duration
+	once      int
+	qtable    string
+	ckpt      string
+	ckptKeep  int
+	resume    bool
+	events    string
+	pprof     bool
+}
+
 func main() {
-	addr := flag.String("addr", ":8479", "HTTP listen address")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8479", "HTTP listen address")
 	cfgPath := flag.String("config", "", "JSON config file (optional)")
-	backend := flag.String("backend", "sim", "actuation backend: sim or sysfs")
-	sysfsRoot := flag.String("sysfs-root", "", "sysfs CPU root for the sysfs backend")
-	epoch := flag.Duration("epoch", 0, "override the scheduling epoch (e.g. 2s for demos)")
-	once := flag.Int("once", 0, "run N epochs and exit (0 = serve forever)")
-	qtable := flag.String("qtable", "", "file persisting the Hybrid Q-table across restarts")
-	ckpt := flag.String("checkpoint", "", "file persisting the full controller state after every epoch")
-	resume := flag.Bool("resume", false, "restore controller state from the -checkpoint file on startup")
+	flag.StringVar(&o.backend, "backend", "sim", "actuation backend: sim or sysfs")
+	flag.StringVar(&o.sysfsRoot, "sysfs-root", "", "sysfs CPU root for the sysfs backend")
+	flag.DurationVar(&o.epoch, "epoch", 0, "override the scheduling epoch (e.g. 2s for demos)")
+	flag.IntVar(&o.once, "once", 0, "run N epochs and exit (0 = serve forever)")
+	flag.StringVar(&o.qtable, "qtable", "", "file persisting the Hybrid Q-table across restarts")
+	flag.StringVar(&o.ckpt, "checkpoint", "", "file persisting the full controller state after every epoch")
+	flag.IntVar(&o.ckptKeep, "checkpoint-keep", 0, "retain the N most recent epoch-numbered checkpoint snapshots (0 = only the live file)")
+	flag.BoolVar(&o.resume, "resume", false, "restore controller state from the -checkpoint file on startup")
+	flag.StringVar(&o.events, "events", "", "append one JSONL observability record per epoch to this file")
+	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
-	if *resume && *ckpt == "" {
+	if o.resume && o.ckpt == "" {
 		log.Fatal("greensprintd: -resume requires -checkpoint")
+	}
+	if o.ckptKeep > 0 && o.ckpt == "" {
+		log.Fatal("greensprintd: -checkpoint-keep requires -checkpoint")
 	}
 
 	cfg := config.Default()
@@ -73,95 +108,160 @@ func main() {
 			log.Fatalf("greensprintd: %v", err)
 		}
 	}
-	if err := run(cfg, *addr, *backend, *sysfsRoot, *epoch, *once, *qtable, *ckpt, *resume); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, o); err != nil {
 		log.Fatalf("greensprintd: %v", err)
 	}
 }
 
-func run(cfg config.Config, addr, backend, sysfsRoot string, epoch time.Duration, once int, qtablePath, ckptPath string, resume bool) error {
-	p, err := cfg.WorkloadProfile()
+// run builds the controller stack for cfg and serves until ctx is
+// cancelled (or -once epochs have run).
+func run(ctx context.Context, cfg config.Config, o options) error {
+	ctrl, collector, ticker, err := buildController(cfg, o)
 	if err != nil {
 		return err
+	}
+	return serve(ctx, ctrl, collector, ticker, cfg, o)
+}
+
+// buildController assembles the controller, its observability sinks
+// and the actuation backend. ticker reports whether the internal epoch
+// loop should drive the controller (false for sysfs, where an external
+// monitor POSTs /step).
+func buildController(cfg config.Config, o options) (ctrl *core.Controller, collector *obs.Collector, ticker bool, err error) {
+	p, err := cfg.WorkloadProfile()
+	if err != nil {
+		return nil, nil, false, err
 	}
 	green, err := cfg.GreenConfig()
 	if err != nil {
-		return err
+		return nil, nil, false, err
 	}
+	epoch := o.epoch
 	if epoch == 0 {
 		epoch = cfg.Epoch.Std()
 	}
 
 	var fleet *pmk.Fleet
-	ticker := true
-	switch backend {
+	ticker = true
+	switch o.backend {
 	case "sim":
 		fleet = pmk.NewSimFleet(green.GreenServers)
 	case "sysfs":
 		knobs := make([]pmk.Knob, green.GreenServers)
 		for i := range knobs {
-			knobs[i] = pmk.NewSysfs(sysfsRoot)
+			knobs[i] = pmk.NewSysfs(o.sysfsRoot)
 		}
 		fleet = pmk.NewFleet(knobs...)
 		ticker = false // external monitor drives /step
 	default:
-		return fmt.Errorf("unknown backend %q", backend)
+		return nil, nil, false, fmt.Errorf("unknown backend %q", o.backend)
 	}
 
-	ctrl, err := core.New(core.Options{
+	collector = obs.NewCollector()
+	ctrl, err = core.New(core.Options{
 		Workload:     p,
 		Green:        green,
 		StrategyName: cfg.Strategy,
 		Epoch:        epoch,
 		Fleet:        fleet,
+		Sink:         collector, // the JSONL sink joins in serve, where the file is owned
 	})
 	if err != nil {
-		return err
+		return nil, nil, false, err
 	}
 
-	if qtablePath != "" {
-		if err := loadQTable(ctrl, qtablePath); err != nil {
+	if o.qtable != "" {
+		if err := loadQTable(ctrl, o.qtable); err != nil {
 			log.Printf("greensprintd: qtable: %v (starting fresh)", err)
 		}
 	}
-	if resume {
-		if err := loadCheckpoint(ctrl, ckptPath); err != nil {
-			return fmt.Errorf("resume: %w", err)
+	if o.resume {
+		if err := loadCheckpoint(ctrl, o.ckpt); err != nil {
+			return nil, nil, false, fmt.Errorf("resume: %w", err)
 		}
 	}
+	return ctrl, collector, ticker, nil
+}
 
-	srv := &http.Server{Addr: addr, Handler: httpapi.New(ctrl)}
+// serve runs the HTTP API and (for ticker backends) the epoch loop
+// until ctx is cancelled, then persists final state. The tick loop is
+// joined through a done channel before the final Q-table/checkpoint
+// save: an in-flight Step can neither race the save (the Q-table has
+// no lock of its own) nor land after it and be lost.
+func serve(ctx context.Context, ctrl *core.Controller, collector *obs.Collector, ticker bool, cfg config.Config, o options) error {
+	green, err := cfg.GreenConfig()
+	if err != nil {
+		return err
+	}
+	p, err := cfg.WorkloadProfile()
+	if err != nil {
+		return err
+	}
+	epoch := ctrl.Epoch()
+
+	if o.events != "" {
+		f, err := os.OpenFile(o.events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("events: %w", err)
+		}
+		defer f.Close()
+		ctrl.SetSink(obs.Multi(collector, obs.NewJSONL(f)))
+	}
+
+	apiOpts := []httpapi.Option{httpapi.WithMetrics(collector)}
+	if o.pprof {
+		apiOpts = append(apiOpts, httpapi.WithPprof())
+	}
+	srv := &http.Server{Addr: o.addr, Handler: httpapi.New(ctrl, apiOpts...)}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("greensprintd: serving on %s (workload=%s green=%s strategy=%s epoch=%v backend=%s)",
-			addr, p.Name, green.Name, cfg.Strategy, epoch, backend)
+			o.addr, p.Name, green.Name, cfg.Strategy, epoch, o.backend)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
 	}()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	tickDone := make(chan struct{})
 	if ticker {
-		go tickLoop(ctx, ctrl, cfg, green.PeakGreen(), epoch, once, ckptPath, stop)
+		go func() {
+			defer close(tickDone)
+			tickLoop(ctx, ctrl, cfg, green.PeakGreen(), epoch, o, cancel)
+		}()
+	} else {
+		close(tickDone)
 	}
 
+	var srvErr error
 	select {
 	case <-ctx.Done():
-	case err := <-errCh:
-		return err
+	case srvErr = <-errCh:
+		cancel()
 	}
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if qtablePath != "" {
-		if err := saveQTable(ctrl, qtablePath); err != nil {
+	// Join the tick loop before persisting: the last in-flight Step
+	// must be in the final save, and nothing may mutate the Q-table
+	// while it is serialized.
+	<-tickDone
+
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	if o.qtable != "" {
+		if err := saveQTable(ctrl, o.qtable); err != nil {
 			log.Printf("greensprintd: qtable: %v", err)
 		}
 	}
-	if ckptPath != "" {
-		if err := saveCheckpoint(ctrl, ckptPath); err != nil {
+	if o.ckpt != "" {
+		if err := saveCheckpoint(ctrl, o.ckpt); err != nil {
 			log.Printf("greensprintd: checkpoint: %v", err)
 		}
+	}
+	if srvErr != nil {
+		srv.Shutdown(shutdownCtx)
+		return srvErr
 	}
 	return srv.Shutdown(shutdownCtx)
 }
@@ -188,18 +288,19 @@ func loadQTable(ctrl *core.Controller, path string) error {
 	return nil
 }
 
-// saveQTable persists the learned Q-table on shutdown.
+// saveQTable persists the learned Q-table on shutdown: serialized
+// under the controller lock and written through the shared atomic
+// tmp+rename helper, so a crash mid-write cannot truncate a previously
+// learned table.
 func saveQTable(ctrl *core.Controller, path string) error {
-	h, ok := ctrl.HybridStrategy()
+	b, ok, err := ctrl.QTableJSON()
 	if !ok {
 		return nil
 	}
-	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := h.SaveQ(f); err != nil {
+	if err := atomicfile.WriteFile(path, b, 0o644); err != nil {
 		return err
 	}
 	log.Printf("greensprintd: saved Q-table to %s", path)
@@ -227,9 +328,9 @@ func loadCheckpoint(ctrl *core.Controller, path string) error {
 	return nil
 }
 
-// saveCheckpoint atomically persists the full controller state: a
-// temporary file in the destination directory renamed into place, so a
-// crash mid-write never truncates the previous checkpoint.
+// saveCheckpoint atomically persists the full controller state through
+// the shared tmp+rename writer, so a crash mid-write never truncates
+// the previous checkpoint.
 func saveCheckpoint(ctrl *core.Controller, path string) error {
 	cp, err := ctrl.Checkpoint()
 	if err != nil {
@@ -239,22 +340,42 @@ func saveCheckpoint(ctrl *core.Controller, path string) error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	return atomicfile.WriteFile(path, b, 0o644)
+}
+
+// rotateCheckpoints snapshots the live checkpoint as path.NNNNNNNN
+// (zero-padded epoch) and prunes numbered snapshots beyond keep, so
+// long-haul runs can roll back past a bad epoch without the directory
+// growing without bound.
+func rotateCheckpoints(path string, epoch, keep int) error {
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+	if err := atomicfile.WriteFile(fmt.Sprintf("%s.%08d", path, epoch), b, 0o644); err != nil {
 		return err
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+	dir, base := filepath.Dir(path), filepath.Base(path)+"."
+	ents, err := os.ReadDir(dir)
+	if err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
+	var snaps []string
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, base) || strings.Contains(name, ".tmp") {
+			continue
+		}
+		if suf := name[len(base):]; len(suf) == 8 && strings.Trim(suf, "0123456789") == "" {
+			snaps = append(snaps, name)
+		}
+	}
+	sort.Strings(snaps) // zero-padded: lexicographic == numeric
+	for len(snaps) > keep {
+		if err := os.Remove(filepath.Join(dir, snaps[0])); err != nil {
+			return err
+		}
+		snaps = snaps[1:]
 	}
 	return nil
 }
@@ -265,7 +386,7 @@ func saveCheckpoint(ctrl *core.Controller, path string) error {
 // resulting telemetry steps the control loop. The green supply comes
 // from the configured availability window.
 func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
-	peak units.Watt, epoch time.Duration, once int, ckptPath string, stop func()) {
+	peak units.Watt, epoch time.Duration, o options, stop func()) {
 
 	level, err := cfg.AvailabilityLevel()
 	if err != nil {
@@ -287,7 +408,7 @@ func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
 	t := time.NewTicker(epoch)
 	defer t.Stop()
 	for i := 0; ; i++ {
-		if once > 0 && i >= once {
+		if o.once > 0 && i >= o.once {
 			stop()
 			return
 		}
@@ -320,9 +441,13 @@ func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
 		if err != nil {
 			log.Printf("greensprintd: step: %v", err)
 		} else {
-			if ckptPath != "" {
-				if err := saveCheckpoint(ctrl, ckptPath); err != nil {
+			if o.ckpt != "" {
+				if err := saveCheckpoint(ctrl, o.ckpt); err != nil {
 					log.Printf("greensprintd: checkpoint: %v", err)
+				} else if o.ckptKeep > 0 {
+					if err := rotateCheckpoints(o.ckpt, d.Epoch, o.ckptKeep); err != nil {
+						log.Printf("greensprintd: checkpoint rotate: %v", err)
+					}
 				}
 			}
 			log.Printf("epoch %d: config=%v case=%v budget=%v sprint=%.0f%% goodput=%.0f/s p%v=%.0fms",

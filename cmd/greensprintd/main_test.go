@@ -1,37 +1,51 @@
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
 	"greensprint/internal/config"
+	"greensprint/internal/core"
+	"greensprint/internal/obs"
 )
 
-// TestRunOnce boots the daemon with a millisecond epoch and a bounded
-// tick count; it must serve, step the controller N times, then shut
-// down cleanly.
-func TestRunOnce(t *testing.T) {
+func demoConfig() config.Config {
 	cfg := config.Default()
 	cfg.BurstDuration = config.Duration(10 * time.Minute)
+	return cfg
+}
+
+func runWith(t *testing.T, ctx context.Context, cfg config.Config, o options) {
+	t.Helper()
 	done := make(chan error, 1)
-	go func() {
-		done <- run(cfg, "127.0.0.1:0", "sim", "", 5*time.Millisecond, 4, "", "", false)
-	}()
+	go func() { done <- run(ctx, cfg, o) }()
 	select {
 	case err := <-done:
 		if err != nil {
 			t.Fatalf("run: %v", err)
 		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("daemon did not exit after -once ticks")
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit")
 	}
 }
 
+// TestRunOnce boots the daemon with a millisecond epoch and a bounded
+// tick count; it must serve, step the controller N times, then shut
+// down cleanly.
+func TestRunOnce(t *testing.T) {
+	runWith(t, context.Background(), demoConfig(),
+		options{addr: "127.0.0.1:0", backend: "sim", epoch: 5 * time.Millisecond, once: 4})
+}
+
 func TestRunRejectsUnknownBackend(t *testing.T) {
-	cfg := config.Default()
-	if err := run(cfg, "127.0.0.1:0", "warp", "", time.Second, 1, "", "", false); err == nil {
+	if err := run(context.Background(), config.Default(),
+		options{addr: "127.0.0.1:0", backend: "warp", epoch: time.Second, once: 1}); err == nil {
 		t.Error("unknown backend should error")
 	}
 }
@@ -39,7 +53,8 @@ func TestRunRejectsUnknownBackend(t *testing.T) {
 func TestRunRejectsBadConfig(t *testing.T) {
 	cfg := config.Default()
 	cfg.Workload = "nope"
-	if err := run(cfg, "127.0.0.1:0", "sim", "", time.Second, 1, "", "", false); err == nil {
+	if err := run(context.Background(), cfg,
+		options{addr: "127.0.0.1:0", backend: "sim", epoch: time.Second, once: 1}); err == nil {
 		t.Error("bad workload should error")
 	}
 }
@@ -47,24 +62,178 @@ func TestRunRejectsBadConfig(t *testing.T) {
 // TestQTablePersistence runs the daemon twice against the same Q-table
 // file: the first run creates it, the second restores it.
 func TestQTablePersistence(t *testing.T) {
-	cfg := config.Default()
-	cfg.BurstDuration = config.Duration(10 * time.Minute)
+	cfg := demoConfig()
 	path := filepath.Join(t.TempDir(), "q.json")
 	for i := 0; i < 2; i++ {
-		done := make(chan error, 1)
-		go func() {
-			done <- run(cfg, "127.0.0.1:0", "sim", "", 5*time.Millisecond, 3, path, "", false)
-		}()
-		select {
-		case err := <-done:
-			if err != nil {
-				t.Fatalf("run %d: %v", i, err)
-			}
-		case <-time.After(10 * time.Second):
-			t.Fatalf("run %d did not exit", i)
-		}
+		runWith(t, context.Background(), cfg,
+			options{addr: "127.0.0.1:0", backend: "sim", epoch: 5 * time.Millisecond, once: 3, qtable: path})
 		if _, err := os.Stat(path); err != nil {
 			t.Fatalf("run %d left no Q-table: %v", i, err)
 		}
+	}
+}
+
+// TestShutdownJoinsTickLoop is the regression test for the shutdown
+// race: cancelling the daemon mid-epoch must join the tick loop before
+// the final Q-table/checkpoint save. Before the fix, the final save
+// could serialize the Q-table while an in-flight Step's Learn mutated
+// it (a data race this test exposes under -race), and the final
+// persisted checkpoint could miss — or be overwritten by — the last
+// epoch. After run returns, the file must hold exactly the epochs the
+// controller stepped.
+func TestShutdownJoinsTickLoop(t *testing.T) {
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, "ck.json")
+	qPath := filepath.Join(dir, "q.json")
+	cfg := demoConfig()
+	o := options{addr: "127.0.0.1:0", backend: "sim", epoch: time.Millisecond,
+		qtable: qPath, ckpt: ckptPath}
+
+	ctrl, collector, ticker, err := buildController(cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ticker {
+		t.Fatal("sim backend should tick")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ctrl, collector, ticker, cfg, o) }()
+
+	// Let some epochs tick, then cancel — with a 1 ms epoch the
+	// cancellation lands while a Step/save is in flight.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not exit after cancel")
+	}
+
+	stepped := ctrl.Snapshot().Epoch
+	if stepped == 0 {
+		t.Fatal("no epochs ran before cancellation")
+	}
+	// The join guarantees quiescence: once serve has returned, no
+	// in-flight Step may still commit (an unjoined tick loop would
+	// step again within a few epoch lengths and overwrite the final
+	// checkpoint behind our back).
+	time.Sleep(150 * time.Millisecond)
+	if after := ctrl.Snapshot().Epoch; after != stepped {
+		t.Fatalf("controller stepped %d→%d after serve returned — tick loop not joined", stepped, after)
+	}
+	b, err := os.ReadFile(ckptPath)
+	if err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	var cp core.Checkpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		t.Fatalf("final checkpoint corrupt: %v", err)
+	}
+	if cp.Count != stepped {
+		t.Errorf("final checkpoint at epoch %d, controller stepped %d — final epoch lost", cp.Count, stepped)
+	}
+	if _, err := os.Stat(qPath); err != nil {
+		t.Errorf("no Q-table saved: %v", err)
+	}
+}
+
+// TestEventLog checks the -events JSONL stream: one parseable record
+// per epoch, in order.
+func TestEventLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	runWith(t, context.Background(), demoConfig(),
+		options{addr: "127.0.0.1:0", backend: "sim", epoch: 5 * time.Millisecond, once: 3, events: path})
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var n int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if ev.Epoch != n {
+			t.Errorf("line %d has epoch %d", n, ev.Epoch)
+		}
+		if ev.Strategy == "" || ev.Config == "" || ev.Case == "" {
+			t.Errorf("line %d missing decision fields: %+v", n, ev)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("events = %d, want 3", n)
+	}
+}
+
+// TestCheckpointRotation verifies -checkpoint-keep retains only the N
+// newest epoch-numbered snapshots beside the live checkpoint.
+func TestCheckpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	runWith(t, context.Background(), demoConfig(),
+		options{addr: "127.0.0.1:0", backend: "sim", epoch: 5 * time.Millisecond,
+			once: 5, ckpt: path, ckptKeep: 2})
+
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("live checkpoint missing: %v", err)
+	}
+	for epoch := 0; epoch < 3; epoch++ {
+		snap := fmt.Sprintf("%s.%08d", path, epoch)
+		if _, err := os.Stat(snap); !os.IsNotExist(err) {
+			t.Errorf("old snapshot %s not pruned (err=%v)", filepath.Base(snap), err)
+		}
+	}
+	for epoch := 3; epoch < 5; epoch++ {
+		snap := fmt.Sprintf("%s.%08d", path, epoch)
+		if _, err := os.Stat(snap); err != nil {
+			t.Errorf("snapshot %s missing: %v", filepath.Base(snap), err)
+		}
+	}
+	// Rotated snapshots must be valid, restorable checkpoints.
+	b, err := os.ReadFile(fmt.Sprintf("%s.%08d", path, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp core.Checkpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		t.Fatalf("rotated snapshot corrupt: %v", err)
+	}
+	if cp.Count != 5 {
+		t.Errorf("snapshot 4 at epoch count %d, want 5", cp.Count)
+	}
+}
+
+// TestResumeFromCheckpoint runs, stops, then resumes: the second run
+// must continue from the persisted epoch count.
+func TestResumeFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	cfg := demoConfig()
+	runWith(t, context.Background(), cfg,
+		options{addr: "127.0.0.1:0", backend: "sim", epoch: 5 * time.Millisecond, once: 3, ckpt: path})
+	runWith(t, context.Background(), cfg,
+		options{addr: "127.0.0.1:0", backend: "sim", epoch: 5 * time.Millisecond, once: 2, ckpt: path, resume: true})
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp core.Checkpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Count != 5 {
+		t.Errorf("resumed run ended at epoch %d, want 5", cp.Count)
 	}
 }

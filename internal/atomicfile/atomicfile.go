@@ -1,0 +1,43 @@
+// Package atomicfile provides crash-safe file persistence: data is
+// written to a temporary file in the destination directory and renamed
+// into place, so a crash mid-write never truncates the previous
+// contents. Every state file GreenSprint persists across restarts
+// (simulation checkpoints, controller checkpoints, Q-tables) goes
+// through WriteFile.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces the file at path with data. The
+// temporary file is created in path's directory (rename is only atomic
+// within a filesystem) and removed on any failure.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v1" {
+		t.Fatalf("got %q", b)
+	}
+	if err := WriteFile(path, []byte("v2-longer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v2-longer" {
+		t.Fatalf("got %q", b)
+	}
+}
+
+func TestWriteFileLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileBadDir(t *testing.T) {
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644); err == nil {
+		t.Error("want error for missing directory")
+	}
+}

@@ -19,12 +19,14 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 
 	"greensprint/internal/cluster"
+	"greensprint/internal/obs"
 	"greensprint/internal/pmk"
 	"greensprint/internal/predictor"
 	"greensprint/internal/profile"
@@ -53,6 +55,11 @@ type Options struct {
 	// Table is the profiling table; built from the workload model
 	// when nil.
 	Table *profile.Table
+	// Sink optionally receives one obs.Event per Step: the telemetry
+	// that drove the decision, the decision itself and the
+	// power-source split (the daemon wires a Prometheus collector and
+	// an optional JSONL event log here).
+	Sink obs.Sink
 }
 
 // Telemetry is one epoch's measurements from the Monitor.
@@ -114,6 +121,7 @@ type Controller struct {
 	fleet    *pmk.Fleet
 	loadPred *predictor.EWMA
 	epoch    time.Duration
+	sink     obs.Sink
 
 	mu      sync.Mutex
 	count   int
@@ -170,11 +178,21 @@ func New(opts Options) (*Controller, error) {
 		fleet:    fleet,
 		loadPred: predictor.NewEWMA(predictor.DefaultAlpha),
 		epoch:    epoch,
+		sink:     opts.Sink,
 	}, nil
 }
 
 // Epoch returns the scheduling-epoch length.
 func (c *Controller) Epoch() time.Duration { return c.epoch }
+
+// SetSink replaces the controller's event sink (nil disables
+// emission). Step emits under the controller lock, so the swap is
+// safe even while the epoch loop runs.
+func (c *Controller) SetSink(s obs.Sink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sink = s
+}
 
 // Strategy returns the active strategy's name.
 func (c *Controller) Strategy() string { return c.strat.Name() }
@@ -290,7 +308,46 @@ func (c *Controller) Step(t Telemetry) (Decision, error) {
 	if len(c.history) > HistoryLimit {
 		c.history = c.history[len(c.history)-HistoryLimit:]
 	}
+	if c.sink != nil {
+		if err := c.sink.Emit(c.event(t, d, al)); err != nil {
+			// The decision has been applied and recorded; the caller
+			// learns the telemetry was not fully observed.
+			return d, fmt.Errorf("core: event sink: %w", err)
+		}
+	}
 	return d, nil
+}
+
+// event flattens one control-loop step into the observability schema.
+// Daemon epochs run on the wall clock, so Time is left empty rather
+// than leaking nondeterminism into event logs.
+func (c *Controller) event(t Telemetry, d Decision, al pss.Allocation) obs.Event {
+	n := float64(c.opts.Green.GreenServers)
+	return obs.Event{
+		Epoch:           d.Epoch,
+		EpochSeconds:    c.epoch.Seconds(),
+		Strategy:        c.strat.Name(),
+		Servers:         c.opts.Green.GreenServers,
+		GreenSupplyW:    float64(t.GreenPower),
+		OfferedRate:     t.OfferedRate,
+		Goodput:         t.Goodput,
+		LatencySec:      t.Latency,
+		ServerPowerW:    float64(t.ServerPower),
+		Case:            d.Case.String(),
+		Config:          d.Config.String(),
+		Sprinting:       d.Config.IsSprinting(),
+		BudgetW:         float64(d.Budget),
+		PredictedGreenW: float64(d.PredictedGreen),
+		PredictedRate:   d.PredictedRate,
+		DemandW:         float64(d.Demand),
+		SprintFraction:  d.SprintFraction,
+		GreenW:          float64(al.Green) / n,
+		BatteryW:        float64(al.Battery) / n,
+		GridW:           float64(al.Grid) / n,
+		SoC:             c.selector.Bank().SoC(),
+		BatteryCycles:   c.selector.Bank().EquivalentCycles(),
+		QoSViolation:    c.opts.Workload.Deadline > 0 && t.Latency > c.opts.Workload.Deadline,
+	}
 }
 
 // Snapshot returns the current status.
@@ -324,4 +381,22 @@ func (c *Controller) History() []Decision {
 func (c *Controller) HybridStrategy() (*strategy.Hybrid, bool) {
 	h, ok := c.strat.(*strategy.Hybrid)
 	return h, ok
+}
+
+// QTableJSON serializes the Hybrid strategy's learned Q-table under
+// the controller lock, so a save never races a concurrent Step's
+// Q-update and the caller gets a complete buffer or an error — never
+// a truncated stream. ok is false for strategies without a Q-table.
+func (c *Controller) QTableJSON() (b []byte, ok bool, err error) {
+	h, hok := c.strat.(*strategy.Hybrid)
+	if !hok {
+		return nil, false, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var buf bytes.Buffer
+	if err := h.SaveQ(&buf); err != nil {
+		return nil, true, err
+	}
+	return buf.Bytes(), true, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"greensprint/internal/cluster"
 	"greensprint/internal/dispatch"
+	"greensprint/internal/obs"
 	"greensprint/internal/server"
 	"greensprint/internal/sim"
 	"greensprint/internal/solar"
@@ -52,10 +53,19 @@ func DayInTheLife() (*DayResult, error) {
 // bit-identical to the sequential replay; sharding exists so
 // multi-day replays can persist progress between windows.
 func DayInTheLifeSharded(ctx context.Context, windows int) (*DayResult, error) {
+	return DayInTheLifeWithSink(ctx, windows, nil)
+}
+
+// DayInTheLifeWithSink is DayInTheLifeSharded with an observability
+// sink attached to the replay engine: every epoch emits one obs.Event.
+// Because restored shard engines re-emit nothing for epochs already
+// run, the event stream is bit-identical whatever the window count.
+func DayInTheLifeWithSink(ctx context.Context, windows int, sink obs.Sink) (*DayResult, error) {
 	cfg, err := dayInTheLifeConfig()
 	if err != nil {
 		return nil, err
 	}
+	cfg.Sink = sink
 	res, err := sweep.ShardedRun(ctx, cfg, windows)
 	if err != nil {
 		return nil, err

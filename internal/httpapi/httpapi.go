@@ -3,6 +3,9 @@
 //	GET  /healthz  — liveness probe
 //	GET  /status   — current controller snapshot (JSON)
 //	GET  /history  — retained per-epoch decisions (JSON)
+//	GET  /metrics  — Prometheus text-format metric catalog (enabled
+//	                 with WithMetrics)
+//	GET  /debug/pprof/* — runtime profiles (opt-in via WithPprof)
 //	POST /step     — feed one epoch of telemetry and run the control
 //	                 loop; body is a core.Telemetry JSON object and the
 //	                 response is the resulting Decision.
@@ -16,24 +19,57 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 
 	"greensprint/internal/core"
+	"greensprint/internal/obs"
 )
 
 // Server wraps a controller with HTTP handlers.
 type Server struct {
-	ctrl *core.Controller
-	mux  *http.ServeMux
+	ctrl      *core.Controller
+	mux       *http.ServeMux
+	collector *obs.Collector
+	// qtableJSON is the buffered Q-table encoder (a seam for tests;
+	// defaults to ctrl.QTableJSON).
+	qtableJSON func() ([]byte, bool, error)
+}
+
+// Option customizes the API server.
+type Option func(*Server)
+
+// WithMetrics serves c's Prometheus catalog on GET /metrics.
+func WithMetrics(c *obs.Collector) Option {
+	return func(s *Server) { s.collector = c }
+}
+
+// WithPprof mounts net/http/pprof's profile handlers under
+// /debug/pprof/. Opt-in: profiling endpoints expose goroutine stacks
+// and should not be reachable on an unprotected production port by
+// default.
+func WithPprof() Option {
+	return func(s *Server) {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // New creates the API server for a controller.
-func New(ctrl *core.Controller) *Server {
-	s := &Server{ctrl: ctrl, mux: http.NewServeMux()}
+func New(ctrl *core.Controller, opts ...Option) *Server {
+	s := &Server{ctrl: ctrl, mux: http.NewServeMux(), qtableJSON: ctrl.QTableJSON}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/status", s.handleStatus)
 	s.mux.HandleFunc("/history", s.handleHistory)
 	s.mux.HandleFunc("/step", s.handleStep)
 	s.mux.HandleFunc("/qtable", s.handleQTable)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	for _, o := range opts {
+		o(s)
+	}
 	return s
 }
 
@@ -89,23 +125,45 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 
 // handleQTable serves the Hybrid strategy's learned Q-table (the same
 // JSON the -qtable persistence flag writes); 404 for other strategies.
+// The table is encoded into a buffer before any byte reaches the wire,
+// so an encoding failure yields a clean 500 instead of truncated JSON
+// with status 200.
 func (s *Server) handleQTable(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		methodNotAllowed(w)
 		return
 	}
-	h, ok := s.ctrl.HybridStrategy()
+	b, ok, err := s.qtableJSON()
 	if !ok {
 		writeJSON(w, http.StatusNotFound, map[string]string{
 			"error": "strategy " + s.ctrl.Strategy() + " has no Q-table",
 		})
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := h.SaveQ(w); err != nil {
-		// Headers already sent; nothing more to do.
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.Write(b)
+}
+
+// handleMetrics renders the Prometheus text-format catalog; 404 when
+// the daemon was started without a metrics collector.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	if s.collector == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "metrics not enabled"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Render errors after the header is written can only be connection
+	// failures, as with writeJSON.
+	_ = s.collector.WritePrometheus(w)
 }
 
 func methodNotAllowed(w http.ResponseWriter) {

@@ -2,13 +2,16 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
 	"greensprint/internal/cluster"
 	"greensprint/internal/core"
+	"greensprint/internal/obs"
 	"greensprint/internal/workload"
 )
 
@@ -155,5 +158,131 @@ func TestQTableEndpoint(t *testing.T) {
 	s.ServeHTTP(w, req)
 	if w.Code != http.StatusMethodNotAllowed {
 		t.Errorf("POST code = %d", w.Code)
+	}
+}
+
+// stepOnce feeds one epoch of telemetry through the API.
+func stepOnce(t *testing.T, s *Server) {
+	t.Helper()
+	body := `{"GreenPower":635,"OfferedRate":1400,"Goodput":120,"Latency":0.6,"ServerPower":100}`
+	req := httptest.NewRequest(http.MethodPost, "/step", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("step code = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	collector := obs.NewCollector()
+	ctrl, err := core.New(core.Options{
+		Workload:     workload.SPECjbb(),
+		Green:        cluster.REBatt(),
+		StrategyName: "Hybrid",
+		Sink:         collector,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(ctrl, WithMetrics(collector))
+	stepOnce(t, s)
+	stepOnce(t, s)
+
+	rec := get(t, s, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics code = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		"greensprint_epochs_total 2",
+		`greensprint_decisions_total{config=`,
+		"greensprint_battery_soc ",
+		"greensprint_epoch_latency_seconds_count 2",
+		"greensprint_supply_case_total{case=",
+		// SPECjbb's deadline is 0.5 s and the injected latency 0.6 s.
+		"greensprint_qos_violations_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Every sample line must parse as `name{labels} value`.
+	for i, ln := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(ln, "#") || ln == "" {
+			continue
+		}
+		sp := strings.LastIndex(ln, " ")
+		if sp <= 0 {
+			t.Fatalf("line %d: no value separator: %q", i, ln)
+		}
+		if v := ln[sp+1:]; v != "+Inf" {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				t.Errorf("line %d: unparseable value %q", i, v)
+			}
+		}
+	}
+}
+
+func TestMetricsDisabled(t *testing.T) {
+	s, _ := newServer(t)
+	if rec := get(t, s, "/metrics"); rec.Code != http.StatusNotFound {
+		t.Errorf("metrics without collector: code = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics code = %d", rec.Code)
+	}
+}
+
+// TestQTableBuffered is the regression test for the truncated-stream
+// bug: the handler must buffer the whole encode, set Content-Length,
+// and turn an encoding failure into a 500 — never a 200 with a
+// truncated body.
+func TestQTableBuffered(t *testing.T) {
+	s, _ := newServer(t)
+	rec := get(t, s, "/qtable")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(rec.Body.Len()) {
+		t.Errorf("Content-Length = %q, body is %d bytes", cl, rec.Body.Len())
+	}
+	if !json.Valid(rec.Body.Bytes()) {
+		t.Error("qtable response is not complete JSON")
+	}
+
+	s.qtableJSON = func() ([]byte, bool, error) {
+		return nil, true, errors.New("encode exploded")
+	}
+	rec = get(t, s, "/qtable")
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("failing encode: code = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "encode exploded") {
+		t.Errorf("error body = %q", rec.Body.String())
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	s, _ := newServer(t)
+	if rec := get(t, s, "/debug/pprof/"); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof without opt-in: code = %d", rec.Code)
+	}
+	ctrl, err := core.New(core.Options{
+		Workload:     workload.SPECjbb(),
+		Green:        cluster.REBatt(),
+		StrategyName: "Hybrid",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = New(ctrl, WithPprof())
+	if rec := get(t, s, "/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Errorf("pprof index code = %d", rec.Code)
 	}
 }

@@ -86,6 +86,25 @@ func (h *Histogram) bucketUpper(i int) float64 {
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.total }
 
+// Sum returns the sum of recorded samples in seconds, the companion to
+// Count for Prometheus histogram export.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// CountBelow returns the number of samples whose bucket lies entirely
+// at or below d seconds — the cumulative count behind a Prometheus
+// `le` bucket. Like FractionBelow it is conservative: a bucket
+// straddling d is not counted.
+func (h *Histogram) CountBelow(d float64) uint64 {
+	var cum uint64
+	for i := range h.counts {
+		if h.bucketUpper(i) > d {
+			break
+		}
+		cum += h.counts[i]
+	}
+	return cum
+}
+
 // Mean returns the mean of recorded samples (0 when empty).
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {

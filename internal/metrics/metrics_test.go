@@ -227,3 +227,27 @@ func TestFractionBelowMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSumAndCountBelow(t *testing.T) {
+	h := DefaultLatencyHistogram()
+	samples := []float64{0.001, 0.002, 0.05, 0.2, 1.5}
+	want := 0.0
+	for _, s := range samples {
+		h.Observe(s)
+		want += s
+	}
+	if got := h.Sum(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	// CountBelow must agree with FractionBelow times Count exactly.
+	for _, d := range []float64{0.0005, 0.003, 0.1, 1, 10, 200} {
+		got := h.CountBelow(d)
+		want := uint64(h.FractionBelow(d)*float64(h.Count()) + 0.5)
+		if got != want {
+			t.Errorf("CountBelow(%v) = %d, FractionBelow implies %d", d, got, want)
+		}
+	}
+	if h.CountBelow(1000) != h.Count() {
+		t.Errorf("CountBelow above max = %d, want total %d", h.CountBelow(1000), h.Count())
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"greensprint/internal/metrics"
+)
+
+// Collector turns the per-epoch event stream into the /metrics
+// catalog. It implements Sink, so it composes with a JSONL event log
+// through Multi; WritePrometheus renders the current state. Safe for
+// concurrent use.
+type Collector struct {
+	reg *Registry
+
+	epochs       *Counter
+	sprintEpochs *Counter
+	decisions    *Counter
+	cases        *Counter
+	qos          *Counter
+	energyWh     *Counter
+
+	greenSupply *Gauge
+	split       *Gauge
+	soc         *Gauge
+	dod         *Gauge
+	cycles      *Gauge
+	stress      *Gauge
+	sprintFrac  *Gauge
+	goodput     *Gauge
+	latQuantile *Gauge
+
+	mu  sync.Mutex
+	lat *metrics.Histogram
+}
+
+// NewCollector builds a Collector with the full GreenSprint metric
+// catalog registered (see DESIGN.md §8 and the README's observability
+// section).
+func NewCollector() *Collector {
+	r := NewRegistry()
+	c := &Collector{
+		reg: r,
+		epochs: r.NewCounter("greensprint_epochs_total",
+			"Scheduling epochs processed."),
+		sprintEpochs: r.NewCounter("greensprint_sprint_epochs_total",
+			"Epochs whose applied config exceeded Normal mode."),
+		decisions: r.NewCounter("greensprint_decisions_total",
+			"Decisions by strategy and applied server config."),
+		cases: r.NewCounter("greensprint_supply_case_total",
+			"Epochs by PSS supply case (green-only, green+battery, ...)."),
+		qos: r.NewCounter("greensprint_qos_violations_total",
+			"Epochs whose SLA-percentile latency exceeded the deadline."),
+		energyWh: r.NewCounter("greensprint_energy_wh_total",
+			"Rack-level energy delivered, by power source."),
+		greenSupply: r.NewGauge("greensprint_green_supply_watts",
+			"Renewable production observed over the last epoch (rack level)."),
+		split: r.NewGauge("greensprint_power_split_watts",
+			"Per-server power delivered in the last epoch, by source."),
+		soc: r.NewGauge("greensprint_battery_soc",
+			"Battery bank mean state of charge (0-1)."),
+		dod: r.NewGauge("greensprint_battery_dod",
+			"Battery bank mean depth of discharge (1 - SoC)."),
+		cycles: r.NewGauge("greensprint_battery_cycles",
+			"Equivalent battery cycles consumed since start."),
+		stress: r.NewGauge("greensprint_breaker_stress",
+			"PDU breaker thermal stress (0-1; 1 trips)."),
+		sprintFrac: r.NewGauge("greensprint_sprint_fraction",
+			"Fraction of the last epoch the sprint was powered."),
+		goodput: r.NewGauge("greensprint_goodput_rps",
+			"Per-server QoS-compliant throughput over the last epoch."),
+		latQuantile: r.NewGauge("greensprint_epoch_latency_quantile_seconds",
+			"SLA-percentile epoch latency quantiles."),
+		lat: metrics.DefaultLatencyHistogram(),
+	}
+	r.NewHistogram("greensprint_epoch_latency_seconds",
+		"Per-epoch SLA-percentile latency.", c.lat, nil)
+	return c
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(ev Event) error {
+	c.Observe(ev)
+	return nil
+}
+
+// Observe folds one epoch event into the metric catalog.
+func (c *Collector) Observe(ev Event) {
+	c.epochs.Inc()
+	if ev.Sprinting {
+		c.sprintEpochs.Inc()
+	}
+	c.decisions.With("strategy", ev.Strategy, "config", ev.Config).Inc()
+	c.cases.With("case", ev.Case).Inc()
+	if ev.QoSViolation {
+		c.qos.Inc()
+	}
+	n := float64(ev.Servers)
+	if n <= 0 {
+		n = 1
+	}
+	hours := ev.EpochSeconds / 3600
+	c.energyWh.With("source", "green").Add(ev.GreenW * n * hours)
+	c.energyWh.With("source", "battery").Add(ev.BatteryW * n * hours)
+	c.energyWh.With("source", "grid").Add(ev.GridW * n * hours)
+
+	c.greenSupply.Set(ev.GreenSupplyW)
+	c.split.With("source", "green").Set(ev.GreenW)
+	c.split.With("source", "battery").Set(ev.BatteryW)
+	c.split.With("source", "grid").Set(ev.GridW)
+	c.soc.Set(ev.SoC)
+	c.dod.Set(1 - ev.SoC)
+	c.cycles.Set(ev.BatteryCycles)
+	c.stress.Set(ev.BreakerStress)
+	c.sprintFrac.Set(ev.SprintFraction)
+	c.goodput.Set(ev.Goodput)
+
+	c.mu.Lock()
+	c.lat.Observe(ev.LatencySec)
+	c.mu.Unlock()
+}
+
+// WritePrometheus renders the catalog in the Prometheus text format.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	c.mu.Lock()
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		c.latQuantile.With("quantile", fmt.Sprintf("%g", q)).Set(c.lat.Quantile(q))
+	}
+	c.mu.Unlock()
+	return c.reg.WritePrometheus(w)
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sampleEvent(epoch int) Event {
+	return Event{
+		Epoch:          epoch,
+		EpochSeconds:   300,
+		Strategy:       "Hybrid",
+		Servers:        4,
+		Case:           "green+battery",
+		Config:         "3.4GHz/16",
+		Sprinting:      true,
+		GreenSupplyW:   512.25,
+		OfferedRate:    1400,
+		Goodput:        1200,
+		LatencySec:     0.42,
+		SprintFraction: 0.75,
+		GreenW:         120,
+		BatteryW:       30,
+		GridW:          0,
+		SoC:            0.85,
+		BatteryCycles:  0.012,
+		QoSViolation:   epoch%2 == 1,
+	}
+}
+
+func TestJSONLDeterministicAndParseable(t *testing.T) {
+	var a, b bytes.Buffer
+	for _, buf := range []*bytes.Buffer{&a, &b} {
+		s := NewJSONL(buf)
+		for i := 0; i < 5; i++ {
+			if err := s.Emit(sampleEvent(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical event sequences produced different JSONL bytes")
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5", len(lines))
+	}
+	for i, ln := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if ev.Epoch != i || ev.Strategy != "Hybrid" {
+			t.Errorf("line %d round-tripped to %+v", i, ev)
+		}
+	}
+}
+
+type failSink struct{ err error }
+
+func (f failSink) Emit(Event) error { return f.err }
+
+type countSink struct{ n int }
+
+func (c *countSink) Emit(Event) error { c.n++; return nil }
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("empty Multi should be nil")
+	}
+	a, b := &countSink{}, &countSink{}
+	m := Multi(a, nil, b)
+	if err := m.Emit(sampleEvent(0)); err != nil {
+		t.Fatal(err)
+	}
+	if a.n != 1 || b.n != 1 {
+		t.Errorf("fan-out counts = %d, %d", a.n, b.n)
+	}
+	boom := errors.New("boom")
+	if err := Multi(a, failSink{boom}).Emit(sampleEvent(1)); !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestCollectorMetrics(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 4; i++ {
+		if err := c.Emit(sampleEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"greensprint_epochs_total 4",
+		"greensprint_sprint_epochs_total 4",
+		`greensprint_decisions_total{config="3.4GHz/16",strategy="Hybrid"} 4`,
+		`greensprint_supply_case_total{case="green+battery"} 4`,
+		"greensprint_qos_violations_total 2",
+		// 120 W × 4 servers × (300 s / 3600 s/h) × 4 epochs = 160 Wh.
+		`greensprint_energy_wh_total{source="green"} 160`,
+		`greensprint_energy_wh_total{source="battery"} 40`,
+		"greensprint_green_supply_watts 512.25",
+		"greensprint_battery_soc 0.85",
+		"greensprint_battery_dod 0.15",
+		"greensprint_sprint_fraction 0.75",
+		"greensprint_epoch_latency_seconds_count 4",
+		`greensprint_epoch_latency_seconds_bucket{le="+Inf"} 4`,
+		`greensprint_epoch_latency_quantile_seconds{quantile="0.99"}`,
+		"# TYPE greensprint_epochs_total counter",
+		"# TYPE greensprint_battery_soc gauge",
+		"# TYPE greensprint_epoch_latency_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// Deterministic rendering.
+	var buf2 bytes.Buffer
+	if err := c.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("two renders of the same collector differ")
+	}
+}
+
+func TestPrometheusTextWellFormed(t *testing.T) {
+	c := NewCollector()
+	c.Observe(sampleEvent(0))
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkPrometheusText(t, buf.String())
+}
+
+// checkPrometheusText is a minimal validator for the text exposition
+// format: every sample line is `name{labels} value` with a parseable
+// float value, and every sample belongs to a family declared by a
+// preceding # TYPE line.
+func checkPrometheusText(t *testing.T, out string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for i, ln := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(ln, "# TYPE ") {
+			parts := strings.Fields(ln)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", i, ln)
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(ln, "#") {
+			continue
+		}
+		name := ln
+		if j := strings.IndexAny(ln, "{ "); j >= 0 {
+			name = ln[:j]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) && typed[strings.TrimSuffix(name, suf)] {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if !typed[base] {
+			t.Errorf("line %d: sample %q has no TYPE declaration", i, name)
+		}
+		sp := strings.LastIndex(ln, " ")
+		if sp < 0 {
+			t.Fatalf("line %d: no value: %q", i, ln)
+		}
+		val := ln[sp+1:]
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := parseFloat(val); err != nil {
+				t.Errorf("line %d: bad value %q: %v", i, val, err)
+			}
+		}
+		if j := strings.Index(ln, "{"); j >= 0 {
+			k := strings.Index(ln, "}")
+			if k < j {
+				t.Errorf("line %d: unbalanced label braces: %q", i, ln)
+			}
+		}
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}

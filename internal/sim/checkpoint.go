@@ -4,9 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"time"
 
+	"greensprint/internal/atomicfile"
 	"greensprint/internal/cluster"
 	"greensprint/internal/pmk"
 	"greensprint/internal/predictor"
@@ -148,30 +148,15 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	return &cp, nil
 }
 
-// WriteFile atomically persists the checkpoint: it writes a temporary
-// file in the destination directory and renames it into place, so a
-// crash mid-write never leaves a truncated checkpoint behind.
+// WriteFile atomically persists the checkpoint through the shared
+// tmp+rename writer, so a crash mid-write never leaves a truncated
+// checkpoint behind.
 func (c *Checkpoint) WriteFile(path string) error {
 	b, err := c.Encode()
 	if err != nil {
 		return err
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("sim: write checkpoint: %w", err)
-	}
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("sim: write checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("sim: write checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := atomicfile.WriteFile(path, b, 0o644); err != nil {
 		return fmt.Errorf("sim: write checkpoint: %w", err)
 	}
 	return nil

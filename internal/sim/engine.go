@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"greensprint/internal/cluster"
+	"greensprint/internal/obs"
 	"greensprint/internal/pmk"
 	"greensprint/internal/predictor"
 	"greensprint/internal/profile"
@@ -178,9 +179,47 @@ func (e *Engine) Step() (EpochRecord, bool, error) {
 		e.burstPerfSum += rec.NormPerf
 		e.burstEpochs++
 	}
+	index := e.epochIndex
 	e.at = at.Add(e.epoch)
 	e.epochIndex++
+	if e.cfg.Sink != nil {
+		if err := e.cfg.Sink.Emit(e.event(index, rec)); err != nil {
+			return rec, true, fmt.Errorf("sim: event sink: %w", err)
+		}
+	}
 	return rec, true, nil
+}
+
+// event flattens one epoch record into the observability schema. The
+// record's per-server power split and the simulation clock make the
+// stream deterministic for a fixed-seed replay.
+func (e *Engine) event(index int, rec EpochRecord) obs.Event {
+	ev := obs.Event{
+		Epoch:          index,
+		Time:           rec.Start.UTC().Format(time.RFC3339Nano),
+		EpochSeconds:   e.epoch.Seconds(),
+		Strategy:       e.cfg.Strategy.Name(),
+		Servers:        e.n,
+		InBurst:        rec.InBurst,
+		GreenSupplyW:   float64(rec.Supply),
+		OfferedRate:    rec.Offered,
+		Goodput:        rec.Goodput,
+		LatencySec:     rec.Latency,
+		Case:           rec.Case.String(),
+		Config:         rec.Config.String(),
+		Sprinting:      rec.Config.IsSprinting(),
+		SprintFraction: rec.SprintFraction,
+		GreenW:         float64(rec.Green),
+		BatteryW:       float64(rec.Battery),
+		GridW:          float64(rec.Grid),
+		SoC:            rec.SoC,
+		BatteryCycles:  e.selector.Bank().EquivalentCycles(),
+		QoSViolation:   e.cfg.Workload.Deadline > 0 && rec.Latency > e.cfg.Workload.Deadline,
+	}
+	if e.breaker != nil {
+		ev.BreakerStress = e.breaker.Stress()
+	}
+	return ev
 }
 
 // Done reports whether the configured horizon has been consumed.

@@ -3,11 +3,13 @@ package sim
 import (
 	"bytes"
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"greensprint/internal/cluster"
+	"greensprint/internal/obs"
 	"greensprint/internal/pss"
 	"greensprint/internal/server"
 	"greensprint/internal/solar"
@@ -385,5 +387,53 @@ func TestEngineBreakerOverdrawBurst(t *testing.T) {
 	}
 	if lastStress <= 0 {
 		t.Fatalf("final overdraw stress = %v", lastStress)
+	}
+}
+
+// failAfterSink accepts n emissions, then fails every subsequent one.
+type failAfterSink struct {
+	n      int
+	events []obs.Event
+}
+
+func (s *failAfterSink) Emit(ev obs.Event) error {
+	if len(s.events) >= s.n {
+		return errors.New("sink full")
+	}
+	s.events = append(s.events, ev)
+	return nil
+}
+
+// TestEngineSinkEmission checks that Step emits exactly one event per
+// committed epoch and that a sink failure surfaces as a Step error —
+// after the epoch record itself has been committed.
+func TestEngineSinkEmission(t *testing.T) {
+	cfg := ckptConfig(t)
+	sink := &failAfterSink{n: 3}
+	cfg.Sink = sink
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, ev := range sink.events {
+		if ev.Epoch != i {
+			t.Errorf("event %d has epoch %d", i, ev.Epoch)
+		}
+		if ev.Time == "" {
+			t.Errorf("event %d missing sim-clock timestamp", i)
+		}
+	}
+	_, _, err = e.Step()
+	if err == nil || !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("Step with failing sink: err = %v, want sink error", err)
+	}
+	// The epoch itself committed before the emission failed.
+	if got := len(e.Result().Records); got != 4 {
+		t.Errorf("records = %d, want 4 (epoch commits before sink error)", got)
 	}
 }

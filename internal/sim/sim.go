@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"greensprint/internal/cluster"
+	"greensprint/internal/obs"
 	"greensprint/internal/pmk"
 	"greensprint/internal/profile"
 	"greensprint/internal/pss"
@@ -63,6 +64,12 @@ type Config struct {
 	// the breaker's stress budget is spent, the rack falls back to
 	// Normal mode for the rest of the run.
 	AllowBreakerOverdraw bool
+	// Sink optionally receives one obs.Event per scheduling epoch as
+	// Engine.Step runs. Events carry the simulation clock, so a
+	// fixed-seed replay emits a bit-identical stream across runs and
+	// across sharded vs. sequential execution (a restored engine
+	// re-emits nothing for epochs already run).
+	Sink obs.Sink
 }
 
 // EpochRecord captures one scheduling epoch of one run.
@@ -80,6 +87,9 @@ type EpochRecord struct {
 	NormPerf float64    // goodput normalized to Normal mode
 	Latency  float64    // effective SLA-percentile latency (s)
 	SoC      float64    // battery mean state of charge after epoch
+	// SprintFraction is the fraction of the epoch the sprint was
+	// powered (0 outside bursts and under grid fallback).
+	SprintFraction float64
 }
 
 // Result is the outcome of a run.
@@ -205,6 +215,7 @@ func runBurstEpoch(rec EpochRecord, cfg Config, tab *profile.Table, selector *ps
 	}
 	rec.Case = al.Case
 	rec.Config = executed
+	rec.SprintFraction = frac
 	rec.Green = units.Watt(float64(al.Green) / float64(n))
 	rec.Battery = units.Watt(float64(al.Battery) / float64(n))
 	rec.Grid = units.Watt(float64(al.Grid) / float64(n))

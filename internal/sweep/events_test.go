@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"greensprint/internal/obs"
+	"greensprint/internal/sim"
+)
+
+// eventStream runs one replay config with a JSONL sink attached and
+// returns the raw byte stream, running either sequentially or sharded.
+func eventStream(t *testing.T, cfg sim.Config, windows int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg.Sink = obs.NewJSONL(&buf)
+	var err error
+	if windows <= 1 {
+		_, err = sim.Run(context.Background(), cfg)
+	} else {
+		_, err = ShardedRun(context.Background(), cfg, windows)
+	}
+	if err != nil {
+		t.Fatalf("windows=%d: %v", windows, err)
+	}
+	return buf.Bytes()
+}
+
+// TestEventStreamGolden is the golden determinism test for the epoch
+// event log: under a fixed seed the JSONL stream is bit-identical
+// across repeated runs, and a sharded replay — whose per-window engines
+// only step (and hence only emit) epochs the previous shard has not
+// already run — produces the exact byte stream of the sequential run.
+// This holds even for the stateful Q-learning Hybrid strategy, whose
+// decisions depend on learning state carried across shard boundaries.
+func TestEventStreamGolden(t *testing.T) {
+	for _, strat := range []string{"Pacing", "Hybrid"} {
+		golden := eventStream(t, shardConfig(t, strat), 1)
+		if len(golden) == 0 {
+			t.Fatalf("%s: empty event stream", strat)
+		}
+		if again := eventStream(t, shardConfig(t, strat), 1); !bytes.Equal(again, golden) {
+			t.Errorf("%s: repeated sequential run emitted a different stream", strat)
+		}
+		for _, windows := range []int{2, 4} {
+			if got := eventStream(t, shardConfig(t, strat), windows); !bytes.Equal(got, golden) {
+				t.Errorf("%s/%d windows: sharded stream differs from sequential", strat, windows)
+			}
+		}
+	}
+}
+
+// TestEventStreamContents spot-checks the golden stream's structure:
+// one parseable record per epoch, in epoch order, with sim-clock
+// timestamps and the decision fields populated.
+func TestEventStreamContents(t *testing.T) {
+	cfg := shardConfig(t, "Pacing")
+	stream := eventStream(t, cfg, 1)
+	sc := bufio.NewScanner(bytes.NewReader(stream))
+	n := 0
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if ev.Epoch != n {
+			t.Errorf("line %d has epoch %d", n, ev.Epoch)
+		}
+		if ev.Time == "" || ev.Case == "" || ev.Config == "" || ev.Strategy == "" {
+			t.Errorf("line %d missing fields: %+v", n, ev)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 m lead + 60 m burst + 15 m tail at the default 5 m epoch.
+	if n != 17 {
+		t.Errorf("events = %d, want 17 (one per epoch)", n)
+	}
+}
