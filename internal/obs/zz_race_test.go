@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestCollectorConcurrentScrapeRace(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50000; i++ {
+			c.mu.Lock()
+			c.lat.Observe(0.01)
+			c.mu.Unlock()
+			runtime.Gosched()
+		}
+		close(stop)
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = c.reg.WritePrometheus(io.Discard)
+			runtime.Gosched()
+		}
+	}()
+	wg.Wait()
+}
