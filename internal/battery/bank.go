@@ -8,9 +8,11 @@ import (
 
 // Bank is a set of identical per-server battery units managed together,
 // matching the paper's distributed (server-level) battery architecture.
-// Power requests are split evenly across non-empty units.
+// Power requests are split evenly across non-empty units. A Bank is
+// stateful and not safe for concurrent use.
 type Bank struct {
 	units []*Battery
+	avail []*Battery // scratch for available(); reused across calls
 }
 
 // NewBank creates n fully charged units of the given configuration.
@@ -34,23 +36,39 @@ func (b *Bank) Size() int { return len(b.units) }
 // Unit returns the i-th unit for inspection.
 func (b *Bank) Unit(i int) *Battery { return b.units[i] }
 
-// available returns the units not at the DoD floor.
+// available returns the units not at the DoD floor. The returned slice
+// is the bank's reused scratch buffer: valid until the next call, so
+// callers must not retain it (the per-epoch hot path calls this many
+// times per scheduling decision).
 func (b *Bank) available() []*Battery {
-	var out []*Battery
+	out := b.avail[:0]
 	for _, u := range b.units {
 		if !u.AtFloor() {
 			out = append(out, u)
 		}
 	}
+	b.avail = out
 	return out
 }
 
 // MaxSustainablePower returns the aggregate constant power the bank can
-// hold for duration d.
+// hold for duration d. Units at the same state of charge share one
+// bisection result — a bank's units have identical configurations
+// (NewBank clones a single Config), so equal SoC implies an equal
+// answer, and even discharge/charge splitting keeps all units in
+// lockstep in practice.
 func (b *Bank) MaxSustainablePower(d time.Duration) units.Watt {
 	var sum units.Watt
+	var last *Battery
+	var lastVal units.Watt
 	for _, u := range b.available() {
-		sum += u.MaxSustainablePower(d)
+		if last != nil && u.soc == last.soc {
+			sum += lastVal
+			continue
+		}
+		lastVal = u.MaxSustainablePower(d)
+		last = u
+		sum += lastVal
 	}
 	return sum
 }
@@ -67,9 +85,13 @@ func (b *Bank) RemainingTime(p units.Watt) time.Duration {
 		return 0
 	}
 	per := units.Watt(float64(p) / float64(len(avail)))
+	// The units share one Config, so the Peukert full-drain time is
+	// computed once per call instead of once per unit (TimeToEmpty's
+	// math.Pow dominates the scheduling hot path).
+	full := avail[0].cfg.TimeToEmpty(per)
 	min := time.Duration(1<<63 - 1)
 	for _, u := range avail {
-		if t := u.RemainingTime(per); t < min {
+		if t := u.remainingTimeWithFull(full); t < min {
 			min = t
 		}
 	}

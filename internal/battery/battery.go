@@ -138,6 +138,19 @@ type Battery struct {
 	// dischargedAh accumulates total discharged charge (rated-Ah
 	// equivalent) for cycle accounting.
 	dischargedAh float64
+	// maxSust memoizes the last MaxSustainablePower bisection, keyed
+	// by the exact (SoC, horizon) pair. The PSS asks the same question
+	// several times per scheduling epoch between state changes; the
+	// memo returns the stored bisection result verbatim, so reuse is
+	// bit-identical.
+	maxSust maxSustMemo
+}
+
+type maxSustMemo struct {
+	ok  bool
+	soc float64
+	d   time.Duration
+	val units.Watt
 }
 
 // ErrEmpty is returned when a discharge request hits the DoD floor.
@@ -195,6 +208,18 @@ func (b *Battery) RemainingTime(p units.Watt) time.Duration {
 	return time.Duration(frac * float64(full))
 }
 
+// remainingTimeWithFull scales an already-computed full-drain time by
+// the unit's remaining charge fraction — RemainingTime with its
+// Peukert term hoisted, bit-identical to it. Bank.RemainingTime shares
+// one full-drain time across its identical units.
+func (b *Battery) remainingTimeWithFull(full time.Duration) time.Duration {
+	frac := b.soc - b.floorSoC()
+	if frac <= 0 {
+		return 0
+	}
+	return time.Duration(frac * float64(full))
+}
+
 // Discharge draws power p for duration d. It returns the duration
 // actually sustained: the full d when charge suffices, or the shorter
 // Peukert-limited time before the DoD floor, along with ErrEmpty.
@@ -234,6 +259,9 @@ func (b *Battery) MaxSustainablePower(d time.Duration) units.Watt {
 	if b.AtFloor() {
 		return 0
 	}
+	if b.maxSust.ok && b.maxSust.soc == b.soc && b.maxSust.d == d {
+		return b.maxSust.val
+	}
 	lo, hi := 0.0, 100*float64(b.cfg.RatedEnergy()) // generous upper bound
 	for iter := 0; iter < 60; iter++ {
 		mid := (lo + hi) / 2
@@ -243,6 +271,7 @@ func (b *Battery) MaxSustainablePower(d time.Duration) units.Watt {
 			hi = mid
 		}
 	}
+	b.maxSust = maxSustMemo{ok: true, soc: b.soc, d: d, val: units.Watt(lo)}
 	return units.Watt(lo)
 }
 

@@ -8,7 +8,6 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"greensprint/internal/cluster"
@@ -24,28 +23,13 @@ import (
 // Seed fixes all stochastic inputs so every regeneration is identical.
 const Seed = 42
 
-// tableCache memoizes the per-workload profiling tables (they are
-// deterministic and moderately expensive to build). Parallel sweep
-// cells hit it concurrently, so it is guarded by a mutex; the cached
-// *profile.Table itself is read-only after Build and safe to share
-// across cells.
-var (
-	tableMu    sync.Mutex
-	tableCache = map[string]*profile.Table{}
-)
-
+// tableFor memoizes the per-workload profiling tables through the
+// process-level profile.BuildCached: parallel sweep cells running the
+// same workload share one read-only *profile.Table, keyed by the full
+// profile value (not just the name) so ablated knob variants never
+// collide.
 func tableFor(p workload.Profile) (*profile.Table, error) {
-	tableMu.Lock()
-	defer tableMu.Unlock()
-	if t, ok := tableCache[p.Name]; ok {
-		return t, nil
-	}
-	t, err := profile.Build(p, profile.DefaultLevels)
-	if err != nil {
-		return nil, err
-	}
-	tableCache[p.Name] = t
-	return t, nil
+	return profile.BuildCached(p, profile.DefaultLevels)
 }
 
 // runCell simulates one figure cell and returns the mean normalized

@@ -8,19 +8,23 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
 // Histogram is a log-bucketed latency histogram. Buckets grow
 // geometrically from Min to Max; values outside the range clamp into
 // the first/last bucket. The zero value is not usable; construct with
-// NewHistogram.
+// NewHistogram. Methods are safe for concurrent use: a scrape may
+// render the histogram while observers record into it.
 type Histogram struct {
 	min, max float64
 	growth   float64
-	counts   []uint64
-	total    uint64
-	sum      float64
+
+	mu     sync.Mutex
+	counts []uint64
+	total  uint64
+	sum    float64
 }
 
 // NewHistogram creates a histogram covering [min,max] seconds with the
@@ -51,14 +55,27 @@ func DefaultLatencyHistogram() *Histogram {
 	return h
 }
 
+// DefaultGoodputHistogram covers 0.1 to 1e6 requests/s with ~1.5%
+// resolution: idle trickles through a full Int=12 sprint across all
+// three workloads' service rates.
+func DefaultGoodputHistogram() *Histogram {
+	h, err := NewHistogram(0.1, 1e6, 1080)
+	if err != nil {
+		panic(err) // static arguments; cannot fail
+	}
+	return h
+}
+
 // Observe records one latency sample in seconds.
 func (h *Histogram) Observe(seconds float64) {
 	if math.IsNaN(seconds) {
 		return
 	}
+	h.mu.Lock()
 	h.counts[h.bucketOf(seconds)]++
 	h.total++
 	h.sum += seconds
+	h.mu.Unlock()
 }
 
 func (h *Histogram) bucketOf(v float64) int {
@@ -84,17 +101,27 @@ func (h *Histogram) bucketUpper(i int) float64 {
 }
 
 // Count returns the number of recorded samples.
-func (h *Histogram) Count() uint64 { return h.total }
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
 
 // Sum returns the sum of recorded samples in seconds, the companion to
 // Count for Prometheus histogram export.
-func (h *Histogram) Sum() float64 { return h.sum }
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
 
 // CountBelow returns the number of samples whose bucket lies entirely
 // at or below d seconds — the cumulative count behind a Prometheus
 // `le` bucket. Like FractionBelow it is conservative: a bucket
 // straddling d is not counted.
 func (h *Histogram) CountBelow(d float64) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	var cum uint64
 	for i := range h.counts {
 		if h.bucketUpper(i) > d {
@@ -107,6 +134,8 @@ func (h *Histogram) CountBelow(d float64) uint64 {
 
 // Mean returns the mean of recorded samples (0 when empty).
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.total == 0 {
 		return 0
 	}
@@ -116,6 +145,8 @@ func (h *Histogram) Mean() float64 {
 // Quantile returns an upper-bound estimate of the q-quantile
 // (0 < q ≤ 1). Empty histograms return 0.
 func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.total == 0 || q <= 0 {
 		return 0
 	}
@@ -136,6 +167,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 // FractionBelow returns the fraction of samples at or below d seconds
 // (1 for an empty histogram, which violates nothing).
 func (h *Histogram) FractionBelow(d float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.total == 0 {
 		return 1
 	}
@@ -151,17 +184,22 @@ func (h *Histogram) FractionBelow(d float64) float64 {
 
 // Reset clears all samples.
 func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	for i := range h.counts {
 		h.counts[i] = 0
 	}
 	h.total, h.sum = 0, 0
 }
 
-// Merge adds the samples of o (same shape required) into h.
+// Merge adds the samples of o (same shape required) into h. The source
+// histogram must not be observed into concurrently.
 func (h *Histogram) Merge(o *Histogram) error {
 	if len(h.counts) != len(o.counts) || h.min != o.min || h.max != o.max {
 		return fmt.Errorf("metrics: histogram shape mismatch")
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	for i, c := range o.counts {
 		h.counts[i] += c
 	}

@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"fmt"
 	"io"
 	"sync"
 
@@ -20,21 +19,33 @@ type Collector struct {
 	decisions    *Counter
 	cases        *Counter
 	qos          *Counter
-	energyWh     *Counter
+
+	// Fixed label sets are resolved once at construction: With()
+	// renders and sorts its label pairs on every call, which the
+	// per-epoch Observe path would otherwise pay nine times over.
+	energyGreen, energyBattery, energyGrid *Counter
+	splitGreen, splitBattery, splitGrid    *Gauge
+	latQ50, latQ90, latQ99                 *Gauge
 
 	greenSupply *Gauge
-	split       *Gauge
 	soc         *Gauge
 	dod         *Gauge
 	cycles      *Gauge
 	stress      *Gauge
 	sprintFrac  *Gauge
 	goodput     *Gauge
-	latQuantile *Gauge
 
 	mu  sync.Mutex
 	lat *metrics.Histogram
+	gp  *metrics.Histogram
+	// decisionCh and caseCh memoize the dynamic With() children
+	// (strategy×config and supply-case label sets; both spaces are
+	// small and recur every epoch).
+	decisionCh map[decisionKey]*Counter
+	caseCh     map[string]*Counter
 }
+
+type decisionKey struct{ strategy, config string }
 
 // NewCollector builds a Collector with the full GreenSprint metric
 // catalog registered (see DESIGN.md §8 and the README's observability
@@ -53,12 +64,8 @@ func NewCollector() *Collector {
 			"Epochs by PSS supply case (green-only, green+battery, ...)."),
 		qos: r.NewCounter("greensprint_qos_violations_total",
 			"Epochs whose SLA-percentile latency exceeded the deadline."),
-		energyWh: r.NewCounter("greensprint_energy_wh_total",
-			"Rack-level energy delivered, by power source."),
 		greenSupply: r.NewGauge("greensprint_green_supply_watts",
 			"Renewable production observed over the last epoch (rack level)."),
-		split: r.NewGauge("greensprint_power_split_watts",
-			"Per-server power delivered in the last epoch, by source."),
 		soc: r.NewGauge("greensprint_battery_soc",
 			"Battery bank mean state of charge (0-1)."),
 		dod: r.NewGauge("greensprint_battery_dod",
@@ -71,12 +78,31 @@ func NewCollector() *Collector {
 			"Fraction of the last epoch the sprint was powered."),
 		goodput: r.NewGauge("greensprint_goodput_rps",
 			"Per-server QoS-compliant throughput over the last epoch."),
-		latQuantile: r.NewGauge("greensprint_epoch_latency_quantile_seconds",
-			"SLA-percentile epoch latency quantiles."),
-		lat: metrics.DefaultLatencyHistogram(),
+		lat:        metrics.DefaultLatencyHistogram(),
+		gp:         metrics.DefaultGoodputHistogram(),
+		decisionCh: map[decisionKey]*Counter{},
+		caseCh:     map[string]*Counter{},
 	}
+	energyWh := r.NewCounter("greensprint_energy_wh_total",
+		"Rack-level energy delivered, by power source.")
+	c.energyGreen = energyWh.With("source", "green")
+	c.energyBattery = energyWh.With("source", "battery")
+	c.energyGrid = energyWh.With("source", "grid")
+	split := r.NewGauge("greensprint_power_split_watts",
+		"Per-server power delivered in the last epoch, by source.")
+	c.splitGreen = split.With("source", "green")
+	c.splitBattery = split.With("source", "battery")
+	c.splitGrid = split.With("source", "grid")
+	latQuantile := r.NewGauge("greensprint_epoch_latency_quantile_seconds",
+		"SLA-percentile epoch latency quantiles.")
+	c.latQ50 = latQuantile.With("quantile", "0.5")
+	c.latQ90 = latQuantile.With("quantile", "0.9")
+	c.latQ99 = latQuantile.With("quantile", "0.99")
 	r.NewHistogram("greensprint_epoch_latency_seconds",
 		"Per-epoch SLA-percentile latency.", c.lat, nil)
+	r.NewHistogram("greensprint_epoch_goodput",
+		"Per-epoch per-server QoS-compliant throughput (requests/s).",
+		c.gp, DefaultGoodputBounds)
 	return c
 }
 
@@ -92,8 +118,8 @@ func (c *Collector) Observe(ev Event) {
 	if ev.Sprinting {
 		c.sprintEpochs.Inc()
 	}
-	c.decisions.With("strategy", ev.Strategy, "config", ev.Config).Inc()
-	c.cases.With("case", ev.Case).Inc()
+	c.decision(ev.Strategy, ev.Config).Inc()
+	c.supplyCase(ev.Case).Inc()
 	if ev.QoSViolation {
 		c.qos.Inc()
 	}
@@ -102,14 +128,14 @@ func (c *Collector) Observe(ev Event) {
 		n = 1
 	}
 	hours := ev.EpochSeconds / 3600
-	c.energyWh.With("source", "green").Add(ev.GreenW * n * hours)
-	c.energyWh.With("source", "battery").Add(ev.BatteryW * n * hours)
-	c.energyWh.With("source", "grid").Add(ev.GridW * n * hours)
+	c.energyGreen.Add(ev.GreenW * n * hours)
+	c.energyBattery.Add(ev.BatteryW * n * hours)
+	c.energyGrid.Add(ev.GridW * n * hours)
 
 	c.greenSupply.Set(ev.GreenSupplyW)
-	c.split.With("source", "green").Set(ev.GreenW)
-	c.split.With("source", "battery").Set(ev.BatteryW)
-	c.split.With("source", "grid").Set(ev.GridW)
+	c.splitGreen.Set(ev.GreenW)
+	c.splitBattery.Set(ev.BatteryW)
+	c.splitGrid.Set(ev.GridW)
 	c.soc.Set(ev.SoC)
 	c.dod.Set(1 - ev.SoC)
 	c.cycles.Set(ev.BatteryCycles)
@@ -119,15 +145,42 @@ func (c *Collector) Observe(ev Event) {
 
 	c.mu.Lock()
 	c.lat.Observe(ev.LatencySec)
+	c.gp.Observe(ev.Goodput)
 	c.mu.Unlock()
+}
+
+// decision returns the memoized counter child for one
+// (strategy, config) label set.
+func (c *Collector) decision(strategy, config string) *Counter {
+	k := decisionKey{strategy, config}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch, ok := c.decisionCh[k]
+	if !ok {
+		ch = c.decisions.With("strategy", strategy, "config", config)
+		c.decisionCh[k] = ch
+	}
+	return ch
+}
+
+// supplyCase returns the memoized counter child for one PSS case.
+func (c *Collector) supplyCase(name string) *Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch, ok := c.caseCh[name]
+	if !ok {
+		ch = c.cases.With("case", name)
+		c.caseCh[name] = ch
+	}
+	return ch
 }
 
 // WritePrometheus renders the catalog in the Prometheus text format.
 func (c *Collector) WritePrometheus(w io.Writer) error {
 	c.mu.Lock()
-	for _, q := range []float64{0.5, 0.9, 0.99} {
-		c.latQuantile.With("quantile", fmt.Sprintf("%g", q)).Set(c.lat.Quantile(q))
-	}
+	c.latQ50.Set(c.lat.Quantile(0.5))
+	c.latQ90.Set(c.lat.Quantile(0.9))
+	c.latQ99.Set(c.lat.Quantile(0.99))
 	c.mu.Unlock()
 	return c.reg.WritePrometheus(w)
 }

@@ -132,6 +132,41 @@ func TestCollectorMetrics(t *testing.T) {
 	}
 }
 
+// TestCollectorGoodputHistogram drives epochs with known goodput
+// values through the collector and checks the exported histogram:
+// cumulative le buckets bracket the samples, and sum/count match.
+func TestCollectorGoodputHistogram(t *testing.T) {
+	c := NewCollector()
+	for i, gp := range []float64{40, 40, 1200, 90000} {
+		ev := sampleEvent(i)
+		ev.Goodput = gp
+		if err := c.Emit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE greensprint_epoch_goodput histogram",
+		`greensprint_epoch_goodput_bucket{le="25"} 0`,
+		`greensprint_epoch_goodput_bucket{le="50"} 2`,
+		`greensprint_epoch_goodput_bucket{le="1000"} 2`,
+		`greensprint_epoch_goodput_bucket{le="2500"} 3`,
+		`greensprint_epoch_goodput_bucket{le="50000"} 3`,
+		`greensprint_epoch_goodput_bucket{le="100000"} 4`,
+		`greensprint_epoch_goodput_bucket{le="+Inf"} 4`,
+		"greensprint_epoch_goodput_count 4",
+		"greensprint_epoch_goodput_sum 91280",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
 func TestPrometheusTextWellFormed(t *testing.T) {
 	c := NewCollector()
 	c.Observe(sampleEvent(0))

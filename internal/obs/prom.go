@@ -114,6 +114,14 @@ var DefaultLatencyBounds = []float64{
 	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30,
 }
 
+// DefaultGoodputBounds is the le ladder for epoch-goodput export
+// (requests/s): decade steps with 2.5/5 subdivisions from background
+// trickle to a saturated Int=12 sprint.
+var DefaultGoodputBounds = []float64{
+	1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+	25000, 50000, 100000, 250000, 500000, 1000000,
+}
+
 // NewHistogram registers a Prometheus histogram over an existing
 // metrics.Histogram. The caller keeps observing into h; bounds nil
 // selects DefaultLatencyBounds.

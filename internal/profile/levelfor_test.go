@@ -1,0 +1,70 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"greensprint/internal/workload"
+)
+
+// TestLevelForBoundaries pins the quantization at and around every
+// level edge. Level i covers rates in ((i+0.5)·step, (i+1.5)·step]
+// around its center (i+1)·step, where step = MaxRate/Levels; the
+// boundary rate exactly halfway between two centers rounds up.
+func TestLevelForBoundaries(t *testing.T) {
+	tab, err := Build(workload.SPECjbb(), DefaultLevels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := tab.MaxRate / float64(tab.Levels)
+	for lvl := 0; lvl < tab.Levels; lvl++ {
+		center := float64(lvl+1) * step
+		if got := tab.LevelFor(center); got != lvl {
+			t.Errorf("LevelFor(center of L%d = %v) = %d", lvl, center, got)
+		}
+		// Just above the lower edge still quantizes to lvl (the edge
+		// itself belongs to the level below for lvl > 0).
+		if lvl > 0 {
+			lower := (float64(lvl) + 0.5) * step
+			if got := tab.LevelFor(lower * 1.0001); got != lvl {
+				t.Errorf("LevelFor(just above L%d lower edge) = %d", lvl, got)
+			}
+		}
+	}
+	if got := tab.LevelFor(tab.MaxRate); got != tab.Levels-1 {
+		t.Errorf("LevelFor(MaxRate) = %d, want top level %d", got, tab.Levels-1)
+	}
+}
+
+// TestLevelForExtremes covers the inputs the old int(rate/step+0.5)
+// form mishandled: values whose float-to-int conversion is
+// implementation-defined in Go (wrapping negative on amd64), which
+// quantized an overloaded station's huge or +Inf offered rate to the
+// LOWEST intensity level. They must clamp to the top level; NaN and
+// anything at or below the first midpoint must clamp to level 0.
+func TestLevelForExtremes(t *testing.T) {
+	tab, err := Build(workload.SPECjbb(), DefaultLevels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := tab.Levels - 1
+	for _, tc := range []struct {
+		name string
+		rate float64
+		want int
+	}{
+		{"zero", 0, 0},
+		{"negative", -1000, 0},
+		{"-Inf", math.Inf(-1), 0},
+		{"NaN", math.NaN(), 0},
+		{"tiny", tab.MaxRate / 1e9, 0},
+		{"2x MaxRate", 2 * tab.MaxRate, top},
+		{"huge", 1e300, top},
+		{"MaxFloat64", math.MaxFloat64, top},
+		{"+Inf", math.Inf(1), top},
+	} {
+		if got := tab.LevelFor(tc.rate); got != tc.want {
+			t.Errorf("LevelFor(%s = %v) = %d, want %d", tc.name, tc.rate, got, tc.want)
+		}
+	}
+}

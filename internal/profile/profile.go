@@ -12,7 +12,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"sync"
 
 	"greensprint/internal/server"
 	"greensprint/internal/units"
@@ -45,14 +47,18 @@ func (e Entry) Config() server.Config {
 	return server.Config{Cores: e.Cores, Freq: e.Freq}
 }
 
-// Table is the full profiling table for one workload.
+// Table is the full profiling table for one workload. A Table is
+// read-only after Build/ReadJSON; all query methods are safe for
+// concurrent use on such a table, which lets parallel sweep cells
+// share one instance (see BuildCached).
 type Table struct {
 	Workload string  `json:"workload"`
 	Levels   int     `json:"levels"`
 	MaxRate  float64 `json:"max_rate"`
 	Entries  []Entry `json:"entries"`
 
-	byKey map[key]int
+	byKey   map[key]int
+	byLevel map[int][]Entry // entries per level, sorted by power
 }
 
 type key struct {
@@ -62,7 +68,10 @@ type key struct {
 
 // Build profiles p exhaustively over every knob setting and `levels`
 // intensity levels spaced evenly from MaxRate/levels to MaxRate, where
-// MaxRate is the Int=12 saturation rate.
+// MaxRate is the Int=12 saturation rate. It profiles through a
+// workload.Kernel, so the per-config QoS bisection runs once per
+// setting instead of once per (level, setting) cell; the resulting
+// entries are bit-identical to profiling the raw Profile.
 func Build(p workload.Profile, levels int) (*Table, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -70,19 +79,20 @@ func Build(p workload.Profile, levels int) (*Table, error) {
 	if levels < 1 {
 		return nil, fmt.Errorf("profile: need at least one level, got %d", levels)
 	}
-	maxRate := p.IntensityRate(server.MaxCores)
-	base := p.MaxGoodput(server.Normal())
+	k := workload.NewKernel(p)
+	maxRate := k.IntensityRate(server.MaxCores)
+	base := k.MaxGoodput(server.Normal())
 	t := &Table{Workload: p.Name, Levels: levels, MaxRate: maxRate}
 	for lvl := 0; lvl < levels; lvl++ {
 		rate := maxRate * float64(lvl+1) / float64(levels)
 		for _, c := range server.Configs() {
-			good := p.Goodput(c, rate)
+			good := k.Goodput(c, rate)
 			t.Entries = append(t.Entries, Entry{
 				Level:       lvl,
 				Cores:       c.Cores,
 				Freq:        c.Freq,
 				OfferedRate: rate,
-				Power:       p.LoadPower(c, rate),
+				Power:       k.LoadPower(c, rate),
 				Goodput:     good,
 				NormPerf:    good / base,
 			})
@@ -92,27 +102,73 @@ func Build(p workload.Profile, levels int) (*Table, error) {
 	return t, nil
 }
 
+// buildKey identifies one cached build: the full profile value plus
+// the level count, so any knob difference produces a distinct table.
+type buildKey struct {
+	p      workload.Profile
+	levels int
+}
+
+var (
+	buildMu    sync.Mutex
+	buildCache = map[buildKey]*Table{}
+)
+
+// BuildCached is a process-level, mutex-guarded memo over Build:
+// identical (workload, levels) requests — e.g. the thousands of sweep
+// cells that profile the same three workloads — share one immutable
+// *Table instead of re-running the exhaustive profiling per cell. The
+// returned table must be treated as read-only.
+func BuildCached(p workload.Profile, levels int) (*Table, error) {
+	k := buildKey{p: p, levels: levels}
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if t, ok := buildCache[k]; ok {
+		return t, nil
+	}
+	t, err := Build(p, levels)
+	if err != nil {
+		return nil, err
+	}
+	buildCache[k] = t
+	return t, nil
+}
+
 func (t *Table) index() {
 	t.byKey = make(map[key]int, len(t.Entries))
+	t.byLevel = make(map[int][]Entry)
 	for i, e := range t.Entries {
 		t.byKey[key{e.Level, e.Config()}] = i
+		t.byLevel[e.Level] = append(t.byLevel[e.Level], e)
+	}
+	for _, es := range t.byLevel {
+		sort.Slice(es, func(i, j int) bool { return es[i].Power < es[j].Power })
 	}
 }
 
-// LevelFor quantizes an offered rate to the nearest profiled level.
+// LevelFor quantizes an offered rate to the nearest profiled level
+// (level i covers rates around (i+1)·MaxRate/Levels). Rates at or
+// above MaxRate clamp to the top level and rates at or below the first
+// level's midpoint clamp to level 0; NaN also maps to level 0. The
+// clamping happens in floating point *before* the int conversion: the
+// previous int(rate/step+0.5) form fed out-of-range floats (huge
+// rates, +Inf) straight into the conversion, whose result is
+// implementation-defined in Go and wraps negative on amd64 — an
+// overloaded station's +Inf rate would quantize to the *lowest*
+// intensity level instead of the highest.
 func (t *Table) LevelFor(rate float64) int {
 	if t.Levels <= 0 || t.MaxRate <= 0 {
 		return 0
 	}
 	step := t.MaxRate / float64(t.Levels)
-	lvl := int(rate/step+0.5) - 1
-	if lvl < 0 {
-		lvl = 0
+	q := rate/step + 0.5
+	switch {
+	case math.IsNaN(q) || q < 1:
+		return 0
+	case q >= float64(t.Levels+1):
+		return t.Levels - 1
 	}
-	if lvl >= t.Levels {
-		lvl = t.Levels - 1
-	}
-	return lvl
+	return int(q) - 1
 }
 
 // Lookup returns the entry for (level, config) and whether it exists.
@@ -157,16 +213,14 @@ func (t *Table) BestWithin(level int, budget units.Watt, filter func(server.Conf
 }
 
 // LevelEntries returns the entries of one level sorted by ascending
-// power.
+// power. The slice is the table's cached copy — built once at index
+// time instead of filtered and sorted on every call, since strategies
+// consult it every scheduling epoch — so callers must not modify it.
 func (t *Table) LevelEntries(level int) []Entry {
-	var out []Entry
-	for _, e := range t.Entries {
-		if e.Level == level {
-			out = append(out, e)
-		}
+	if t.byLevel == nil {
+		t.index()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Power < out[j].Power })
-	return out
+	return t.byLevel[level]
 }
 
 // WriteJSON serializes the table.

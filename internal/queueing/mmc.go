@@ -110,6 +110,54 @@ func (s Station) Metrics(lambda float64) (Metrics, error) {
 	}, nil
 }
 
+// TailParams holds the λ-dependent constants of the sojourn-tail
+// formula: the Erlang-C waiting probability (an O(c) recurrence), the
+// service rate and the queue drain rate. They are invariant across
+// deadlines, so bisections that probe many deadlines at one fixed λ —
+// SojournPercentile, and the workload kernel's latency path — compute
+// them once and evaluate Tail per probe, instead of re-running the
+// Erlang-C recurrence on every probe.
+type TailParams struct {
+	mu, a, pw  float64
+	degenerate bool // drain rate ≈ service rate: Erlang-2 tail
+	unstable   bool // ρ ≥ 1: the tail is identically 1
+}
+
+// TailParams precomputes the sojourn-tail constants at arrival rate λ.
+// TailParams(λ).Tail(d) is bit-identical to SojournTail(λ, d) for
+// every d.
+func (s Station) TailParams(lambda float64) TailParams {
+	if s.Utilization(lambda) >= 1 {
+		return TailParams{unstable: true}
+	}
+	mu := s.ServiceRate
+	a := s.Capacity() - lambda // queue drain rate
+	return TailParams{
+		mu:         mu,
+		a:          a,
+		pw:         ErlangC(s.Servers, lambda/mu),
+		degenerate: math.Abs(a-mu) < 1e-12*mu,
+	}
+}
+
+// Tail returns P(T > d) for the station and arrival rate the params
+// were computed from.
+func (p TailParams) Tail(d float64) float64 {
+	if d <= 0 || p.unstable {
+		return 1
+	}
+	svcTail := math.Exp(-p.mu * d)
+	var waitedTail float64
+	if p.degenerate {
+		// Degenerate hypoexponential: Erlang-2 tail.
+		waitedTail = math.Exp(-p.mu*d) * (1 + p.mu*d)
+	} else {
+		waitedTail = (p.a*math.Exp(-p.mu*d) - p.mu*math.Exp(-p.a*d)) / (p.a - p.mu)
+	}
+	tail := (1-p.pw)*svcTail + p.pw*waitedTail
+	return clamp01(tail)
+}
+
 // SojournTail returns P(T > d): the probability a request's total time
 // in system (wait + service) exceeds d seconds, at arrival rate λ.
 // It uses the exact M/M/c sojourn decomposition: with probability
@@ -117,26 +165,7 @@ func (s Station) Metrics(lambda float64) (Metrics, error) {
 // PWait it is the sum of an exponential wait (rate cμ-λ) and the
 // service time. Overloaded stations return 1.
 func (s Station) SojournTail(lambda, d float64) float64 {
-	if d <= 0 {
-		return 1
-	}
-	rho := s.Utilization(lambda)
-	if rho >= 1 {
-		return 1
-	}
-	mu := s.ServiceRate
-	a := s.Capacity() - lambda // queue drain rate
-	pw := ErlangC(s.Servers, lambda/mu)
-	svcTail := math.Exp(-mu * d)
-	var waitedTail float64
-	if math.Abs(a-mu) < 1e-12*mu {
-		// Degenerate hypoexponential: Erlang-2 tail.
-		waitedTail = math.Exp(-mu*d) * (1 + mu*d)
-	} else {
-		waitedTail = (a*math.Exp(-mu*d) - mu*math.Exp(-a*d)) / (a - mu)
-	}
-	tail := (1-pw)*svcTail + pw*waitedTail
-	return clamp01(tail)
+	return s.TailParams(lambda).Tail(d)
 }
 
 // SojournPercentile returns the q-quantile (0 < q < 1) of the sojourn
@@ -150,8 +179,11 @@ func (s Station) SojournPercentile(lambda, q float64) float64 {
 		return math.Inf(1)
 	}
 	target := 1 - q
+	// λ is fixed across every probe of the bisection, so the Erlang-C
+	// constants are computed once rather than ~90 times.
+	tp := s.TailParams(lambda)
 	lo, hi := 0.0, 1/s.ServiceRate
-	for s.SojournTail(lambda, hi) > target {
+	for tp.Tail(hi) > target {
 		hi *= 2
 		if hi > 1e9 {
 			return math.Inf(1)
@@ -159,7 +191,7 @@ func (s Station) SojournPercentile(lambda, q float64) float64 {
 	}
 	for i := 0; i < 80; i++ {
 		mid := (lo + hi) / 2
-		if s.SojournTail(lambda, mid) > target {
+		if tp.Tail(mid) > target {
 			lo = mid
 		} else {
 			hi = mid

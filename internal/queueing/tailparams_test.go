@@ -1,0 +1,87 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTailParamsMatchesSojournTail checks the hoisted-constant form
+// against the one-shot SojournTail bit for bit across stable, unstable
+// and degenerate stations: TailParams exists purely so SojournPercentile
+// can reuse the Erlang-C terms across bisection probes, and any
+// numerical drift would leak into the golden determinism suites.
+func TestTailParamsMatchesSojournTail(t *testing.T) {
+	stations := []Station{
+		{Servers: 1, ServiceRate: 100},
+		{Servers: 4, ServiceRate: 55.5},
+		{Servers: 12, ServiceRate: 380},
+	}
+	ds := []float64{0, 1e-6, 1e-3, 0.01, 0.1, 1, 10}
+	for _, s := range stations {
+		for _, lf := range []float64{0, 0.1, 0.5, 0.9, 0.999, 1, 1.5} {
+			lambda := lf * s.Capacity()
+			tp := s.TailParams(lambda)
+			for _, d := range ds {
+				got, want := tp.Tail(d), s.SojournTail(lambda, d)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Errorf("%+v λ=%v d=%v: TailParams %v, SojournTail %v", s, lambda, d, got, want)
+				}
+			}
+		}
+	}
+	// Degenerate branch: drain rate a equals μ (single server at ~zero
+	// load keeps a = c·μ - λ = μ).
+	s := Station{Servers: 1, ServiceRate: 10}
+	tp := s.TailParams(0)
+	for _, d := range ds {
+		got, want := tp.Tail(d), s.SojournTail(0, d)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("degenerate d=%v: TailParams %v, SojournTail %v", d, got, want)
+		}
+	}
+}
+
+// TestSojournPercentileHoistedStable re-runs the percentile bisection
+// across a load sweep and compares with a reference implementation that
+// calls SojournTail per probe, confirming the hoisting changed no
+// probe's outcome.
+func TestSojournPercentileHoistedStable(t *testing.T) {
+	s := Station{Servers: 8, ServiceRate: 120}
+	for _, lf := range []float64{0.1, 0.5, 0.8, 0.95, 0.99} {
+		lambda := lf * s.Capacity()
+		got := s.SojournPercentile(lambda, 0.99)
+		want := referencePercentile(s, lambda, 0.99)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("λ=%v: hoisted %v, reference %v", lambda, got, want)
+		}
+	}
+}
+
+// referencePercentile is the pre-hoisting SojournPercentile: the same
+// control flow as Station.SojournPercentile, but every probe recomputes
+// the Erlang-C constants through SojournTail.
+func referencePercentile(s Station, lambda, q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 || s.Utilization(lambda) >= 1 {
+		return math.Inf(1)
+	}
+	target := 1 - q
+	lo, hi := 0.0, 1/s.ServiceRate
+	for s.SojournTail(lambda, hi) > target {
+		hi *= 2
+		if hi > 1e9 {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if s.SojournTail(lambda, mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -182,7 +182,11 @@ func NewTable(alpha, gamma float64) (*Table, error) {
 // Actions returns the action set (the knob space).
 func (t *Table) Actions() []server.Config { return t.actions }
 
-// row returns (allocating if needed) the Q row for a state.
+// row returns (allocating if needed) the Q row for a state. Only the
+// write paths (Update, Seed, ReadJSON) materialize rows; the read
+// paths treat a missing row as all-zero so the per-epoch Decide loop
+// never allocates and never bloats the persisted table with untouched
+// states.
 func (t *Table) row(s State) []float64 {
 	r, ok := t.q[s]
 	if !ok {
@@ -192,18 +196,32 @@ func (t *Table) row(s State) []float64 {
 	return r
 }
 
+// Row returns a read-only view of the Q row for s, or nil when the
+// state has never been written (every action's estimate is then 0).
+// It never allocates; callers iterating many actions of one state
+// fetch the row once instead of paying a map lookup per action.
+// Callers must not modify the returned slice.
+func (t *Table) Row(s State) []float64 { return t.q[s] }
+
 // Q returns the current estimate R(s, a).
 func (t *Table) Q(s State, action int) float64 {
 	if action < 0 || action >= len(t.actions) {
 		return 0
 	}
-	return t.row(s)[action]
+	if r, ok := t.q[s]; ok {
+		return r[action]
+	}
+	return 0
 }
 
 // maxQ returns max_a R(s,a).
 func (t *Table) maxQ(s State) float64 {
+	row, ok := t.q[s]
+	if !ok {
+		return 0 // all-zero row
+	}
 	best := math.Inf(-1)
-	for _, v := range t.row(s) {
+	for _, v := range row {
 		if v > best {
 			best = v
 		}
@@ -216,7 +234,11 @@ func (t *Table) maxQ(s State) float64 {
 // returns the last action (the maximum sprint), matching the paper's
 // optimistic initial behaviour of sprinting when nothing is known.
 func (t *Table) Best(s State) (int, server.Config) {
-	row := t.row(s)
+	row, ok := t.q[s]
+	if !ok {
+		idx := len(t.actions) - 1
+		return idx, t.actions[idx]
+	}
 	bestIdx, bestVal := len(row)-1, math.Inf(-1)
 	allZero := true
 	for i, v := range row {

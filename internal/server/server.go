@@ -71,6 +71,26 @@ func Configs() []Config {
 	return out
 }
 
+// NumConfigs is the size of the knob space S (len(Configs())).
+func NumConfigs() int {
+	return (MaxCores - MinCores + 1) * numFreqs()
+}
+
+func numFreqs() int {
+	return int((units.FreqMax-units.FreqMin)/units.FreqStep) + 1
+}
+
+// Index returns c's position in Configs() order, or -1 when c is
+// outside the knob space. It is allocation-free, so hot paths can key
+// dense per-config tables by it instead of hashing Config structs.
+func Index(c Config) int {
+	if !c.Valid() {
+		return -1
+	}
+	fi := int((c.Freq - units.FreqMin) / units.FreqStep)
+	return (c.Cores-MinCores)*numFreqs() + fi
+}
+
 // Valid reports whether the config is inside the knob space.
 func (c Config) Valid() bool {
 	if c.Cores < MinCores || c.Cores > MaxCores {

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"greensprint/internal/cluster"
+	"greensprint/internal/solar"
+	"greensprint/internal/strategy"
+	"greensprint/internal/workload"
+)
+
+func newBenchHybrid() (strategy.Strategy, error) {
+	return strategy.NewHybrid(testProfile, testTable)
+}
+
+// benchEngine builds an Engine over the canonical benchmark scenario:
+// SPECjbb on RE-Batt under a Med-availability synthetic solar window,
+// an 8-hour Int=12 burst so nearly every stepped epoch is a sprinting
+// (hot-path) epoch, and the stateful Hybrid strategy — the most
+// expensive Decide/Learn pair.
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	d := 8 * time.Hour
+	green := cluster.REBatt()
+	supply := solar.Synthesize(solar.Med, d, time.Minute, float64(green.PeakGreen()), 42)
+	h, err := newBenchHybrid()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(Config{
+		Workload: testProfile,
+		Green:    green,
+		Strategy: h,
+		Table:    testTable,
+		Burst:    workload.Burst{Intensity: 12, Duration: d},
+		Supply:   supply,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkEngineStep measures the steady-state cost of one scheduling
+// epoch — the simulator's hot path. The engine (and its stateful
+// Hybrid strategy) is rebuilt outside the timer whenever the horizon is
+// consumed, so ns/op and allocs/op reflect Step alone. CI enforces an
+// allocs/op budget on this benchmark (see BENCH_PR4.json).
+func BenchmarkEngineStep(b *testing.B) {
+	e := benchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := e.Step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			b.StopTimer()
+			e = benchEngine(b)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkEngineNew measures engine construction (including the
+// workload kernel build), the one-time cost the Step memoization
+// front-loads.
+func BenchmarkEngineNew(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchEngine(b)
+	}
+}

@@ -15,8 +15,10 @@ import (
 
 // CheckpointVersion is the format version written into every
 // Checkpoint; Restore rejects any other version so stale files fail
-// loudly instead of silently corrupting a resumed run.
-const CheckpointVersion = 1
+// loudly instead of silently corrupting a resumed run. Version 2 adds
+// the StrategyName fingerprint; DecodeCheckpoint transparently
+// migrates version-1 files (see migrateV1).
+const CheckpointVersion = 2
 
 // Checkpoint is the complete serializable state of an Engine between
 // two epochs: every stateful layer's snapshot (battery bank, PSS,
@@ -33,6 +35,11 @@ type Checkpoint struct {
 	// EpochIndex is the number of epochs already run; the resumed
 	// engine continues at SupplyStart + EpochIndex·Epoch.
 	EpochIndex int `json:"epoch_index"`
+	// StrategyName fingerprints the strategy the checkpoint was cut
+	// from (v2+). Restore rejects a mismatch so a Hybrid Q-table is
+	// never fed into, say, a Parallel engine. Empty for migrated v1
+	// checkpoints, which predate the field and skip the check.
+	StrategyName string `json:"strategy_name,omitempty"`
 
 	Selector pss.SelectorSnapshot     `json:"selector"`
 	Fleet    pmk.FleetSnapshot        `json:"fleet"`
@@ -60,6 +67,7 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 		Epoch:        e.epoch,
 		SupplyStart:  e.cfg.Supply.Start,
 		EpochIndex:   e.epochIndex,
+		StrategyName: e.cfg.Strategy.Name(),
 		Selector:     e.selector.Snapshot(),
 		Fleet:        e.fleet.Snapshot(),
 		LoadPred:     e.loadPred.Snapshot(),
@@ -93,6 +101,9 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 	if !cp.SupplyStart.Equal(e.cfg.Supply.Start) {
 		return fmt.Errorf("sim: restore: checkpoint starts %v, engine starts %v", cp.SupplyStart, e.cfg.Supply.Start)
 	}
+	if cp.StrategyName != "" && cp.StrategyName != e.cfg.Strategy.Name() {
+		return fmt.Errorf("sim: restore: checkpoint from strategy %q, engine runs %q", cp.StrategyName, e.cfg.Strategy.Name())
+	}
 	if cp.EpochIndex < 0 || cp.EpochIndex > e.TotalEpochs() {
 		return fmt.Errorf("sim: restore: epoch index %d outside run of %d epochs", cp.EpochIndex, e.TotalEpochs())
 	}
@@ -119,7 +130,7 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 	if err := e.cfg.Strategy.RestoreState(cp.Strategy); err != nil {
 		return fmt.Errorf("sim: restore: %w", err)
 	}
-	e.records = append([]EpochRecord(nil), cp.Records...)
+	e.records = append(make([]EpochRecord, 0, e.TotalEpochs()), cp.Records...)
 	e.burstPerfSum = cp.BurstPerfSum
 	e.burstEpochs = cp.BurstEpochs
 	e.epochIndex = cp.EpochIndex
@@ -137,15 +148,31 @@ func (c *Checkpoint) Encode() ([]byte, error) {
 }
 
 // DecodeCheckpoint parses a JSON checkpoint and checks its version.
+// Version-1 checkpoints are migrated in place (see migrateV1) so files
+// cut before the StrategyName fingerprint still restore cleanly; any
+// other version mismatch fails loudly.
 func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	var cp Checkpoint
 	if err := json.Unmarshal(b, &cp); err != nil {
 		return nil, fmt.Errorf("sim: decode checkpoint: %w", err)
 	}
+	if cp.Version == 1 {
+		migrateV1(&cp)
+	}
 	if cp.Version != CheckpointVersion {
 		return nil, fmt.Errorf("sim: decode checkpoint: version %d, supported %d", cp.Version, CheckpointVersion)
 	}
 	return &cp, nil
+}
+
+// migrateV1 re-encodes a version-1 checkpoint as version 2. The v1
+// layout is a strict subset of v2 — it lacks only the StrategyName
+// fingerprint — so migration stamps the new version and leaves the
+// name empty, which Restore treats as "unknown, skip the check". The
+// next Checkpoint/WriteFile cycle persists the file as full v2.
+func migrateV1(cp *Checkpoint) {
+	cp.Version = CheckpointVersion
+	cp.StrategyName = ""
 }
 
 // WriteFile atomically persists the checkpoint through the shared

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// asV1Blob rewrites an encoded v2 checkpoint into the exact v1 wire
+// format: version stamped 1 and no strategy_name field (the only
+// difference between the formats).
+func asV1Blob(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["version"] = json.RawMessage(`1`)
+	delete(m, "strategy_name")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCheckpointV1Migration runs an engine halfway, re-encodes its
+// checkpoint as a version-1 blob, and verifies the compatibility shim:
+// decode migrates the blob to the current version with an empty
+// strategy fingerprint, the restored engine continues, and the
+// completed run matches the uninterrupted reference bit for bit.
+func TestCheckpointV1Migration(t *testing.T) {
+	ref := mustRunAll(t, mustNew(t, ckptConfig(t)))
+
+	e := mustNew(t, ckptConfig(t))
+	stopAt := e.TotalEpochs() / 2
+	for i := 0; i < stopAt; i++ {
+		if _, _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v1 := asV1Blob(t, b)
+	got, err := DecodeCheckpoint(v1)
+	if err != nil {
+		t.Fatalf("decode v1 checkpoint: %v", err)
+	}
+	if got.Version != CheckpointVersion {
+		t.Errorf("migrated version = %d, want %d", got.Version, CheckpointVersion)
+	}
+	if got.StrategyName != "" {
+		t.Errorf("migrated strategy name = %q, want empty (v1 predates the field)", got.StrategyName)
+	}
+
+	fresh := mustNew(t, ckptConfig(t))
+	if err := fresh.Restore(got); err != nil {
+		t.Fatalf("restore migrated v1 checkpoint: %v", err)
+	}
+	if fresh.EpochIndex() != stopAt {
+		t.Fatalf("restored epoch index = %d, want %d", fresh.EpochIndex(), stopAt)
+	}
+	assertSameResult(t, ref, mustRunAll(t, fresh))
+}
+
+// TestCheckpointStrategyMismatch verifies the v2 fingerprint: a
+// checkpoint cut under one strategy must not restore into an engine
+// running another.
+func TestCheckpointStrategyMismatch(t *testing.T) {
+	e := mustNew(t, ckptConfig(t))
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.StrategyName = "some-other-strategy"
+	if err := e.Restore(cp); err == nil || !strings.Contains(err.Error(), "strategy") {
+		t.Errorf("restore with mismatched strategy = %v, want strategy error", err)
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

@@ -13,6 +13,7 @@ import (
 	"greensprint/internal/pss"
 	"greensprint/internal/server"
 	"greensprint/internal/units"
+	"greensprint/internal/workload"
 )
 
 // GridRechargePower is the grid power budget for topping up the
@@ -38,6 +39,27 @@ type Engine struct {
 	breaker  *cluster.Breaker
 	loadPred *predictor.EWMA
 	n        int
+
+	// kernel memoizes the per-config queueing constants (max rates,
+	// service rates) so the per-epoch hot path runs without bisections;
+	// latMemo caches effective-latency results per (config, offered)
+	// pair. Both are derived data rebuilt identically by New/Restore
+	// and never checkpointed.
+	kernel  *workload.Kernel
+	latMemo map[latKey]float64
+	// sprintFrac is the SprintFraction closure handed to the strategy
+	// each burst epoch; it reads predGreen instead of capturing a fresh
+	// value, so it is allocated once instead of once per epoch.
+	// fracMemo caches its results within one epoch (the strategy probes
+	// the same candidate powers in more than one pass and the selector
+	// state is fixed until after Decide); runBurstEpoch clears it at
+	// every epoch boundary.
+	sprintFrac func(units.Watt) float64
+	fracMemo   map[units.Watt]float64
+	predGreen  units.Watt
+	// timeBuf backs the RFC3339Nano timestamp formatting in event(),
+	// reused across epochs.
+	timeBuf []byte
 
 	normalPower  units.Watt
 	baseGoodput  float64
@@ -70,7 +92,10 @@ func New(cfg Config) (*Engine, error) {
 	tab := cfg.Table
 	if tab == nil {
 		var err error
-		if tab, err = profile.Build(cfg.Workload, profile.DefaultLevels); err != nil {
+		// BuildCached: runs whose callers did not pre-build a table
+		// (sweep cells, CLI one-offs) share one immutable profiling
+		// table per workload instead of re-profiling per Engine.
+		if tab, err = profile.BuildCached(cfg.Workload, profile.DefaultLevels); err != nil {
 			return nil, err
 		}
 	}
@@ -93,7 +118,10 @@ func New(cfg Config) (*Engine, error) {
 		breaker = cluster.NewBreaker(cl.GridBudget)
 	}
 
-	baseGoodput := cfg.Workload.MaxGoodput(server.Normal())
+	// One kernel per Engine: the per-config QoS bisections run once at
+	// construction, and parallel sweep cells share nothing by design.
+	kernel := workload.NewKernel(cfg.Workload)
+	baseGoodput := kernel.MaxGoodput(server.Normal())
 	burstStart := cfg.Supply.Start.Add(cfg.Lead)
 	e := &Engine{
 		cfg:      cfg,
@@ -104,8 +132,10 @@ func New(cfg Config) (*Engine, error) {
 		breaker:  breaker,
 		loadPred: predictor.NewEWMA(predictor.DefaultAlpha),
 		n:        n,
+		kernel:   kernel,
+		latMemo:  make(map[latKey]float64),
 
-		normalPower:  cfg.Workload.LoadPower(server.Normal(), cfg.Burst.Rate(cfg.Workload)),
+		normalPower:  kernel.LoadPower(server.Normal(), cfg.Burst.Rate(cfg.Workload)),
 		baseGoodput:  baseGoodput,
 		burstStart:   burstStart,
 		burstEnd:     burstStart.Add(cfg.Burst.Duration),
@@ -117,6 +147,18 @@ func New(cfg Config) (*Engine, error) {
 		at: cfg.Supply.Start,
 	}
 	e.runEnd = e.burstEnd.Add(cfg.Tail)
+	// The horizon is fixed at construction, so the record slice can be
+	// sized once instead of growing by doubling across the run.
+	e.records = make([]EpochRecord, 0, e.TotalEpochs())
+	e.fracMemo = make(map[units.Watt]float64)
+	e.sprintFrac = func(perServer units.Watt) float64 {
+		if v, ok := e.fracMemo[perServer]; ok {
+			return v
+		}
+		v := e.selector.SustainFraction(units.Watt(float64(perServer)*float64(e.n)), e.predGreen, e.epoch)
+		e.fracMemo[perServer] = v
+		return v
+	}
 
 	// Prime the supply predictor with the pre-run observation so the
 	// first epoch has a sensible forecast (the paper's predictor has
@@ -157,10 +199,9 @@ func (e *Engine) Step() (EpochRecord, bool, error) {
 	rec.Offered = offered
 
 	if inBurst {
-		rec = runBurstEpoch(rec, e.cfg, e.tab, e.selector, e.fleet, e.breaker, e.n, e.epoch,
-			greenObserved, offered, predicted, e.normalPower, at, e.burstEnd)
+		rec = e.runBurstEpoch(rec, greenObserved, offered, predicted, at)
 	} else {
-		rec = runIdleEpoch(rec, e.cfg, e.selector, e.fleet, e.epoch, greenObserved, offered)
+		rec = e.runIdleEpoch(rec, greenObserved, offered)
 		if e.breaker != nil {
 			// Non-burst epochs stay within the budget and cool the
 			// breaker.
@@ -194,9 +235,12 @@ func (e *Engine) Step() (EpochRecord, bool, error) {
 // record's per-server power split and the simulation clock make the
 // stream deterministic for a fixed-seed replay.
 func (e *Engine) event(index int, rec EpochRecord) obs.Event {
+	// AppendFormat into a reused buffer: same bytes as Format, one
+	// string allocation instead of Format's intermediate buffer.
+	e.timeBuf = rec.Start.UTC().AppendFormat(e.timeBuf[:0], time.RFC3339Nano)
 	ev := obs.Event{
 		Epoch:          index,
-		Time:           rec.Start.UTC().Format(time.RFC3339Nano),
+		Time:           string(e.timeBuf),
 		EpochSeconds:   e.epoch.Seconds(),
 		Strategy:       e.cfg.Strategy.Name(),
 		Servers:        e.n,

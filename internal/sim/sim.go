@@ -140,23 +140,30 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// runBurstEpoch executes one sprinting epoch.
-func runBurstEpoch(rec EpochRecord, cfg Config, tab *profile.Table, selector *pss.Selector,
-	fleet *pmk.Fleet, breaker *cluster.Breaker, n int, epoch time.Duration, greenObserved units.Watt,
-	offered, predicted float64, normalPower units.Watt, at, burstEnd time.Time) EpochRecord {
+// runBurstEpoch executes one sprinting epoch. All queueing quantities
+// come from the engine's memoized kernel (exact value reuse — see
+// workload.Kernel), so the epoch runs without a single bisection.
+func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
+	offered, predicted float64, at time.Time) EpochRecord {
+
+	cfg, tab, selector, fleet, breaker := &e.cfg, e.tab, e.selector, e.fleet, e.breaker
+	n, epoch := e.n, e.epoch
 
 	// The strategy sees the PSS's committed budget: predicted green
 	// plus Peukert-sustainable battery power, per server.
 	budget := units.Watt(float64(selector.AvailablePower(epoch)) / float64(n))
-	predGreen := selector.PredictedSupply()
+	e.predGreen = selector.PredictedSupply()
+	// Selector state is fixed until Allocate below, but it changed
+	// since last epoch: drop the previous epoch's fraction memo.
+	clear(e.fracMemo)
 	in := strategy.Inputs{
 		Table:         tab,
 		PredictedRate: predicted, // EWMA of the offered rate; equals it for square bursts
 		Budget:        budget,
 		Epoch:         epoch,
-		SprintFraction: func(perServer units.Watt) float64 {
-			return selector.SustainFraction(units.Watt(float64(perServer)*float64(n)), predGreen, epoch)
-		},
+		// sprintFrac reads e.predGreen; the closure is allocated once
+		// in New rather than once per epoch.
+		SprintFraction: e.sprintFrac,
 	}
 	chosen := cfg.Strategy.Decide(in)
 	fleet.ApplyAll(chosen)
@@ -164,7 +171,7 @@ func runBurstEpoch(rec EpochRecord, cfg Config, tab *profile.Table, selector *ps
 	level := tab.LevelFor(offered)
 	perServer, ok := tab.LoadPower(level, chosen)
 	if !ok {
-		perServer = cfg.Workload.LoadPower(chosen, offered)
+		perServer = e.kernel.LoadPower(chosen, offered)
 	}
 	demand := units.Watt(float64(perServer) * float64(n))
 	var al pss.Allocation
@@ -180,10 +187,10 @@ func runBurstEpoch(rec EpochRecord, cfg Config, tab *profile.Table, selector *ps
 		maxExtra := units.Watt(float64(breaker.Rated) * (breaker.MaxOverload - 1) *
 			stressLeft * float64(breaker.TripAfter) / float64(epoch))
 		budget := units.Watt((float64(greenObserved) + float64(maxExtra)) / float64(n))
-		if e, ok := tab.BestWithin(level, budget, nil); ok && e.Config().IsSprinting() {
-			chosen = e.Config()
+		if en, ok := tab.BestWithin(level, budget, nil); ok && en.Config().IsSprinting() {
+			chosen = en.Config()
 			fleet.ApplyAll(chosen)
-			demand = units.Watt(float64(e.Power) * float64(n))
+			demand = units.Watt(float64(en.Power) * float64(n))
 			if overdraw := demand - greenObserved; overdraw > 0 {
 				breaker.Step(breaker.Rated+overdraw, epoch)
 				useOverdraw = true
@@ -196,7 +203,7 @@ func runBurstEpoch(rec EpochRecord, cfg Config, tab *profile.Table, selector *ps
 	if useOverdraw {
 		al = selector.AllocateOverdraw(demand, greenObserved, epoch)
 	} else {
-		al = selector.Allocate(demand, greenObserved, epoch, units.Watt(float64(normalPower)*float64(n)))
+		al = selector.Allocate(demand, greenObserved, epoch, units.Watt(float64(e.normalPower)*float64(n)))
 		if breaker != nil {
 			breaker.Step(breaker.Rated, epoch) // within budget: no extra stress
 		}
@@ -219,22 +226,22 @@ func runBurstEpoch(rec EpochRecord, cfg Config, tab *profile.Table, selector *ps
 	rec.Green = units.Watt(float64(al.Green) / float64(n))
 	rec.Battery = units.Watt(float64(al.Battery) / float64(n))
 	rec.Grid = units.Watt(float64(al.Grid) / float64(n))
-	goodSprint := cfg.Workload.Goodput(chosen, offered)
-	goodNormal := cfg.Workload.Goodput(server.Normal(), offered)
+	goodSprint := e.kernel.Goodput(chosen, offered)
+	goodNormal := e.kernel.Goodput(server.Normal(), offered)
 	rec.Goodput = frac*goodSprint + (1-frac)*goodNormal
-	latSprint := strategy.EffectiveLatency(cfg.Workload, chosen, offered)
-	latNormal := strategy.EffectiveLatency(cfg.Workload, server.Normal(), offered)
+	latSprint := e.latency(chosen, offered)
+	latNormal := e.latency(server.Normal(), offered)
 	rec.Latency = frac*latSprint + (1-frac)*latNormal
 
 	// Feed the measured epoch back to the learner with the next
 	// epoch's state.
 	nextBudget := units.Watt(float64(selector.AvailablePower(epoch)) / float64(n))
 	nextOffered := offered
-	if !at.Add(epoch).Before(burstEnd) {
+	if !at.Add(epoch).Before(e.burstEnd) {
 		nextOffered = 0
 	}
-	actualPower := units.Watt(frac*float64(cfg.Workload.LoadPower(chosen, offered)) +
-		(1-frac)*float64(cfg.Workload.LoadPower(server.Normal(), offered)))
+	actualPower := units.Watt(frac*float64(e.kernel.LoadPower(chosen, offered)) +
+		(1-frac)*float64(e.kernel.LoadPower(server.Normal(), offered)))
 	cfg.Strategy.Learn(strategy.Feedback{
 		Chosen:  executed,
 		Supply:  units.Watt(float64(greenObserved)/float64(n)) + selector.BatterySustainable(epoch)/units.Watt(n),
@@ -255,14 +262,13 @@ func runBurstEpoch(rec EpochRecord, cfg Config, tab *profile.Table, selector *ps
 // runIdleEpoch executes one non-burst epoch: Normal mode on the grid,
 // batteries recharging from green surplus (or the grid once the DoD
 // trigger fires).
-func runIdleEpoch(rec EpochRecord, cfg Config, selector *pss.Selector,
-	fleet *pmk.Fleet, epoch time.Duration, greenObserved units.Watt, offered float64) EpochRecord {
-
-	fleet.ApplyAll(server.Normal())
+func (e *Engine) runIdleEpoch(rec EpochRecord, greenObserved units.Watt, offered float64) EpochRecord {
+	selector, epoch := e.selector, e.epoch
+	e.fleet.ApplyAll(server.Normal())
 	rec.Case = pss.CaseGridFallback
 	rec.Config = server.Normal()
-	rec.Goodput = cfg.Workload.Goodput(server.Normal(), offered)
-	rec.Latency = strategy.EffectiveLatency(cfg.Workload, server.Normal(), offered)
+	rec.Goodput = e.kernel.Goodput(server.Normal(), offered)
+	rec.Latency = e.latency(server.Normal(), offered)
 	// Outside bursts the green servers ride the grid; green output
 	// charges the batteries, topped up from the grid when the DoD
 	// trigger has fired (§III-A Case 3).
@@ -270,8 +276,29 @@ func runIdleEpoch(rec EpochRecord, cfg Config, selector *pss.Selector,
 	if selector.NeedsRecharge() {
 		selector.RechargeFromGrid(GridRechargePower, epoch)
 	}
-	rec.Grid = cfg.Workload.LoadPower(server.Normal(), offered)
+	rec.Grid = e.kernel.LoadPower(server.Normal(), offered)
 	return rec
+}
+
+// latency is the engine's memo over Kernel.EffectiveLatency. The
+// sojourn-percentile bisection depends only on (config, offered rate),
+// and a square burst re-presents the same pair every epoch, so exact
+// value reuse makes the steady-state latency lookup O(1). The memo is
+// derived data: a restored engine repopulates it identically, so it is
+// deliberately absent from checkpoints.
+func (e *Engine) latency(c server.Config, offered float64) float64 {
+	k := latKey{c: c, offered: offered}
+	if v, ok := e.latMemo[k]; ok {
+		return v
+	}
+	v := e.kernel.EffectiveLatency(c, offered)
+	e.latMemo[k] = v
+	return v
+}
+
+type latKey struct {
+	c       server.Config
+	offered float64
 }
 
 func meanWindow(tr *trace.Trace, at time.Time, d time.Duration) float64 {

@@ -246,6 +246,12 @@ type Hybrid struct {
 	profile   workload.Profile
 	profTable *profile.Table
 	opts      HybridOptions
+	// cells is the profiling table flattened to a dense
+	// (level × action) array so the per-epoch Decide loops index
+	// instead of hashing a map key per action; normalIdx is
+	// server.Normal()'s action index.
+	cells     []actionCell
+	normalIdx int
 	// last links the previous decision to the next state for the
 	// Q update.
 	last struct {
@@ -253,6 +259,11 @@ type Hybrid struct {
 		state  rl.State
 		action int
 	}
+}
+
+type actionCell struct {
+	ok bool
+	e  profile.Entry
 }
 
 // HybridOptions tunes the Hybrid strategy away from the paper's
@@ -304,6 +315,19 @@ func NewHybridWithOptions(p workload.Profile, tab *profile.Table, opts HybridOpt
 		profile:   p,
 		profTable: tab,
 		opts:      opts,
+		normalIdx: -1,
+	}
+	actions := qt.Actions()
+	h.cells = make([]actionCell, tab.Levels*len(actions))
+	for ai, cfg := range actions {
+		if cfg == server.Normal() {
+			h.normalIdx = ai
+		}
+		for ll := 0; ll < tab.Levels; ll++ {
+			if e, ok := tab.Lookup(ll, cfg); ok {
+				h.cells[ll*len(actions)+ai] = actionCell{ok: true, e: e}
+			}
+		}
 	}
 	h.bootstrap()
 	return h, nil
@@ -312,19 +336,31 @@ func NewHybridWithOptions(p workload.Profile, tab *profile.Table, opts HybridOpt
 // bootstrap seeds the Q-table with one-step shaped rewards estimated
 // from the profiling data ("we learn the initial values of lookup
 // table from the profiling data collected by Parallel and Pacing").
+// The effective latency of a (level, action) cell does not depend on
+// the power level, so it is computed once per cell and reused across
+// all ~21 quantized power levels instead of re-running the sojourn
+// bisection for each — the dominant cost of constructing a Hybrid.
 func (h *Hybrid) bootstrap() {
 	actions := h.table.Actions()
+	na := len(actions)
+	lats := make([]float64, len(h.cells))
+	for ll := 0; ll < h.profTable.Levels; ll++ {
+		for ai, cfg := range actions {
+			if c := h.cells[ll*na+ai]; c.ok {
+				lats[ll*na+ai] = EffectiveLatency(h.profile, cfg, c.e.OfferedRate)
+			}
+		}
+	}
 	for pl := 0; pl < h.quantizer.Levels(); pl++ {
 		supply := h.supplyOf(pl)
 		for ll := 0; ll < h.profTable.Levels; ll++ {
 			st := rl.State{PowerLevel: pl, LoadLevel: ll}
-			for ai, cfg := range actions {
-				e, ok := h.profTable.Lookup(ll, cfg)
-				if !ok {
+			for ai := range actions {
+				c := h.cells[ll*na+ai]
+				if !c.ok {
 					continue
 				}
-				lat := EffectiveLatency(h.profile, cfg, e.OfferedRate)
-				r := h.reward(supply, e.Power, h.profile.Deadline, lat)
+				r := h.reward(supply, c.e.Power, h.profile.Deadline, lats[ll*na+ai])
 				h.table.Seed(st, ai, r)
 			}
 		}
@@ -359,19 +395,29 @@ func (h *Hybrid) stateFor(in Inputs) rl.State {
 func (h *Hybrid) Decide(in Inputs) server.Config {
 	st := h.stateFor(in)
 	level := h.profTable.LevelFor(in.PredictedRate)
+	na := len(h.table.Actions())
+	cells := h.cells[level*na : (level+1)*na]
 	normalGood := 0.0
-	if e, ok := h.profTable.Lookup(level, server.Normal()); ok {
-		normalGood = e.Goodput
+	if h.normalIdx >= 0 && cells[h.normalIdx].ok {
+		normalGood = cells[h.normalIdx].e.Goodput
 	}
-	// Greedy Q action among fully sustainable settings.
+	// Greedy Q action among fully sustainable settings. The row is
+	// fetched once (nil for an unseen state, meaning all-zero
+	// estimates) and the profiling cells are indexed densely, so the
+	// loop does no map lookups.
+	row := h.table.Row(st)
 	bestIdx, bestQ, bestQGood := -1, math.Inf(-1), 0.0
-	for ai, cfg := range h.table.Actions() {
-		e, ok := h.profTable.Lookup(level, cfg)
-		if !ok || in.fraction(e.Power) < 0.999 {
+	for ai := range cells {
+		c := &cells[ai]
+		if !c.ok || in.fraction(c.e.Power) < 0.999 {
 			continue
 		}
-		if q := h.table.Q(st, ai); q > bestQ {
-			bestIdx, bestQ, bestQGood = ai, q, e.Goodput
+		q := 0.0
+		if row != nil {
+			q = row[ai]
+		}
+		if q > bestQ {
+			bestIdx, bestQ, bestQGood = ai, q, c.e.Goodput
 		}
 	}
 	if h.opts.DisableBurnValue {
@@ -386,16 +432,16 @@ func (h *Hybrid) Decide(in Inputs) server.Config {
 	}
 	// Best partial-epoch burn by expected goodput.
 	burnIdx, burnVal := -1, normalGood
-	for ai, cfg := range h.table.Actions() {
-		e, ok := h.profTable.Lookup(level, cfg)
-		if !ok {
+	for ai := range cells {
+		c := &cells[ai]
+		if !c.ok {
 			continue
 		}
-		f := in.fraction(e.Power)
+		f := in.fraction(c.e.Power)
 		if f <= 0 {
 			continue
 		}
-		if v := f*e.Goodput + (1-f)*normalGood; v > burnVal+1e-9 {
+		if v := f*c.e.Goodput + (1-f)*normalGood; v > burnVal+1e-9 {
 			burnIdx, burnVal = ai, v
 		}
 	}
@@ -450,18 +496,12 @@ func (h *Hybrid) QTable() *rl.Table { return h.table }
 // when the load is fully served, or the deadline inflated by the
 // unserved share when the setting sheds load. It is finite and
 // monotone in the setting's capacity, which the learning layer needs.
+// It delegates to the process-level memoized queueing kernel, so the
+// QoS-capacity bisection behind Goodput runs once per (profile,
+// config) instead of once per call; the cached values are exact, so
+// results are bit-identical to the direct computation.
 func EffectiveLatency(p workload.Profile, c server.Config, offered float64) float64 {
-	if offered <= 0 {
-		return p.Deadline / 10
-	}
-	good := p.Goodput(c, offered)
-	if good >= offered*0.999 {
-		lat := p.LatencyPercentile(c, offered)
-		if !math.IsInf(lat, 1) {
-			return lat
-		}
-	}
-	return p.Deadline * offered / math.Max(good, offered/100)
+	return workload.SharedKernel(p).EffectiveLatency(c, offered)
 }
 
 // Evaluated returns the four sprinting strategies compared in every

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"testing"
+
+	"greensprint/internal/server"
+)
+
+// benchOffered is a mid-range per-server arrival rate for SPECjbb —
+// comfortably inside Normal-mode capacity so Goodput exercises the
+// QoS-constrained (non-saturated) branch.
+const benchOffered = 150.0
+
+var benchSink float64
+
+// BenchmarkGoodputUncached measures the direct Profile.Goodput path:
+// every call re-runs the 80-iteration MaxRate bisection, each probe an
+// O(cores) Erlang-C evaluation.
+func BenchmarkGoodputUncached(b *testing.B) {
+	p := SPECjbb()
+	c := server.MaxSprint()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = p.Goodput(c, benchOffered)
+	}
+}
+
+// BenchmarkGoodputCached measures the memoized Kernel.Goodput path the
+// simulator hot loop now takes: an index into the per-config max-rate
+// table and a min/max — no bisection, no Erlang-C.
+func BenchmarkGoodputCached(b *testing.B) {
+	k := NewKernel(SPECjbb())
+	c := server.MaxSprint()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = k.Goodput(c, benchOffered)
+	}
+}
+
+// BenchmarkNewKernel measures kernel construction (63 MaxRate
+// bisections) — the one-time cost New pays to make every epoch
+// bisection-free.
+func BenchmarkNewKernel(b *testing.B) {
+	p := SPECjbb()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kernelSink = NewKernel(p)
+	}
+}
+
+var kernelSink *Kernel

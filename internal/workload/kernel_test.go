@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"greensprint/internal/server"
+	"greensprint/internal/units"
+)
+
+// eqBits fails unless got and want are the same float64 bit pattern.
+// The kernel's contract is exact value reuse, so comparison is on bits,
+// not within a tolerance: any drift would break the golden determinism
+// suites downstream.
+func eqBits(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("%s: kernel %v (%#x), profile %v (%#x)",
+			what, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+// TestKernelBitIdentical sweeps every workload × every knob setting ×
+// a grid of offered rates and demands bit-for-bit agreement between the
+// memoized kernel and the direct Profile computation for every cached
+// quantity the simulator consumes.
+func TestKernelBitIdentical(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			k := NewKernel(p)
+			for _, c := range server.Configs() {
+				eqBits(t, c.String()+" MaxGoodput", k.MaxGoodput(c), p.MaxGoodput(c))
+				eqBits(t, c.String()+" ServiceRate", k.Station(c).ServiceRate, p.ServiceRate(c))
+				maxRate := p.MaxGoodput(server.MaxSprint())
+				for _, frac := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999, 1, 1.2, 3} {
+					offered := frac * maxRate
+					eqBits(t, c.String()+" Goodput", k.Goodput(c, offered), p.Goodput(c, offered))
+					eqBits(t, c.String()+" Utilization", k.Utilization(c, offered), p.Utilization(c, offered))
+					eqBits(t, c.String()+" LoadPower",
+						float64(k.LoadPower(c, offered)), float64(p.LoadPower(c, offered)))
+					eqBits(t, c.String()+" LatencyPercentile",
+						k.LatencyPercentile(c, offered), p.LatencyPercentile(c, offered))
+					eqBits(t, c.String()+" EffectiveLatency",
+						k.EffectiveLatency(c, offered), directEffectiveLatency(p, c, offered))
+				}
+			}
+			for i := 1; i <= server.MaxCores; i++ {
+				eqBits(t, "IntensityRate", k.IntensityRate(i), p.IntensityRate(i))
+			}
+		})
+	}
+}
+
+// directEffectiveLatency replicates the pre-kernel
+// strategy.EffectiveLatency formula verbatim over the raw Profile, as
+// the reference the memoized Kernel.EffectiveLatency must match.
+func directEffectiveLatency(p Profile, c server.Config, offered float64) float64 {
+	if offered <= 0 {
+		return p.Deadline / 10
+	}
+	good := p.Goodput(c, offered)
+	if good >= offered*0.999 {
+		lat := p.LatencyPercentile(c, offered)
+		if !math.IsInf(lat, 1) {
+			return lat
+		}
+	}
+	return p.Deadline * offered / math.Max(good, offered/100)
+}
+
+// TestKernelOffGridConfig exercises the fallback path: a config
+// outside the knob grid (server.Index < 0) must still answer, through
+// the raw Profile math.
+func TestKernelOffGridConfig(t *testing.T) {
+	p := SPECjbb()
+	k := NewKernel(p)
+	odd := server.Config{Cores: 3, Freq: units.FreqMin + 50} // off the 100 MHz grid
+	if server.Index(odd) >= 0 {
+		t.Fatalf("config %v unexpectedly on the dense grid", odd)
+	}
+	eqBits(t, "off-grid MaxGoodput", k.MaxGoodput(odd), p.MaxGoodput(odd))
+	eqBits(t, "off-grid Goodput", k.Goodput(odd, 100), p.Goodput(odd, 100))
+	eqBits(t, "off-grid LoadPower", float64(k.LoadPower(odd, 100)), float64(p.LoadPower(odd, 100)))
+}
+
+// TestSharedKernelIdentity checks the process-level cache returns the
+// same instance for the same profile value and distinct instances for
+// distinct profiles.
+func TestSharedKernelIdentity(t *testing.T) {
+	a, b := SharedKernel(SPECjbb()), SharedKernel(SPECjbb())
+	if a != b {
+		t.Error("SharedKernel returned distinct kernels for identical profiles")
+	}
+	if SharedKernel(Memcached()) == a {
+		t.Error("SharedKernel conflated distinct profiles")
+	}
+}
