@@ -53,6 +53,7 @@ func main() {
 	}
 	var sink obs.Sink
 	if *eventsPath != "" {
+		//greensprint:allow(atomicwrite) JSONL event stream: appended live, partial output is useful, never reloaded as state
 		f, err := os.Create(*eventsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "greensprint-bench:", err)
@@ -159,6 +160,7 @@ func writeSeriesCSV(outDir, name, xLabel string, series []report.Series) error {
 	if outDir == "" {
 		return nil
 	}
+	//greensprint:allow(atomicwrite) CSV export stream for plots, not reloaded state
 	f, err := os.Create(filepath.Join(outDir, name+".csv"))
 	if err != nil {
 		return err

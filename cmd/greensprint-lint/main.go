@@ -1,0 +1,124 @@
+// Command greensprint-lint runs the repository's invariant analyzer
+// (internal/lint) over the module: determinism (nondeterm, maprange),
+// crash-safe persistence (atomicwrite), checkpoint completeness
+// (snapshotpair) and the single-threaded Step hot path (nogoroutine).
+// It is stdlib-only and loads packages from source, so it runs
+// anywhere the Go toolchain's GOROOT sources are installed.
+//
+// Usage:
+//
+//	greensprint-lint [-json] [-C dir] [-rules] [packages]
+//
+// Packages default to ./... relative to the module root found by
+// walking up from -C (default: the working directory). Diagnostics
+// print one per line as file:line: rule: message; with -json a
+// machine-readable report ({count, diagnostics}) is written instead,
+// for CI artifacts. The exit status is 1 when any diagnostic fires,
+// 2 on usage or load errors.
+//
+// Intentional violations are suppressed in source with
+//
+//	//greensprint:allow(rule1,rule2) justification
+//
+// on the offending line or the line above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"greensprint/internal/lint"
+)
+
+func main() {
+	fs := flag.NewFlagSet("greensprint-lint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit a JSON report instead of vet-style lines")
+	dir := fs.String("C", "", "directory to resolve the module root from (default: cwd)")
+	listRules := fs.Bool("rules", false, "print the rule catalog and exit")
+	fs.Parse(os.Args[1:])
+
+	if *listRules {
+		for _, r := range lint.DefaultRules() {
+			fmt.Printf("%-12s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+	code, err := run(*dir, *jsonOut, fs.Args(), os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greensprint-lint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// report is the JSON artifact shape consumed by CI.
+type report struct {
+	Count       int               `json:"count"`
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+}
+
+// run executes the lint pass and returns the process exit code: 0 for
+// a clean tree, 1 when diagnostics fired.
+func run(dir string, jsonOut bool, patterns []string, stdout io.Writer) (int, error) {
+	if dir == "" {
+		var err error
+		dir, err = os.Getwd()
+		if err != nil {
+			return 0, err
+		}
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return 0, err
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.LoadAll(patterns)
+	if err != nil {
+		return 0, err
+	}
+	diags := lint.Run(pkgs, lint.DefaultRules())
+	if jsonOut {
+		rep := report{Count: len(diags), Diagnostics: diags}
+		if rep.Diagnostics == nil {
+			rep.Diagnostics = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunCleanPackages(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run("", false, []string{"./internal/pmk", "./internal/atomicfile"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d on a clean subtree; output:\n%s", code, buf.String())
+	}
+	if buf.Len() != 0 {
+		t.Errorf("unexpected output on clean subtree:\n%s", buf.String())
+	}
+}
+
+// TestRunJSONOnViolations builds a scratch module containing one
+// deterministic-domain violation and checks the full driver path:
+// module-root discovery, package loading, JSON report shape and the
+// non-zero exit code CI keys off.
+func TestRunJSONOnViolations(t *testing.T) {
+	dir := t.TempDir()
+	simDir := filepath.Join(dir, "internal", "sim")
+	if err := os.MkdirAll(simDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	gomod := "module greensprint\n\ngo 1.22\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package sim
+
+import "time"
+
+// Epoch leaks the wall clock into the deterministic domain.
+func Epoch() int64 { return time.Now().Unix() }
+`
+	if err := os.WriteFile(filepath.Join(simDir, "sim.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	code, err := run(dir, true, []string{"./..."}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 for a violating tree; output:\n%s", code, buf.String())
+	}
+	var rep struct {
+		Count       int `json:"count"`
+		Diagnostics []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Rule string `json:"rule"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("JSON report does not parse: %v\n%s", err, buf.String())
+	}
+	if rep.Count != 1 || len(rep.Diagnostics) != 1 {
+		t.Fatalf("count = %d, diagnostics = %d, want 1 each:\n%s", rep.Count, len(rep.Diagnostics), buf.String())
+	}
+	d := rep.Diagnostics[0]
+	if d.Rule != "nondeterm" || d.File != "internal/sim/sim.go" || d.Line != 6 {
+		t.Errorf("diagnostic = %+v, want nondeterm at internal/sim/sim.go:6", d)
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := findModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("found root %s without go.mod: %v", root, err)
+	}
+	if _, err := findModuleRoot(t.TempDir()); err == nil {
+		t.Error("want error when no go.mod exists above the directory")
+	}
+}

@@ -34,6 +34,7 @@ func main() {
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
+		//greensprint:allow(atomicwrite) table/JSON export stream, regenerable offline
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)

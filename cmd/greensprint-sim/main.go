@@ -97,6 +97,7 @@ func main() {
 	defer stop()
 	var sink obs.Sink
 	if *eventsPath != "" {
+		//greensprint:allow(atomicwrite) JSONL event stream: appended live, partial output is useful, never reloaded as state
 		f, err := os.Create(*eventsPath)
 		if err != nil {
 			fatal(err)

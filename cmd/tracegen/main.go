@@ -44,6 +44,7 @@ func main() {
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
+		//greensprint:allow(atomicwrite) CSV trace export stream, regenerable from the seed
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)

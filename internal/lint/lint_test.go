@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diagnostic files")
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", root, err)
+	}
+	return root
+}
+
+// TestRuleFixtures loads one intentionally-violating fixture package
+// per rule, scoped to an import path where the rule applies, and
+// asserts the exact file:line: rule: message output against committed
+// goldens. Each fixture also contains the rule's sanctioned idiom and
+// a directive-suppressed site, so a pass that over-fires breaks the
+// golden just as loudly as one that under-fires.
+func TestRuleFixtures(t *testing.T) {
+	root := moduleRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		rule   string
+		asPath string // import path the fixture is checked under
+	}{
+		{"nondeterm", ModulePath + "/internal/sim"},
+		{"maprange", ModulePath + "/internal/strategy"},
+		{"atomicwrite", ModulePath + "/cmd/fixture"},
+		{"snapshotpair", ModulePath + "/internal/fixture"},
+		{"nogoroutine", ModulePath + "/internal/battery"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			dir := filepath.Join(root, "internal", "lint", "testdata", "src", tc.rule)
+			pkg, err := loader.LoadDir(dir, tc.asPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Run([]*Package{pkg}, DefaultRules())
+			var lines []string
+			for _, d := range diags {
+				if d.Rule != tc.rule {
+					t.Errorf("fixture fired foreign rule: %s", d)
+				}
+				lines = append(lines, d.String())
+			}
+			got := strings.Join(lines, "\n") + "\n"
+			goldenPath := filepath.Join(root, "internal", "lint", "testdata", tc.rule+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestSelfClean is the invariant the whole PR rests on: the analyzer
+// must exit clean on the repository itself. A new violation anywhere
+// in the tree fails this test with the exact offending line.
+func TestSelfClean(t *testing.T) {
+	loader, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the walker is skipping real code", len(pkgs))
+	}
+	for _, d := range Run(pkgs, DefaultRules()) {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}
+
+// TestMalformedDirective proves bad suppression comments surface as
+// un-suppressible "directive" diagnostics instead of silently allowing
+// everything (or nothing).
+func TestMalformedDirective(t *testing.T) {
+	root := moduleRoot(t)
+	dir := t.TempDir()
+	src := `package bad
+
+//greensprint:allow nondeterm missing parens
+var A = 1
+
+//greensprint:allow() empty rule list
+var B = 2
+
+//greensprint:allow(nondeterm justification inside parens breaks the close
+var C = 3
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, ModulePath+"/internal/badfixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, DefaultRules())
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3 malformed-directive findings: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "directive" {
+			t.Errorf("want rule \"directive\", got %s", d)
+		}
+	}
+}
+
+// TestDirectiveScope pins the suppression grammar: a directive covers
+// its own line and the line below, nothing further.
+func TestDirectiveScope(t *testing.T) {
+	root := moduleRoot(t)
+	dir := t.TempDir()
+	src := `package scope
+
+import "os"
+
+//greensprint:allow(nondeterm) covers the next line only
+var A = os.Getenv("A")
+var B = os.Getenv("B")
+var C = os.Getenv("C") //greensprint:allow(nondeterm) trailing form
+`
+	if err := os.WriteFile(filepath.Join(dir, "scope.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, ModulePath+"/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, DefaultRules())
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the unsuppressed os.Getenv: %v", len(diags), diags)
+	}
+	if diags[0].Line != 7 {
+		t.Errorf("surviving diagnostic at line %d, want 7 (var B): %s", diags[0].Line, diags[0])
+	}
+}
+
+func TestMatchAny(t *testing.T) {
+	cases := []struct {
+		rel      string
+		patterns []string
+		want     bool
+	}{
+		{".", []string{"./..."}, true},
+		{"internal/sim", []string{"./..."}, true},
+		{"internal/sim", []string{"./internal/..."}, true},
+		{"internal/sim", []string{"./internal/sim"}, true},
+		{"internal/simulator", []string{"./internal/sim"}, false},
+		{"internal/simulator", []string{"./internal/sim/..."}, false},
+		{"cmd/tracegen", []string{"./internal/..."}, false},
+		{"cmd/tracegen", []string{"./internal/...", "./cmd/..."}, true},
+		{".", []string{"."}, true},
+		{"internal/sim", []string{"."}, false},
+	}
+	for _, tc := range cases {
+		if got := matchAny(tc.rel, tc.patterns); got != tc.want {
+			t.Errorf("matchAny(%q, %v) = %v, want %v", tc.rel, tc.patterns, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRangeRule flags `range` over a map type inside the deterministic
+// domain: Go randomizes map iteration order, so any observable effect
+// of the loop (appends, accumulation order, emitted records) varies
+// run to run — exactly the bug class the dense Hybrid cell array in
+// PR 4 removed. A site is accepted when the iteration result is
+// sorted immediately afterwards (a sort or slices call later in the
+// same block, the collect-then-sort idiom) or when it carries a
+// //greensprint:allow(maprange) directive with a justification that
+// the loop body is order-independent.
+type MapRangeRule struct{}
+
+// Name implements Rule.
+func (MapRangeRule) Name() string { return "maprange" }
+
+// Doc implements Rule.
+func (MapRangeRule) Doc() string {
+	return "no unordered map iteration in the deterministic domain (sort the results or justify with an allow directive)"
+}
+
+// Applies implements Rule.
+func (MapRangeRule) Applies(pkgPath string) bool { return DeterministicPackages[pkgPath] }
+
+// Check implements Rule.
+func (MapRangeRule) Check(p *Package, report ReportFunc) {
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if rs, ok := n.(*ast.RangeStmt); ok && len(stack) > 0 {
+				if t := p.Info.TypeOf(rs.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && !sortedAfter(stack[len(stack)-1], rs) {
+						name := types.TypeString(t, types.RelativeTo(p.Types))
+						report(rs.Pos(), "range over map (type "+name+") iterates in nondeterministic order; sort the collected keys/results or annotate with //greensprint:allow(maprange)")
+					}
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// sortedAfter reports whether a statement after the range loop, in the
+// same enclosing statement list, calls into package sort or slices —
+// the collect-then-sort idiom that makes map iteration safe.
+func sortedAfter(parent ast.Node, rs *ast.RangeStmt) bool {
+	var list []ast.Stmt
+	switch b := parent.(type) {
+	case *ast.BlockStmt:
+		list = b.List
+	case *ast.CaseClause:
+		list = b.Body
+	case *ast.CommClause:
+		list = b.Body
+	default:
+		return false
+	}
+	idx := -1
+	for i, st := range list {
+		if st == ast.Stmt(rs) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	for _, st := range list[idx+1:] {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgFunc resolves a selector expression to a package-level function
+// (never a method) of an imported package, returning the package path
+// and function name. It covers both call sites (time.Now()) and value
+// uses (f := time.Now), since either smuggles nondeterminism in.
+func pkgFunc(p *Package, sel *ast.SelectorExpr) (pkgPath, name string, ok bool) {
+	obj, found := p.Info.Uses[sel.Sel]
+	if !found {
+		return "", "", false
+	}
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if sig, isSig := fn.Type().(*types.Signature); !isSig || sig.Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// NondetermRule forbids the ambient-nondeterminism entry points inside
+// the deterministic simulation domain: wall-clock reads (time.Now,
+// time.Since, time.Until), environment reads (os.Getenv, os.LookupEnv,
+// os.Environ) and the process-global math/rand source. Explicitly
+// seeded generators — rand.New(rand.NewSource(seed)) and the
+// math/rand/v2 equivalents — are the sanctioned idiom and pass.
+type NondetermRule struct{}
+
+// Name implements Rule.
+func (NondetermRule) Name() string { return "nondeterm" }
+
+// Doc implements Rule.
+func (NondetermRule) Doc() string {
+	return "no wall-clock, environment or global-rand reads in the deterministic domain"
+}
+
+// Applies implements Rule.
+func (NondetermRule) Applies(pkgPath string) bool { return DeterministicPackages[pkgPath] }
+
+// randConstructors are the math/rand and math/rand/v2 package-level
+// functions that build explicitly seeded generators rather than
+// touching the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Check implements Rule.
+func (NondetermRule) Check(p *Package, report ReportFunc) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pkgFunc(p, sel)
+			if !ok {
+				return true
+			}
+			pos := sel.Pos()
+			switch pkgPath {
+			case "time":
+				switch name {
+				case "Now", "Since", "Until":
+					report(pos, "call to time."+name+": wall-clock time is nondeterministic; derive timestamps from the simulation epoch clock")
+				}
+			case "os":
+				switch name {
+				case "Getenv", "LookupEnv", "Environ":
+					report(pos, "call to os."+name+": environment reads are hidden nondeterministic inputs; thread configuration through explicit parameters")
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[name] {
+					report(pos, "call to "+pkgPath+"."+name+" uses the process-global random source; use a seeded rand.New(rand.NewSource(seed))")
+				}
+			}
+			return true
+		})
+	}
+}

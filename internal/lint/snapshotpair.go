@@ -1,0 +1,128 @@
+package lint
+
+import "go/ast"
+
+// SnapshotPairRule enforces checkpoint completeness: the repo's
+// checkpoint format (sim.Checkpoint, core.Checkpoint) is a composition
+// of per-component Snapshot/Restore pairs, so a type that grows a
+// Snapshot without a Restore (or vice versa) is state that silently
+// falls out of resume — the run replays differently after a restart
+// and the sharded golden suites diverge. The accepted pairings are:
+//
+//   - Snapshot ↔ Restore (battery.Bank, pss.Selector, pmk.Fleet, ...)
+//   - Checkpoint ↔ Restore (sim.Engine, core.Controller, whose
+//     snapshot-producing method is named Checkpoint)
+//   - SnapshotState ↔ RestoreState (the strategy.Strategy interface)
+//
+// The rule checks both concrete method sets and interface method
+// lists, per named type, in every package.
+type SnapshotPairRule struct{}
+
+// Name implements Rule.
+func (SnapshotPairRule) Name() string { return "snapshotpair" }
+
+// Doc implements Rule.
+func (SnapshotPairRule) Doc() string {
+	return "every Snapshot/Checkpoint has a matching Restore and vice versa (checkpoint completeness)"
+}
+
+// Applies implements Rule.
+func (SnapshotPairRule) Applies(string) bool { return true }
+
+// pairMethods are the method names the rule tracks.
+var pairMethods = map[string]bool{
+	"Snapshot":      true,
+	"Restore":       true,
+	"Checkpoint":    true,
+	"SnapshotState": true,
+	"RestoreState":  true,
+}
+
+// Check implements Rule.
+func (SnapshotPairRule) Check(p *Package, report ReportFunc) {
+	// methods[typeName][methodName] = position of the declaration.
+	type declSet map[string]ast.Node
+	methods := map[string]declSet{}
+	var typeOrder []string
+	record := func(typeName, method string, at ast.Node) {
+		if !pairMethods[method] {
+			return
+		}
+		set := methods[typeName]
+		if set == nil {
+			set = declSet{}
+			methods[typeName] = set
+			typeOrder = append(typeOrder, typeName)
+		}
+		if _, dup := set[method]; !dup {
+			set[method] = at
+		}
+	}
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil || len(d.Recv.List) == 0 {
+					continue
+				}
+				record(receiverTypeName(d.Recv.List[0].Type), d.Name.Name, d.Name)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					iface, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					for _, m := range iface.Methods.List {
+						for _, name := range m.Names {
+							record(ts.Name.Name, name.Name, name)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, typeName := range typeOrder {
+		set := methods[typeName]
+		has := func(m string) bool { _, ok := set[m]; return ok }
+		if has("Snapshot") && !has("Restore") {
+			report(set["Snapshot"].Pos(), "type "+typeName+" declares Snapshot but no Restore; its state cannot be resumed from a checkpoint")
+		}
+		if has("Checkpoint") && !has("Restore") {
+			report(set["Checkpoint"].Pos(), "type "+typeName+" declares Checkpoint but no Restore; its checkpoints cannot be resumed")
+		}
+		if has("Restore") && !has("Snapshot") && !has("Checkpoint") {
+			report(set["Restore"].Pos(), "type "+typeName+" declares Restore but no Snapshot or Checkpoint; its state silently falls out of checkpoints")
+		}
+		if has("SnapshotState") && !has("RestoreState") {
+			report(set["SnapshotState"].Pos(), "type "+typeName+" declares SnapshotState but no RestoreState; its state cannot be resumed from a checkpoint")
+		}
+		if has("RestoreState") && !has("SnapshotState") {
+			report(set["RestoreState"].Pos(), "type "+typeName+" declares RestoreState but no SnapshotState; its state silently falls out of checkpoints")
+		}
+	}
+}
+
+// receiverTypeName unwraps a method receiver type expression (pointer,
+// generic instantiation) down to the named type's identifier.
+func receiverTypeName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

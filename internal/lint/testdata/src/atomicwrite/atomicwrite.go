@@ -1,0 +1,22 @@
+// Package atomicwrite is a lint fixture for the atomicwrite rule: a
+// bare os.WriteFile and an os.Create that must fire, and a justified
+// streaming writer that must not.
+package atomicwrite
+
+import "os"
+
+// SaveState persists state with a truncating write.
+func SaveState(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}
+
+// OpenCheckpoint creates a state file directly.
+func OpenCheckpoint(path string) (*os.File, error) {
+	return os.Create(path)
+}
+
+// OpenStream is a genuine streaming writer, justified in place.
+func OpenStream(path string) (*os.File, error) {
+	//greensprint:allow(atomicwrite) fixture: append stream, partial output useful
+	return os.Create(path)
+}

@@ -1,0 +1,34 @@
+// Package maprange is a lint fixture for the maprange rule: an
+// unordered iteration that must fire, the collect-then-sort idiom that
+// must not, and a justified order-independent loop.
+package maprange
+
+import "sort"
+
+// Keys leaks map iteration order into its return value.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys collects then sorts; the rule accepts it.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Reset mutates each value independently; order is unobservable, which
+// the directive asserts.
+func Reset(m map[string]*int) {
+	//greensprint:allow(maprange) fixture: each value reset independently
+	for _, v := range m {
+		*v = 0
+	}
+}

@@ -1,0 +1,11 @@
+// Package nogoroutine is a lint fixture for the nogoroutine rule: a
+// goroutine spawned inside (what the test declares to be) a Step
+// call-graph package.
+package nogoroutine
+
+// Fan spawns workers below the sweep boundary.
+func Fan(xs []int, out chan<- int) {
+	for _, x := range xs {
+		go func(v int) { out <- v * v }(x)
+	}
+}

@@ -1,0 +1,38 @@
+// Package nondeterm is a lint fixture: each construct the nondeterm
+// rule must flag, plus the sanctioned seeded idiom it must not. The
+// test loads it as if it lived inside the deterministic domain.
+package nondeterm
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Clock reads the wall clock twice; both reads must fire.
+func Clock() time.Time {
+	t := time.Now()
+	_ = time.Since(t)
+	return t
+}
+
+// NowFunc smuggles the clock out as a value; still a violation.
+var NowFunc = time.Now
+
+// Env reads the process environment.
+func Env() string { return os.Getenv("GREENSPRINT_SEED") }
+
+// Global draws from the process-global random source.
+func Global() int { return rand.Intn(10) }
+
+// Seeded is the sanctioned idiom and must not fire.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Allowed carries a justified suppression and must not fire.
+func Allowed() string {
+	//greensprint:allow(nondeterm) fixture: demonstrating the directive grammar
+	return os.Getenv("HOME")
+}

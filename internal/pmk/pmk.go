@@ -14,11 +14,11 @@ package pmk
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"strconv"
 	"sync"
 
+	"greensprint/internal/atomicfile"
 	"greensprint/internal/server"
 )
 
@@ -135,8 +135,11 @@ func (s *Sysfs) cpuDir(cpu int) string {
 	return filepath.Join(s.Root, fmt.Sprintf("cpu%d", cpu))
 }
 
+// write persists one knob value crash-safely: a daemon killed mid-write
+// must never leave a truncated or empty value at the final path, or the
+// next Apply/resume would read back a half-written setting.
 func (s *Sysfs) write(path, value string) error {
-	if err := os.WriteFile(path, []byte(value+"\n"), 0o644); err != nil {
+	if err := atomicfile.WriteFile(path, []byte(value+"\n"), 0o644); err != nil {
 		return fmt.Errorf("pmk: write %s: %w", path, err)
 	}
 	return nil

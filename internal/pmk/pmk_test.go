@@ -3,6 +3,7 @@ package pmk
 import (
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -104,6 +105,104 @@ func TestSysfsApplyWritesFiles(t *testing.T) {
 	// CPU 0 has no online file written.
 	if _, err := os.Stat(filepath.Join(root, "cpu0", "online")); !os.IsNotExist(err) {
 		t.Error("cpu0 online file should not be written")
+	}
+}
+
+// TestSysfsWriteLeavesNoTmpDebris proves the knob files go through the
+// atomicfile tmp+rename path: after Apply, every value is complete and
+// no temporary file is left anywhere under the sysfs root.
+func TestSysfsWriteLeavesNoTmpDebris(t *testing.T) {
+	root := t.TempDir()
+	for cpu := 0; cpu < server.MaxCores; cpu++ {
+		dir := filepath.Join(root, "cpu"+strconv.Itoa(cpu), "cpufreq")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k := NewSysfs(root)
+	if err := k.Apply(server.MaxSprint()); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Apply(server.Normal()); err != nil {
+		t.Fatal(err)
+	}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.Contains(d.Name(), ".tmp") {
+			t.Errorf("partial-write temp file visible in sysfs tree: %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(root, "cpu0", "cpufreq", "scaling_max_freq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := strconv.Itoa(int(server.Normal().Freq)*1000) + "\n"; string(b) != want {
+		t.Errorf("scaling_max_freq = %q, want %q", b, want)
+	}
+}
+
+// TestSysfsWriteNeverExposesPartialValue is the crash-safety
+// regression for the former bare os.WriteFile at the bottom of
+// Sysfs.Apply: an observer of the final path (the kernel, a resuming
+// daemon, a scraper) must only ever see a complete old or complete new
+// value. The pre-fix O_TRUNC write had a window where the file read
+// back empty; tmp+rename has none, so a reader racing Apply can assert
+// completeness on every read.
+func TestSysfsWriteNeverExposesPartialValue(t *testing.T) {
+	root := t.TempDir()
+	for cpu := 0; cpu < server.MaxCores; cpu++ {
+		dir := filepath.Join(root, "cpu"+strconv.Itoa(cpu), "cpufreq")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k := NewSysfs(root)
+	low, high := server.Normal(), server.MaxSprint()
+	valid := map[string]bool{
+		strconv.Itoa(int(low.Freq)*1000) + "\n":  true,
+		strconv.Itoa(int(high.Freq)*1000) + "\n": true,
+	}
+	target := filepath.Join(root, "cpu0", "cpufreq", "scaling_max_freq")
+	if err := k.Apply(low); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 100; i++ {
+			cfg := high
+			if i%2 == 1 {
+				cfg = low
+			}
+			if err := k.Apply(cfg); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			return
+		default:
+		}
+		b, err := os.ReadFile(target)
+		if err != nil {
+			t.Fatalf("final path unreadable mid-apply: %v", err)
+		}
+		if !valid[string(b)] {
+			t.Fatalf("partial value visible at final path: %q", b)
+		}
 	}
 }
 

@@ -141,6 +141,7 @@ func (t *Table) index() {
 		t.byKey[key{e.Level, e.Config()}] = i
 		t.byLevel[e.Level] = append(t.byLevel[e.Level], e)
 	}
+	//greensprint:allow(maprange) each bucket is sorted in place independently; visiting order is unobservable
 	for _, es := range t.byLevel {
 		sort.Slice(es, func(i, j int) bool { return es[i].Power < es[j].Power })
 	}
