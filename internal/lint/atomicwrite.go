@@ -34,7 +34,7 @@ func (AtomicWriteRule) Check(p *Package, report ReportFunc) {
 			if !ok {
 				return true
 			}
-			pkgPath, name, ok := pkgFunc(p, sel)
+			pkgPath, name, ok := pkgFunc(p, sel.Sel)
 			if !ok || pkgPath != "os" {
 				return true
 			}

@@ -132,18 +132,34 @@ type Package struct {
 	badDirectives []Diagnostic
 }
 
-const allowPrefix = "//greensprint:allow"
+const (
+	directiveNS = "greensprint:"
+	allowPrefix = "//" + directiveNS + "allow"
+)
 
 // collectAllows scans the file's comments for suppression directives.
+// Anything in the reserved greensprint: namespace that is not the
+// exact //greensprint:allow(rule[,rule...]) form — including near
+// misses like "// greensprint:allow(rule)" (space after the slashes)
+// or "//greensprint: allow(rule)" (space after the colon) — is
+// reported as malformed rather than silently ignored, so an author can
+// never believe a site is suppressed when it is not.
 func (p *Package) collectAllows(f *ast.File) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := c.Text
-			if !strings.HasPrefix(text, allowPrefix) {
+			if !strings.HasPrefix(text, "//") {
+				continue
+			}
+			// Directive-shaped: the reserved namespace is the first
+			// token after the slashes, ignoring indentation whitespace.
+			// A body opening with another "//" is a quoted example in
+			// prose (as in this package's doc comment), not a directive.
+			body := strings.TrimLeft(text[2:], " \t")
+			if !strings.HasPrefix(body, directiveNS) {
 				continue
 			}
 			pos := p.Fset.Position(c.Pos())
-			rest := text[len(allowPrefix):]
 			bad := func() {
 				p.badDirectives = append(p.badDirectives, Diagnostic{
 					File: pos.Filename, Line: pos.Line, Col: pos.Column,
@@ -152,6 +168,14 @@ func (p *Package) collectAllows(f *ast.File) {
 					Package: p.Path,
 				})
 			}
+			if !strings.HasPrefix(text, allowPrefix) {
+				// Near miss: whitespace inside the directive or an
+				// unknown verb in the reserved namespace. Report it —
+				// it would otherwise neither apply nor warn.
+				bad()
+				continue
+			}
+			rest := text[len(allowPrefix):]
 			if !strings.HasPrefix(rest, "(") {
 				bad()
 				continue

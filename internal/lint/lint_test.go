@@ -100,11 +100,18 @@ func TestSelfClean(t *testing.T) {
 
 // TestMalformedDirective proves bad suppression comments surface as
 // un-suppressible "directive" diagnostics instead of silently allowing
-// everything (or nothing).
+// everything (or nothing). Near-miss forms — whitespace after the
+// slashes or after the colon — must both be reported as malformed AND
+// not suppress the rule they name, so an author can never believe a
+// site is covered when it is not. The fixture is loaded as a
+// deterministic-domain package so the os.Getenv sites under the
+// near-miss directives prove the non-suppression half.
 func TestMalformedDirective(t *testing.T) {
 	root := moduleRoot(t)
 	dir := t.TempDir()
 	src := `package bad
+
+import "os"
 
 //greensprint:allow nondeterm missing parens
 var A = 1
@@ -114,6 +121,12 @@ var B = 2
 
 //greensprint:allow(nondeterm justification inside parens breaks the close
 var C = 3
+
+// greensprint:allow(nondeterm) near miss: space after the slashes
+var D = os.Getenv("D")
+
+//greensprint: allow(nondeterm) near miss: space after the colon
+var E = os.Getenv("E")
 `
 	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
 		t.Fatal(err)
@@ -122,18 +135,23 @@ var C = 3
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := loader.LoadDir(dir, ModulePath+"/internal/badfixture")
+	pkg, err := loader.LoadDir(dir, ModulePath+"/internal/sim")
 	if err != nil {
 		t.Fatal(err)
 	}
 	diags := Run([]*Package{pkg}, DefaultRules())
-	if len(diags) != 3 {
-		t.Fatalf("got %d diagnostics, want 3 malformed-directive findings: %v", len(diags), diags)
-	}
+	byRule := map[string]int{}
 	for _, d := range diags {
-		if d.Rule != "directive" {
-			t.Errorf("want rule \"directive\", got %s", d)
-		}
+		byRule[d.Rule]++
+	}
+	if byRule["directive"] != 5 {
+		t.Errorf("got %d malformed-directive findings, want 5: %v", byRule["directive"], diags)
+	}
+	if byRule["nondeterm"] != 2 {
+		t.Errorf("got %d nondeterm findings, want 2 (near-miss directives must not suppress): %v", byRule["nondeterm"], diags)
+	}
+	if len(diags) != 7 {
+		t.Errorf("got %d diagnostics in total, want 7: %v", len(diags), diags)
 	}
 }
 

@@ -10,8 +10,9 @@ import (
 // of the loop (appends, accumulation order, emitted records) varies
 // run to run — exactly the bug class the dense Hybrid cell array in
 // PR 4 removed. A site is accepted when the iteration result is
-// sorted immediately afterwards (a sort or slices call later in the
-// same block, the collect-then-sort idiom) or when it carries a
+// sorted immediately afterwards (an ordering call — sort.Slice,
+// slices.Sort, ... — later in the same block, the collect-then-sort
+// idiom) or when it carries a
 // //greensprint:allow(maprange) directive with a justification that
 // the loop body is order-independent.
 type MapRangeRule struct{}
@@ -38,7 +39,7 @@ func (MapRangeRule) Check(p *Package, report ReportFunc) {
 			}
 			if rs, ok := n.(*ast.RangeStmt); ok && len(stack) > 0 {
 				if t := p.Info.TypeOf(rs.X); t != nil {
-					if _, isMap := t.Underlying().(*types.Map); isMap && !sortedAfter(stack[len(stack)-1], rs) {
+					if _, isMap := t.Underlying().(*types.Map); isMap && !sortedAfter(p, stack[len(stack)-1], rs) {
 						name := types.TypeString(t, types.RelativeTo(p.Types))
 						report(rs.Pos(), "range over map (type "+name+") iterates in nondeterministic order; sort the collected keys/results or annotate with //greensprint:allow(maprange)")
 					}
@@ -50,10 +51,28 @@ func (MapRangeRule) Check(p *Package, report ReportFunc) {
 	}
 }
 
+// orderingFuncs are the stdlib functions that impose an order on
+// collected results — the second half of the collect-then-sort idiom.
+// Only genuine ordering functions count: a lookup such as
+// slices.Contains or sort.Search after the loop reads the slice, it
+// does not fix the iteration order, and must not suppress a finding.
+var orderingFuncs = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
 // sortedAfter reports whether a statement after the range loop, in the
-// same enclosing statement list, calls into package sort or slices —
-// the collect-then-sort idiom that makes map iteration safe.
-func sortedAfter(parent ast.Node, rs *ast.RangeStmt) bool {
+// same enclosing statement list, calls an ordering function of package
+// sort or slices — the collect-then-sort idiom that makes map
+// iteration safe. The qualifier is resolved through types.Info.Uses to
+// the imported package, so a local variable that merely shadows the
+// name sort or slices does not count.
+func sortedAfter(p *Package, parent ast.Node, rs *ast.RangeStmt) bool {
 	var list []ast.Stmt
 	switch b := parent.(type) {
 	case *ast.BlockStmt:
@@ -86,9 +105,13 @@ func sortedAfter(parent ast.Node, rs *ast.RangeStmt) bool {
 				return true
 			}
 			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-				if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
-					found = true
-					return false
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+						if fns, ok := orderingFuncs[pn.Imported().Path()]; ok && fns[sel.Sel.Name] {
+							found = true
+							return false
+						}
+					}
 				}
 			}
 			return true

@@ -2,15 +2,18 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
-// pkgFunc resolves a selector expression to a package-level function
-// (never a method) of an imported package, returning the package path
-// and function name. It covers both call sites (time.Now()) and value
-// uses (f := time.Now), since either smuggles nondeterminism in.
-func pkgFunc(p *Package, sel *ast.SelectorExpr) (pkgPath, name string, ok bool) {
-	obj, found := p.Info.Uses[sel.Sel]
+// pkgFunc resolves an identifier use — the Sel of a qualified selector
+// (time.Now) or a plain identifier bound by a dot import (import .
+// "time"; Now()) — to a package-level function (never a method) of an
+// imported package, returning the package path and function name. It
+// covers both call sites (time.Now()) and value uses (f := time.Now),
+// since either smuggles nondeterminism in.
+func pkgFunc(p *Package, id *ast.Ident) (pkgPath, name string, ok bool) {
+	obj, found := p.Info.Uses[id]
 	if !found {
 		return "", "", false
 	}
@@ -29,7 +32,10 @@ func pkgFunc(p *Package, sel *ast.SelectorExpr) (pkgPath, name string, ok bool) 
 // time.Since, time.Until), environment reads (os.Getenv, os.LookupEnv,
 // os.Environ) and the process-global math/rand source. Explicitly
 // seeded generators — rand.New(rand.NewSource(seed)) and the
-// math/rand/v2 equivalents — are the sanctioned idiom and pass.
+// math/rand/v2 equivalents — are the sanctioned idiom and pass. Uses
+// are resolved through types.Info, so dot-imported names (import .
+// "time"; Now()) and aliased imports are caught the same as qualified
+// selectors.
 type NondetermRule struct{}
 
 // Name implements Rule.
@@ -57,16 +63,32 @@ var randConstructors = map[string]bool{
 // Check implements Rule.
 func (NondetermRule) Check(p *Package, report ReportFunc) {
 	for _, f := range p.Files {
+		// Qualified uses report at the selector (the position of the
+		// "time" in time.Now); their Sel identifiers are marked handled
+		// so the plain-ident pass — which exists to catch dot-imported
+		// uses — does not report the same site twice.
+		handled := map[*ast.Ident]bool{}
 		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
+			var (
+				id  *ast.Ident
+				pos token.Pos
+			)
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				handled[n.Sel] = true
+				id, pos = n.Sel, n.Pos()
+			case *ast.Ident:
+				if handled[n] {
+					return true
+				}
+				id, pos = n, n.Pos()
+			default:
+				return true
+			}
+			pkgPath, name, ok := pkgFunc(p, id)
 			if !ok {
 				return true
 			}
-			pkgPath, name, ok := pkgFunc(p, sel)
-			if !ok {
-				return true
-			}
-			pos := sel.Pos()
 			switch pkgPath {
 			case "time":
 				switch name {

@@ -1,6 +1,9 @@
 package lint
 
-import "go/ast"
+import (
+	"go/token"
+	"go/types"
+)
 
 // SnapshotPairRule enforces checkpoint completeness: the repo's
 // checkpoint format (sim.Checkpoint, core.Checkpoint) is a composition
@@ -14,8 +17,11 @@ import "go/ast"
 //     snapshot-producing method is named Checkpoint)
 //   - SnapshotState ↔ RestoreState (the strategy.Strategy interface)
 //
-// The rule checks both concrete method sets and interface method
-// lists, per named type, in every package.
+// The rule works on the type-checker's method sets, not on syntactic
+// receiver declarations, so methods promoted through struct embedding
+// count: a type that inherits Snapshot from an embedded component and
+// declares only its own Restore is correctly seen as paired, including
+// when the embedded type lives in another package.
 type SnapshotPairRule struct{}
 
 // Name implements Rule.
@@ -40,89 +46,59 @@ var pairMethods = map[string]bool{
 
 // Check implements Rule.
 func (SnapshotPairRule) Check(p *Package, report ReportFunc) {
-	// methods[typeName][methodName] = position of the declaration.
-	type declSet map[string]ast.Node
-	methods := map[string]declSet{}
-	var typeOrder []string
-	record := func(typeName, method string, at ast.Node) {
-		if !pairMethods[method] {
-			return
-		}
-		set := methods[typeName]
-		if set == nil {
-			set = declSet{}
-			methods[typeName] = set
-			typeOrder = append(typeOrder, typeName)
-		}
-		if _, dup := set[method]; !dup {
-			set[method] = at
-		}
-	}
-
+	// Files of this package, so a diagnostic never anchors at a
+	// promoted method declared elsewhere.
+	local := map[string]bool{}
 	for _, f := range p.Files {
-		for _, decl := range f.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				if d.Recv == nil || len(d.Recv.List) == 0 {
-					continue
-				}
-				record(receiverTypeName(d.Recv.List[0].Type), d.Name.Name, d.Name)
-			case *ast.GenDecl:
-				for _, spec := range d.Specs {
-					ts, ok := spec.(*ast.TypeSpec)
-					if !ok {
-						continue
-					}
-					iface, ok := ts.Type.(*ast.InterfaceType)
-					if !ok {
-						continue
-					}
-					for _, m := range iface.Methods.List {
-						for _, name := range m.Names {
-							record(ts.Name.Name, name.Name, name)
-						}
-					}
-				}
+		local[p.Fset.Position(f.Pos()).Filename] = true
+	}
+
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() { // sorted, so deterministic
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		// The pointer method set is the superset for concrete types;
+		// interfaces carry their methods (including embedded ones) on
+		// the type itself.
+		var ms *types.MethodSet
+		if types.IsInterface(named) {
+			ms = types.NewMethodSet(named)
+		} else {
+			ms = types.NewMethodSet(types.NewPointer(named))
+		}
+		has := map[string]token.Pos{}
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i).Obj()
+			if !pairMethods[m.Name()] {
+				continue
 			}
+			pos := m.Pos()
+			if !pos.IsValid() || !local[p.Fset.Position(pos).Filename] {
+				pos = tn.Pos() // promoted from elsewhere: anchor at the type
+			}
+			has[m.Name()] = pos
 		}
-	}
-
-	for _, typeName := range typeOrder {
-		set := methods[typeName]
-		has := func(m string) bool { _, ok := set[m]; return ok }
-		if has("Snapshot") && !has("Restore") {
-			report(set["Snapshot"].Pos(), "type "+typeName+" declares Snapshot but no Restore; its state cannot be resumed from a checkpoint")
+		hv := func(m string) bool { _, ok := has[m]; return ok }
+		if hv("Snapshot") && !hv("Restore") {
+			report(has["Snapshot"], "type "+name+" declares Snapshot but no Restore; its state cannot be resumed from a checkpoint")
 		}
-		if has("Checkpoint") && !has("Restore") {
-			report(set["Checkpoint"].Pos(), "type "+typeName+" declares Checkpoint but no Restore; its checkpoints cannot be resumed")
+		if hv("Checkpoint") && !hv("Restore") {
+			report(has["Checkpoint"], "type "+name+" declares Checkpoint but no Restore; its checkpoints cannot be resumed")
 		}
-		if has("Restore") && !has("Snapshot") && !has("Checkpoint") {
-			report(set["Restore"].Pos(), "type "+typeName+" declares Restore but no Snapshot or Checkpoint; its state silently falls out of checkpoints")
+		if hv("Restore") && !hv("Snapshot") && !hv("Checkpoint") {
+			report(has["Restore"], "type "+name+" declares Restore but no Snapshot or Checkpoint; its state silently falls out of checkpoints")
 		}
-		if has("SnapshotState") && !has("RestoreState") {
-			report(set["SnapshotState"].Pos(), "type "+typeName+" declares SnapshotState but no RestoreState; its state cannot be resumed from a checkpoint")
+		if hv("SnapshotState") && !hv("RestoreState") {
+			report(has["SnapshotState"], "type "+name+" declares SnapshotState but no RestoreState; its state cannot be resumed from a checkpoint")
 		}
-		if has("RestoreState") && !has("SnapshotState") {
-			report(set["RestoreState"].Pos(), "type "+typeName+" declares RestoreState but no SnapshotState; its state silently falls out of checkpoints")
-		}
-	}
-}
-
-// receiverTypeName unwraps a method receiver type expression (pointer,
-// generic instantiation) down to the named type's identifier.
-func receiverTypeName(expr ast.Expr) string {
-	for {
-		switch t := expr.(type) {
-		case *ast.StarExpr:
-			expr = t.X
-		case *ast.IndexExpr:
-			expr = t.X
-		case *ast.IndexListExpr:
-			expr = t.X
-		case *ast.Ident:
-			return t.Name
-		default:
-			return ""
+		if hv("RestoreState") && !hv("SnapshotState") {
+			report(has["RestoreState"], "type "+name+" declares RestoreState but no SnapshotState; its state silently falls out of checkpoints")
 		}
 	}
 }

@@ -1,0 +1,10 @@
+// dotimport.go is the dot-import half of the nondeterm fixture: Now()
+// bound by `import . "time"` is the same wall-clock read as time.Now()
+// but reaches the file without a selector, so the rule must resolve
+// plain identifiers through the type-checker to catch it.
+package nondeterm
+
+import . "time"
+
+// DotClock reads the wall clock without a package qualifier.
+func DotClock() Time { return Now() }

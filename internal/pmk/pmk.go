@@ -14,11 +14,11 @@ package pmk
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"strconv"
 	"sync"
 
-	"greensprint/internal/atomicfile"
 	"greensprint/internal/server"
 )
 
@@ -135,11 +135,17 @@ func (s *Sysfs) cpuDir(cpu int) string {
 	return filepath.Join(s.Root, fmt.Sprintf("cpu%d", cpu))
 }
 
-// write persists one knob value crash-safely: a daemon killed mid-write
-// must never leave a truncated or empty value at the final path, or the
-// next Apply/resume would read back a half-written setting.
+// write pushes one knob value to the kernel. Sysfs attributes must be
+// written in place: sysfs is a virtual filesystem that forbids
+// arbitrary file creation and rename, and a knob (cpuN/online,
+// cpufreq/scaling_max_freq) only takes effect when the existing
+// attribute file itself is written. The value is a kernel control
+// input, not persisted state — nothing ever reads it back after a
+// crash — so the atomicfile tmp+rename invariant does not apply (and
+// would fail with EPERM under the real /sys/devices/system/cpu root).
 func (s *Sysfs) write(path, value string) error {
-	if err := atomicfile.WriteFile(path, []byte(value+"\n"), 0o644); err != nil {
+	//greensprint:allow(atomicwrite) sysfs kernel knob: must be written in place (sysfs forbids create+rename), not persisted state
+	if err := os.WriteFile(path, []byte(value+"\n"), 0o644); err != nil {
 		return fmt.Errorf("pmk: write %s: %w", path, err)
 	}
 	return nil

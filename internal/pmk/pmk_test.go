@@ -108,101 +108,91 @@ func TestSysfsApplyWritesFiles(t *testing.T) {
 	}
 }
 
-// TestSysfsWriteLeavesNoTmpDebris proves the knob files go through the
-// atomicfile tmp+rename path: after Apply, every value is complete and
-// no temporary file is left anywhere under the sysfs root.
-func TestSysfsWriteLeavesNoTmpDebris(t *testing.T) {
+// TestSysfsWriteInPlace is the real-host regression for Sysfs.write:
+// sysfs is a virtual filesystem where arbitrary file creation and
+// rename are not permitted, and a kernel knob (cpuN/online,
+// cpufreq/scaling_max_freq) only takes effect when the existing
+// attribute file is written in place. A tmp+rename implementation
+// passes against a tmpfs fixture but fails with EPERM/ENOENT on the
+// real /sys root — so this test pre-creates every attribute file the
+// kernel would expose and asserts Apply (a) writes through those very
+// files (the inode survives, proving no replacement-by-rename), and
+// (b) creates no other file anywhere under the root.
+func TestSysfsWriteInPlace(t *testing.T) {
 	root := t.TempDir()
+	var attrs []string
 	for cpu := 0; cpu < server.MaxCores; cpu++ {
 		dir := filepath.Join(root, "cpu"+strconv.Itoa(cpu), "cpufreq")
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			t.Fatal(err)
 		}
+		if cpu > 0 { // cpu0/online does not exist on Linux
+			attrs = append(attrs, filepath.Join(root, "cpu"+strconv.Itoa(cpu), "online"))
+		}
+		attrs = append(attrs, filepath.Join(dir, "scaling_max_freq"))
 	}
+	before := make(map[string]os.FileInfo, len(attrs))
+	for _, p := range attrs {
+		if err := os.WriteFile(p, []byte("sentinel\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[p] = fi
+	}
+
 	k := NewSysfs(root)
+	// MaxSprint onlines every core, so every pre-created attribute is
+	// written exactly once.
 	if err := k.Apply(server.MaxSprint()); err != nil {
 		t.Fatal(err)
 	}
-	if err := k.Apply(server.Normal()); err != nil {
+
+	for _, p := range attrs {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("attribute vanished (rename?): %v", err)
+		}
+		if !os.SameFile(before[p], fi) {
+			t.Errorf("%s was replaced instead of written in place; sysfs forbids rename", p)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) == "sentinel\n" {
+			t.Errorf("%s still holds the sentinel; knob value never written", p)
+		}
+	}
+	b, err := os.ReadFile(filepath.Join(root, "cpu3", "cpufreq", "scaling_max_freq"))
+	if err != nil {
 		t.Fatal(err)
 	}
-	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+	if want := strconv.Itoa(int(server.MaxSprint().Freq)*1000) + "\n"; string(b) != want {
+		t.Errorf("scaling_max_freq = %q, want %q", b, want)
+	}
+
+	// No scratch files: sysfs would reject any attempt to create one.
+	seen := map[string]bool{}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
-		if !d.IsDir() && strings.Contains(d.Name(), ".tmp") {
-			t.Errorf("partial-write temp file visible in sysfs tree: %s", path)
+		if !d.IsDir() {
+			seen[path] = true
 		}
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := os.ReadFile(filepath.Join(root, "cpu0", "cpufreq", "scaling_max_freq"))
-	if err != nil {
-		t.Fatal(err)
+	for _, p := range attrs {
+		delete(seen, p)
 	}
-	if want := strconv.Itoa(int(server.Normal().Freq)*1000) + "\n"; string(b) != want {
-		t.Errorf("scaling_max_freq = %q, want %q", b, want)
-	}
-}
-
-// TestSysfsWriteNeverExposesPartialValue is the crash-safety
-// regression for the former bare os.WriteFile at the bottom of
-// Sysfs.Apply: an observer of the final path (the kernel, a resuming
-// daemon, a scraper) must only ever see a complete old or complete new
-// value. The pre-fix O_TRUNC write had a window where the file read
-// back empty; tmp+rename has none, so a reader racing Apply can assert
-// completeness on every read.
-func TestSysfsWriteNeverExposesPartialValue(t *testing.T) {
-	root := t.TempDir()
-	for cpu := 0; cpu < server.MaxCores; cpu++ {
-		dir := filepath.Join(root, "cpu"+strconv.Itoa(cpu), "cpufreq")
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			t.Fatal(err)
-		}
-	}
-	k := NewSysfs(root)
-	low, high := server.Normal(), server.MaxSprint()
-	valid := map[string]bool{
-		strconv.Itoa(int(low.Freq)*1000) + "\n":  true,
-		strconv.Itoa(int(high.Freq)*1000) + "\n": true,
-	}
-	target := filepath.Join(root, "cpu0", "cpufreq", "scaling_max_freq")
-	if err := k.Apply(low); err != nil {
-		t.Fatal(err)
-	}
-
-	done := make(chan error, 1)
-	go func() {
-		for i := 0; i < 100; i++ {
-			cfg := high
-			if i%2 == 1 {
-				cfg = low
-			}
-			if err := k.Apply(cfg); err != nil {
-				done <- err
-				return
-			}
-		}
-		done <- nil
-	}()
-	for {
-		select {
-		case err := <-done:
-			if err != nil {
-				t.Fatal(err)
-			}
-			return
-		default:
-		}
-		b, err := os.ReadFile(target)
-		if err != nil {
-			t.Fatalf("final path unreadable mid-apply: %v", err)
-		}
-		if !valid[string(b)] {
-			t.Fatalf("partial value visible at final path: %q", b)
-		}
+	for p := range seen {
+		t.Errorf("Apply created a file sysfs would forbid: %s", p)
 	}
 }
 
