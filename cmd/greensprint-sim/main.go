@@ -8,6 +8,7 @@
 //	                [-strategy S] [-intensity N] [-duration D]
 //	                [-availability Min|Med|Max] [-trace FILE] [-csv]
 //	                [-checkpoint FILE] [-resume] [-events FILE]
+//	                [-chaos-profile P] [-chaos-seed N]
 //
 // Flags override the config file. With -checkpoint the simulator
 // persists its full state (battery, PSS, predictors, strategy) to FILE
@@ -17,6 +18,13 @@
 // run streams one JSONL observability record per epoch (telemetry in,
 // decision out, power-source split); for a fixed seed the stream is
 // bit-identical across runs.
+//
+// With -chaos-profile the run injects seeded failures: the profile (a
+// preset name like "light" or "heavy", or a spec such as
+// "crash=2,solar=1:3-6") is resolved under -chaos-seed into a fixed
+// fault timeline before the run starts, so the same flags always
+// produce the same failures — including across -checkpoint/-resume,
+// which therefore require the same chaos flags on the resuming run.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"greensprint/internal/chaos"
 	"greensprint/internal/cluster"
 	"greensprint/internal/config"
 	"greensprint/internal/obs"
@@ -55,6 +64,8 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "persist engine state to this file after every epoch")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint file if it exists")
 	eventsPath := flag.String("events", "", "stream one JSONL observability record per epoch to this file")
+	chaosProfile := flag.String("chaos-profile", "", "failure profile enabling chaos injection: light, heavy, or key=weight[:MIN-MAX] spec")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed resolving the -chaos-profile failure timeline")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -105,7 +116,7 @@ func main() {
 		defer f.Close()
 		sink = obs.NewJSONL(f)
 	}
-	if err := run(ctx, os.Stdout, cfg, *csvOut, *ckptPath, *resume, sink); err != nil {
+	if err := run(ctx, os.Stdout, cfg, *csvOut, *ckptPath, *resume, sink, *chaosProfile, *chaosSeed); err != nil {
 		fatal(err)
 	}
 }
@@ -115,7 +126,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(ctx context.Context, w io.Writer, cfg config.Config, csvOut bool, ckptPath string, resume bool, sink obs.Sink) error {
+func run(ctx context.Context, w io.Writer, cfg config.Config, csvOut bool, ckptPath string, resume bool, sink obs.Sink, chaosProfile string, chaosSeed int64) error {
 	p, err := cfg.WorkloadProfile()
 	if err != nil {
 		return err
@@ -136,6 +147,10 @@ func run(ctx context.Context, w io.Writer, cfg config.Config, csvOut bool, ckptP
 	if err != nil {
 		return err
 	}
+	sched, err := resolveChaos(w, cfg, green, chaosProfile, chaosSeed)
+	if err != nil {
+		return err
+	}
 	eng, err := sim.New(sim.Config{
 		Workload: p,
 		Green:    green,
@@ -147,6 +162,7 @@ func run(ctx context.Context, w io.Writer, cfg config.Config, csvOut bool, ckptP
 		Tail:     cfg.Tail.Std(),
 		Epoch:    cfg.Epoch.Std(),
 		Sink:     sink,
+		Chaos:    sched,
 	})
 	if err != nil {
 		return err
@@ -228,6 +244,44 @@ func run(ctx context.Context, w io.Writer, cfg config.Config, csvOut bool, ckptP
 		acct.Green, acct.Battery, acct.Grid, report.FormatFloat(acct.GreenFraction(), 3))
 	fmt.Fprintf(w, "battery wear: %s equivalent cycles\n", report.FormatFloat(res.BatteryCycles, 3))
 	return nil
+}
+
+// resolveChaos turns -chaos-profile/-chaos-seed into a fixed fault
+// timeline for the configured run, or nil when chaos is off. The
+// resolution happens before the run starts and depends only on the
+// flags and the run's topology, so a resumed run passing the same
+// flags replays the exact same failures.
+func resolveChaos(w io.Writer, cfg config.Config, green cluster.GreenConfig, spec string, seed int64) (*chaos.Schedule, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	prof, err := chaos.ParseProfile(spec)
+	if err != nil {
+		return nil, err
+	}
+	epoch := cfg.Epoch.Std()
+	if epoch == 0 {
+		epoch = sim.DefaultEpoch
+	}
+	// Mirror Engine.TotalEpochs: the horizon spans lead + burst + tail,
+	// rounded up to whole epochs.
+	total := cfg.Lead.Std() + cfg.BurstDuration.Std() + cfg.Tail.Std()
+	epochs := int(total / epoch)
+	if time.Duration(epochs)*epoch < total {
+		epochs++
+	}
+	bank, err := green.NewBank()
+	if err != nil {
+		return nil, err
+	}
+	sched, err := prof.Resolve(seed, epochs, green.GreenServers, bank.Size())
+	if err != nil {
+		return nil, err
+	}
+	sched.Source = spec
+	fmt.Fprintf(w, "chaos: profile %q seed %d resolved to %d faults over %d epochs\n",
+		spec, seed, len(sched.Faults), epochs)
+	return sched, nil
 }
 
 // loadSupply replays the configured CSV trace, or synthesizes the

@@ -24,7 +24,7 @@ func smallConfig() config.Config {
 
 func TestRunText(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, smallConfig(), false, "", false, nil); err != nil {
+	if err := run(context.Background(), &buf, smallConfig(), false, "", false, nil, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -37,7 +37,7 @@ func TestRunText(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, smallConfig(), true, "", false, nil); err != nil {
+	if err := run(context.Background(), &buf, smallConfig(), true, "", false, nil, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "epoch,burst,case,config") {
@@ -50,7 +50,7 @@ func TestRunAllStrategiesAndWorkloads(t *testing.T) {
 		cfg := smallConfig()
 		cfg.Strategy = s
 		var buf bytes.Buffer
-		if err := run(context.Background(), &buf, cfg, false, "", false, nil); err != nil {
+		if err := run(context.Background(), &buf, cfg, false, "", false, nil, "", 0); err != nil {
 			t.Errorf("%s: %v", s, err)
 		}
 	}
@@ -58,7 +58,7 @@ func TestRunAllStrategiesAndWorkloads(t *testing.T) {
 		cfg := smallConfig()
 		cfg.Workload = w
 		var buf bytes.Buffer
-		if err := run(context.Background(), &buf, cfg, false, "", false, nil); err != nil {
+		if err := run(context.Background(), &buf, cfg, false, "", false, nil, "", 0); err != nil {
 			t.Errorf("%s: %v", w, err)
 		}
 	}
@@ -104,7 +104,7 @@ func TestLoadSupplyFromFile(t *testing.T) {
 	}
 	// Replayed trace drives a full run.
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, cfg, false, "", false, nil); err != nil {
+	if err := run(context.Background(), &buf, cfg, false, "", false, nil, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	// Missing file errors.
@@ -119,7 +119,7 @@ func TestLoadSupplyFromFile(t *testing.T) {
 func TestRunEvents(t *testing.T) {
 	capture := func() string {
 		var out, events bytes.Buffer
-		if err := run(context.Background(), &out, smallConfig(), false, "", false, obs.NewJSONL(&events)); err != nil {
+		if err := run(context.Background(), &out, smallConfig(), false, "", false, obs.NewJSONL(&events), "", 0); err != nil {
 			t.Fatal(err)
 		}
 		return events.String()
@@ -144,6 +144,66 @@ func TestRunEvents(t *testing.T) {
 	if second := capture(); second != first {
 		t.Error("event stream is not deterministic across identical runs")
 	}
+}
+
+// TestRunChaos drives the -chaos-profile path end to end: the resolved
+// timeline is announced, chaos events land on the JSONL stream, the
+// run stays deterministic, and an interrupted chaos run resumed with
+// the same flags reproduces the uninterrupted schedule exactly.
+func TestRunChaos(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BurstDuration = config.Duration(30 * time.Minute) // 6 epochs
+
+	capture := func(ctx context.Context, ckpt string, resume bool) (string, string, error) {
+		var out, events bytes.Buffer
+		err := run(ctx, &out, cfg, true, ckpt, resume, obs.NewJSONL(&events), "heavy", 3)
+		return out.String(), events.String(), err
+	}
+
+	out, events, err := capture(context.Background(), "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `chaos: profile "heavy" seed 3 resolved to`) {
+		t.Errorf("missing chaos resolution notice:\n%s", out)
+	}
+	if !strings.Contains(events, `"chaos":"fault"`) {
+		t.Errorf("no chaos fault on the event stream:\n%s", events)
+	}
+	if _, again, err := capture(context.Background(), "", false); err != nil || again != events {
+		t.Errorf("chaos event stream is not deterministic (err %v)", err)
+	}
+
+	// Interrupt mid-run, resume with the same chaos flags: bit-identical.
+	ckpt := filepath.Join(t.TempDir(), "state.json")
+	if _, _, err := capture(newCheckCountCtx(3), ckpt, false); err != context.Canceled {
+		t.Fatalf("interrupted run err = %v, want context.Canceled", err)
+	}
+	resumedOut, _, err := capture(context.Background(), ckpt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resumedOut, "resumed from") || !strings.HasSuffix(resumedOut, lastLines(out, 6)) {
+		t.Errorf("resumed chaos run differs from uninterrupted:\nwant tail:\n%s\ngot:\n%s",
+			lastLines(out, 6), resumedOut)
+	}
+
+	// Resuming without the chaos flags must be refused, not silently
+	// continued fault-free.
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, cfg, true, ckpt, true, nil, "", 0); err == nil ||
+		!strings.Contains(err.Error(), "chaos") {
+		t.Errorf("resume without chaos flags = %v, want chaos mismatch error", err)
+	}
+}
+
+// lastLines returns the final n lines of s (with trailing newline).
+func lastLines(s string, n int) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 // checkCountCtx reports cancellation after its Done channel has been
@@ -183,13 +243,13 @@ func TestRunCheckpointResume(t *testing.T) {
 
 	// Reference: the uninterrupted run.
 	var ref bytes.Buffer
-	if err := run(context.Background(), &ref, cfg, true, "", false, nil); err != nil {
+	if err := run(context.Background(), &ref, cfg, true, "", false, nil, "", 0); err != nil {
 		t.Fatal(err)
 	}
 
 	// Interrupt after three epochs; the per-epoch checkpoint survives.
 	var interrupted bytes.Buffer
-	err := run(newCheckCountCtx(3), &interrupted, cfg, true, ckpt, false, nil)
+	err := run(newCheckCountCtx(3), &interrupted, cfg, true, ckpt, false, nil, "", 0)
 	if err != context.Canceled {
 		t.Fatalf("interrupted run err = %v, want context.Canceled", err)
 	}
@@ -203,7 +263,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	// Resume: picks up at epoch 3 and reproduces the reference output
 	// exactly (everything after the resume notice is bit-identical).
 	var resumed bytes.Buffer
-	if err := run(context.Background(), &resumed, cfg, true, ckpt, true, nil); err != nil {
+	if err := run(context.Background(), &resumed, cfg, true, ckpt, true, nil, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := resumed.String()
@@ -217,7 +277,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	// -resume with no checkpoint file on disk is a fresh start.
 	var freshStart bytes.Buffer
 	missing := filepath.Join(t.TempDir(), "absent.json")
-	if err := run(context.Background(), &freshStart, cfg, true, missing, true, nil); err != nil {
+	if err := run(context.Background(), &freshStart, cfg, true, missing, true, nil, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(freshStart.String(), "resumed") {

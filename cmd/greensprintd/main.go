@@ -20,6 +20,7 @@
 //	             [-sysfs-root DIR] [-epoch 5m] [-once N]
 //	             [-checkpoint FILE] [-resume] [-checkpoint-keep N]
 //	             [-qtable FILE] [-events FILE] [-pprof]
+//	             [-chaos-profile P] [-chaos-seed N]
 //
 // With -checkpoint the daemon persists the full controller state
 // (battery model, PSS accounting, predictors, decision history and the
@@ -34,6 +35,14 @@
 // catalog (always on), -events FILE appends one JSONL record per
 // epoch (telemetry in, decision out, power-source split), and -pprof
 // mounts net/http/pprof under /debug/pprof/.
+//
+// With -chaos-profile (sim backend only) the ticker injects seeded
+// failures into the synthesized telemetry: the profile is resolved
+// under -chaos-seed into a fixed fault timeline, solar dropouts and
+// server outages scale the green supply and goodput the monitor sees,
+// and every fault and recovery is emitted as a chaos event on the
+// observability stream. The timeline depends only on the flags, so a
+// restarted daemon passing the same flags replays the same failures.
 package main
 
 import (
@@ -53,6 +62,8 @@ import (
 	"time"
 
 	"greensprint/internal/atomicfile"
+	"greensprint/internal/chaos"
+	"greensprint/internal/cluster"
 	"greensprint/internal/config"
 	"greensprint/internal/core"
 	"greensprint/internal/httpapi"
@@ -77,6 +88,8 @@ type options struct {
 	resume    bool
 	events    string
 	pprof     bool
+	chaos     string
+	chaosSeed int64
 }
 
 func main() {
@@ -93,9 +106,14 @@ func main() {
 	flag.BoolVar(&o.resume, "resume", false, "restore controller state from the -checkpoint file on startup")
 	flag.StringVar(&o.events, "events", "", "append one JSONL observability record per epoch to this file")
 	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
+	flag.StringVar(&o.chaos, "chaos-profile", "", "failure profile enabling chaos injection: light, heavy, or key=weight[:MIN-MAX] spec (sim backend)")
+	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed resolving the -chaos-profile failure timeline")
 	flag.Parse()
 	if o.resume && o.ckpt == "" {
 		log.Fatal("greensprintd: -resume requires -checkpoint")
+	}
+	if o.chaos != "" && o.backend != "sim" {
+		log.Fatal("greensprintd: -chaos-profile requires -backend sim")
 	}
 	if o.ckptKeep > 0 && o.ckpt == "" {
 		log.Fatal("greensprintd: -checkpoint-keep requires -checkpoint")
@@ -201,13 +219,20 @@ func serve(ctx context.Context, ctrl *core.Controller, collector *obs.Collector,
 	}
 	epoch := ctrl.Epoch()
 
+	sink := obs.Sink(collector)
 	if o.events != "" {
 		f, err := os.OpenFile(o.events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return fmt.Errorf("events: %w", err)
 		}
 		defer f.Close()
-		ctrl.SetSink(obs.Multi(collector, obs.NewJSONL(f)))
+		sink = obs.Multi(collector, obs.NewJSONL(f))
+		ctrl.SetSink(sink)
+	}
+
+	inj, err := buildInjector(cfg, green, epoch, o)
+	if err != nil {
+		return err
 	}
 
 	apiOpts := []httpapi.Option{httpapi.WithMetrics(collector)}
@@ -230,7 +255,7 @@ func serve(ctx context.Context, ctrl *core.Controller, collector *obs.Collector,
 	if ticker {
 		go func() {
 			defer close(tickDone)
-			tickLoop(ctx, ctrl, cfg, green.PeakGreen(), epoch, o, cancel)
+			tickLoop(ctx, ctrl, cfg, green, epoch, o, inj, sink, cancel)
 		}()
 	} else {
 		close(tickDone)
@@ -380,13 +405,54 @@ func rotateCheckpoints(path string, epoch, keep int) error {
 	return nil
 }
 
+// buildInjector resolves -chaos-profile/-chaos-seed into a chaos
+// injector for the tick loop, or nil when chaos is off. The timeline
+// covers the same window the synthesized supply trace does; ticks past
+// it simply see no further faults.
+func buildInjector(cfg config.Config, green cluster.GreenConfig, epoch time.Duration, o options) (*chaos.Injector, error) {
+	if o.chaos == "" {
+		return nil, nil
+	}
+	prof, err := chaos.ParseProfile(o.chaos)
+	if err != nil {
+		return nil, err
+	}
+	bank, err := green.NewBank()
+	if err != nil {
+		return nil, err
+	}
+	window := cfg.BurstDuration.Std() + time.Hour
+	epochs := int(window / epoch)
+	if time.Duration(epochs)*epoch < window {
+		epochs++
+	}
+	sched, err := prof.Resolve(o.chaosSeed, epochs, green.GreenServers, bank.Size())
+	if err != nil {
+		return nil, err
+	}
+	sched.Source = o.chaos
+	inj, err := chaos.NewInjector(sched)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("greensprintd: chaos profile %q seed %d resolved to %d faults over %d epochs",
+		o.chaos, o.chaosSeed, len(sched.Faults), epochs)
+	return inj, nil
+}
+
 // tickLoop drives the controller each epoch: an open-loop load
 // generator (the Faban role) offers requests to the current server
 // setting, its measured latencies flow through the Monitor, and the
 // resulting telemetry steps the control loop. The green supply comes
-// from the configured availability window.
+// from the configured availability window. With a chaos injector the
+// loop degrades the telemetry it synthesizes — solar dropouts scale
+// the green supply, server outages scale goodput by the alive
+// fraction — and emits every fault and recovery as a chaos event;
+// the remaining modes ride along on the event stream only, since the
+// controller owns its PSS and battery state.
 func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
-	peak units.Watt, epoch time.Duration, o options, stop func()) {
+	green cluster.GreenConfig, epoch time.Duration, o options,
+	inj *chaos.Injector, sink obs.Sink, stop func()) {
 
 	level, err := cfg.AvailabilityLevel()
 	if err != nil {
@@ -394,7 +460,7 @@ func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
 		level = solar.Med
 	}
 	burst := cfg.BurstDuration.Std()
-	supply := solar.Synthesize(level, burst+time.Hour, time.Minute, float64(peak), 42)
+	supply := solar.Synthesize(level, burst+time.Hour, time.Minute, float64(green.PeakGreen()), 42)
 	p, _ := cfg.WorkloadProfile()
 	offered := p.IntensityRate(cfg.BurstIntensity)
 	gen, err := loadgen.New(p, 42)
@@ -416,6 +482,32 @@ func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
 		// the trace, request latencies from the load generator run
 		// against the currently applied setting.
 		at := supply.Start.Add(time.Duration(i) * epoch)
+		solarFactor := 1.0
+		alive := green.GreenServers
+		if inj != nil {
+			for _, a := range inj.Advance(i) {
+				kind := "fault"
+				if a.Recovered {
+					kind = "recover"
+				}
+				log.Printf("greensprintd: chaos %s: %v", kind, a.Fault)
+				if err := sink.Emit(obs.Event{
+					Epoch:        i,
+					Time:         at.UTC().Format(time.RFC3339Nano),
+					EpochSeconds: epoch.Seconds(),
+					Strategy:     ctrl.Strategy(),
+					Servers:      green.GreenServers,
+					Chaos:        kind,
+					ChaosMode:    a.Fault.Mode.String(),
+					ChaosTarget:  a.Fault.Target,
+					ChaosDetail:  a.Fault.String(),
+				}); err != nil {
+					log.Printf("greensprintd: chaos event: %v", err)
+				}
+			}
+			solarFactor = inj.SolarFactor()
+			alive = inj.AliveServers()
+		}
 		rate := offered
 		if time.Duration(i)*epoch >= burst {
 			rate = 0.6 * offered
@@ -431,11 +523,14 @@ func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
 			return
 		}
 		load.FeedMonitor(mon.RecordLatency)
-		mon.RecordGreenPower(units.Watt(supply.At(at)))
+		mon.RecordGreenPower(units.Watt(supply.At(at) * solarFactor))
 		mon.RecordServerPower(p.LoadPower(current, rate))
 		tel := mon.Close(epoch)
 		tel.OfferedRate = rate
 		tel.Goodput = load.Goodput()
+		if alive < green.GreenServers {
+			tel.Goodput *= float64(alive) / float64(green.GreenServers)
+		}
 
 		d, err := ctrl.Step(tel)
 		if err != nil {

@@ -1,6 +1,7 @@
 package battery
 
 import (
+	"fmt"
 	"time"
 
 	"greensprint/internal/units"
@@ -52,17 +53,19 @@ func (b *Bank) available() []*Battery {
 }
 
 // MaxSustainablePower returns the aggregate constant power the bank can
-// hold for duration d. Units at the same state of charge share one
-// bisection result — a bank's units have identical configurations
-// (NewBank clones a single Config), so equal SoC implies an equal
-// answer, and even discharge/charge splitting keeps all units in
-// lockstep in practice.
+// hold for duration d. Units in identical state share one bisection
+// result — a bank's units have identical configurations (NewBank clones
+// a single Config), so equal (SoC, degradation) implies an equal
+// answer, and even discharge/charge splitting keeps healthy units in
+// lockstep in practice. Degradation is part of the sharing key: a
+// chaos-faded unit must never borrow a healthy neighbour's answer.
 func (b *Bank) MaxSustainablePower(d time.Duration) units.Watt {
 	var sum units.Watt
 	var last *Battery
 	var lastVal units.Watt
 	for _, u := range b.available() {
-		if last != nil && u.soc == last.soc {
+		if last != nil && u.soc == last.soc &&
+			u.capFade == last.capFade && u.resist == last.resist {
 			sum += lastVal
 			continue
 		}
@@ -86,11 +89,18 @@ func (b *Bank) RemainingTime(p units.Watt) time.Duration {
 	}
 	per := units.Watt(float64(p) / float64(len(avail)))
 	// The units share one Config, so the Peukert full-drain time is
-	// computed once per call instead of once per unit (TimeToEmpty's
-	// math.Pow dominates the scheduling hot path).
-	full := avail[0].cfg.TimeToEmpty(per)
+	// computed once per run of equally degraded units instead of once
+	// per unit (TimeToEmpty's math.Pow dominates the scheduling hot
+	// path). The hoist is only valid across units with the same fade
+	// and resistance — a degraded unit drains on its own curve.
 	min := time.Duration(1<<63 - 1)
+	var last *Battery
+	var full time.Duration
 	for _, u := range avail {
+		if last == nil || u.capFade != last.capFade || u.resist != last.resist {
+			full = u.timeToEmpty(per)
+			last = u
+		}
 		if t := u.remainingTimeWithFull(full); t < min {
 			min = t
 		}
@@ -137,6 +147,16 @@ func (b *Bank) Charge(p units.Watt, d time.Duration) units.WattHour {
 		total += u.Charge(per, d)
 	}
 	return total
+}
+
+// DegradeUnit applies a permanent chaos degradation step to unit i:
+// capacity fades by capFactor and internal resistance rises by
+// resistFactor (see Battery.Degrade).
+func (b *Bank) DegradeUnit(i int, capFactor, resistFactor float64) error {
+	if i < 0 || i >= len(b.units) {
+		return fmt.Errorf("battery: degrade: unit %d of %d", i, len(b.units))
+	}
+	return b.units[i].Degrade(capFactor, resistFactor)
 }
 
 // SoC returns the mean state of charge across units (1 for an empty

@@ -133,24 +133,37 @@ func (c Config) EffectiveCapacity(p units.Watt) units.AmpHour {
 // Battery is a stateful battery unit.
 type Battery struct {
 	cfg Config
-	// soc is the state of charge as a fraction of rated capacity.
+	// soc is the state of charge as a fraction of the unit's current
+	// (possibly faded) full capacity.
 	soc float64
 	// dischargedAh accumulates total discharged charge (rated-Ah
 	// equivalent) for cycle accounting.
 	dischargedAh float64
+	// capFade is the cumulative capacity-fade multiplier in (0,1]:
+	// the unit's deliverable capacity is capFade * cfg.Capacity. 1
+	// means an undegraded unit, and the undegraded code paths are
+	// bit-identical to the pre-degradation model.
+	capFade float64
+	// resist is the cumulative internal-resistance multiplier (>= 1):
+	// a draw of p behaves, Peukert-wise, like a draw of p * resist.
+	resist float64
 	// maxSust memoizes the last MaxSustainablePower bisection, keyed
-	// by the exact (SoC, horizon) pair. The PSS asks the same question
-	// several times per scheduling epoch between state changes; the
-	// memo returns the stored bisection result verbatim, so reuse is
-	// bit-identical.
+	// by the exact (SoC, horizon, degradation) tuple. The PSS asks the
+	// same question several times per scheduling epoch between state
+	// changes; the memo returns the stored bisection result verbatim,
+	// so reuse is bit-identical. Degradation is part of the key — and
+	// Degrade/Restore invalidate outright — so a mid-run fade never
+	// serves a stale answer.
 	maxSust maxSustMemo
 }
 
 type maxSustMemo struct {
-	ok  bool
-	soc float64
-	d   time.Duration
-	val units.Watt
+	ok      bool
+	soc     float64
+	d       time.Duration
+	capFade float64
+	resist  float64
+	val     units.Watt
 }
 
 // ErrEmpty is returned when a discharge request hits the DoD floor.
@@ -165,7 +178,45 @@ func New(cfg Config) (*Battery, error) {
 	if cfg.MaxChargePower == 0 {
 		cfg.MaxChargePower = units.Watt(float64(cfg.Capacity) / 4 * float64(cfg.Voltage))
 	}
-	return &Battery{cfg: cfg, soc: 1}, nil
+	return &Battery{cfg: cfg, soc: 1, capFade: 1, resist: 1}, nil
+}
+
+// Degrade applies a permanent degradation step: capacity fades by
+// capFactor (in (0,1]) and internal resistance rises by resistFactor
+// (>= 1). Factors compound across calls. Degradation invalidates the
+// bisection memo so no pre-fade answer survives.
+func (b *Battery) Degrade(capFactor, resistFactor float64) error {
+	if !(capFactor > 0 && capFactor <= 1) {
+		return fmt.Errorf("battery: capacity-fade factor %v outside (0,1]", capFactor)
+	}
+	if !(resistFactor >= 1) {
+		return fmt.Errorf("battery: resistance factor %v below 1", resistFactor)
+	}
+	b.capFade *= capFactor
+	b.resist *= resistFactor
+	b.maxSust = maxSustMemo{}
+	return nil
+}
+
+// CapacityFade returns the cumulative capacity-fade multiplier (1 for
+// an undegraded unit).
+func (b *Battery) CapacityFade() float64 { return b.capFade }
+
+// Resistance returns the cumulative internal-resistance multiplier (1
+// for an undegraded unit).
+func (b *Battery) Resistance() float64 { return b.resist }
+
+// timeToEmpty is Config.TimeToEmpty through the unit's degradation:
+// capacity scaled by capFade, draw inflated by resist. The undegraded
+// case delegates to the config verbatim so a healthy unit stays
+// bit-identical to the pre-degradation model.
+func (b *Battery) timeToEmpty(p units.Watt) time.Duration {
+	if b.capFade == 1 && b.resist == 1 {
+		return b.cfg.TimeToEmpty(p)
+	}
+	c := b.cfg
+	c.Capacity = units.AmpHour(float64(c.Capacity) * b.capFade)
+	return c.TimeToEmpty(units.Watt(float64(p) * b.resist))
 }
 
 // Config returns the battery configuration.
@@ -183,13 +234,14 @@ func (b *Battery) AtFloor() bool { return b.soc <= b.floorSoC()+1e-12 }
 func (b *Battery) floorSoC() float64 { return 1 - b.cfg.MaxDoD }
 
 // UsableEnergy returns the energy available above the DoD floor at the
-// rated (gentle) discharge rate; high-rate draws deliver less.
+// rated (gentle) discharge rate; high-rate draws deliver less. A faded
+// unit holds proportionally less.
 func (b *Battery) UsableEnergy() units.WattHour {
 	frac := b.soc - b.floorSoC()
 	if frac < 0 {
 		frac = 0
 	}
-	return units.WattHour(frac * float64(b.cfg.RatedEnergy()))
+	return units.WattHour(frac * b.capFade * float64(b.cfg.RatedEnergy()))
 }
 
 // RemainingTime returns how long the battery can sustain a constant
@@ -204,7 +256,7 @@ func (b *Battery) RemainingTime(p units.Watt) time.Duration {
 	if frac <= 0 {
 		return 0
 	}
-	full := b.cfg.TimeToEmpty(p)
+	full := b.timeToEmpty(p)
 	return time.Duration(frac * float64(full))
 }
 
@@ -238,7 +290,7 @@ func (b *Battery) Discharge(p units.Watt, d time.Duration) (time.Duration, error
 		took = sustain
 		err = ErrEmpty
 	}
-	full := b.cfg.TimeToEmpty(p)
+	full := b.timeToEmpty(p)
 	dropFrac := float64(took) / float64(full)
 	b.soc -= dropFrac
 	if b.soc < b.floorSoC() {
@@ -259,7 +311,8 @@ func (b *Battery) MaxSustainablePower(d time.Duration) units.Watt {
 	if b.AtFloor() {
 		return 0
 	}
-	if b.maxSust.ok && b.maxSust.soc == b.soc && b.maxSust.d == d {
+	if b.maxSust.ok && b.maxSust.soc == b.soc && b.maxSust.d == d &&
+		b.maxSust.capFade == b.capFade && b.maxSust.resist == b.resist {
 		return b.maxSust.val
 	}
 	lo, hi := 0.0, 100*float64(b.cfg.RatedEnergy()) // generous upper bound
@@ -271,7 +324,11 @@ func (b *Battery) MaxSustainablePower(d time.Duration) units.Watt {
 			hi = mid
 		}
 	}
-	b.maxSust = maxSustMemo{ok: true, soc: b.soc, d: d, val: units.Watt(lo)}
+	b.maxSust = maxSustMemo{
+		ok: true, soc: b.soc, d: d,
+		capFade: b.capFade, resist: b.resist,
+		val: units.Watt(lo),
+	}
 	return units.Watt(lo)
 }
 
@@ -287,12 +344,14 @@ func (b *Battery) Charge(p units.Watt, d time.Duration) units.WattHour {
 	}
 	in := p.Energy(d)
 	stored := float64(in) * b.cfg.ChargeEfficiency
-	room := (1 - b.soc) * float64(b.cfg.RatedEnergy())
+	// A faded unit has proportionally less room and fills faster.
+	cap := b.capFade * float64(b.cfg.RatedEnergy())
+	room := (1 - b.soc) * cap
 	if stored > room {
 		stored = room
 		in = units.WattHour(stored / b.cfg.ChargeEfficiency)
 	}
-	b.soc += stored / float64(b.cfg.RatedEnergy())
+	b.soc += stored / cap
 	if b.soc > 1 {
 		b.soc = 1
 	}

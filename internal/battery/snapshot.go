@@ -12,11 +12,24 @@ type Snapshot struct {
 	// DischargedAh is the cumulative discharged charge (rated-Ah
 	// equivalent) backing cycle accounting.
 	DischargedAh float64 `json:"discharged_ah"`
+	// CapacityFade and Resistance are the cumulative chaos-degradation
+	// multipliers. Both are omitted from the wire format while 1 (an
+	// undegraded unit), which keeps pre-degradation snapshots byte-
+	// compatible: Restore treats an absent (zero) value as 1.
+	CapacityFade float64 `json:"capacity_fade,omitempty"`
+	Resistance   float64 `json:"resistance,omitempty"`
 }
 
 // Snapshot captures the unit's mutable state.
 func (b *Battery) Snapshot() Snapshot {
-	return Snapshot{SoC: b.soc, DischargedAh: b.dischargedAh}
+	s := Snapshot{SoC: b.soc, DischargedAh: b.dischargedAh}
+	if b.capFade != 1 {
+		s.CapacityFade = b.capFade
+	}
+	if b.resist != 1 {
+		s.Resistance = b.resist
+	}
+	return s
 }
 
 // Restore replaces the unit's mutable state with a snapshot taken from
@@ -28,8 +41,26 @@ func (b *Battery) Restore(s Snapshot) error {
 	if s.DischargedAh < 0 || s.DischargedAh != s.DischargedAh {
 		return fmt.Errorf("battery: restore: negative discharged charge %v", s.DischargedAh)
 	}
+	fade, resist := s.CapacityFade, s.Resistance
+	if fade == 0 {
+		fade = 1
+	}
+	if resist == 0 {
+		resist = 1
+	}
+	if !(fade > 0 && fade <= 1) {
+		return fmt.Errorf("battery: restore: capacity fade %v outside (0,1]", fade)
+	}
+	if !(resist >= 1) {
+		return fmt.Errorf("battery: restore: resistance %v below 1", resist)
+	}
 	b.soc = s.SoC
 	b.dischargedAh = s.DischargedAh
+	b.capFade = fade
+	b.resist = resist
+	// Degradation (or its reversal, when rewinding to a pre-fault
+	// snapshot) changes the Peukert curve: drop any memoized answer.
+	b.maxSust = maxSustMemo{}
 	return nil
 }
 

@@ -1,0 +1,332 @@
+// Package chaos is GreenSprint's deterministic fault-injection
+// subsystem. The paper's prototype assumes every component is
+// reliable; a green datacenter is the opposite — PV inverters drop
+// out, transfer switches weld shut, VRLA strings fade, breakers
+// nuisance-trip and whole zones go dark. This package turns those
+// failure modes into a seeded, reproducible experiment: a Profile
+// describes weighted failure distributions, Resolve draws a concrete
+// per-epoch Schedule from a seeded generator *before the run starts*,
+// and an Injector replays that schedule epoch by epoch against the
+// simulation, ref-counting overlapping faults so recovery never
+// corrupts a component's state machine.
+//
+// Everything here is bit-deterministic by construction: the only
+// randomness is the explicitly seeded source consumed during Resolve,
+// the resolved Schedule is immutable, and the Injector's mutable
+// replay state ships a Snapshot/Restore pair so a chaos run
+// checkpoints, resumes and shards exactly like a fault-free one. The
+// package deliberately imports nothing outside the standard library —
+// component effects (knob resets, stuck selectors, battery fade) are
+// applied by the caller from the Actions the Injector emits.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Mode identifies one of the injectable failure modes.
+type Mode uint8
+
+const (
+	// ServerCrash takes one green server down; it restarts (into
+	// Normal mode) at the recovery epoch.
+	ServerCrash Mode = iota
+	// PSSStuck welds the power-source switch to the utility (source)
+	// side: servers stay grid-fed, the green bus cannot deliver, and
+	// sprinting is impossible until the switch is freed.
+	PSSStuck
+	// BatteryDegrade permanently fades one battery unit's capacity
+	// and raises its internal resistance (both feed the Peukert
+	// model). There is no recovery: chemistry does not heal.
+	BatteryDegrade
+	// SolarDropout takes the PV inverter offline: AC output is zero
+	// until the recovery epoch.
+	SolarDropout
+	// BreakerTrip is a nuisance trip: the PDU breaker opens without
+	// an overload and stays open until reclosed at recovery.
+	BreakerTrip
+	// ZoneOutage is the cascading failure: every server in one zone
+	// crashes and the zone's green feed drops with it. Resolve
+	// expands it into constituent ServerCrash and SolarDropout
+	// faults (marked Cascade) plus this parent marker.
+	ZoneOutage
+
+	numModes
+)
+
+// String implements fmt.Stringer with the stable names used in event
+// streams and profiles.
+func (m Mode) String() string {
+	switch m {
+	case ServerCrash:
+		return "server-crash"
+	case PSSStuck:
+		return "pss-stuck"
+	case BatteryDegrade:
+		return "battery-degrade"
+	case SolarDropout:
+		return "solar-dropout"
+	case BreakerTrip:
+		return "breaker-trip"
+	case ZoneOutage:
+		return "zone-outage"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Fault is one resolved injection: a failure mode striking a target
+// at a fixed epoch, with its recovery epoch and magnitudes all drawn
+// during Resolve. A Schedule's faults are immutable after resolution.
+type Fault struct {
+	// Epoch is the zero-based epoch index at which the fault strikes
+	// (processed at the start of that epoch's Step).
+	Epoch int `json:"epoch"`
+	// Mode is the failure mode.
+	Mode Mode `json:"mode"`
+	// Target is the mode's component index: the server for
+	// ServerCrash, the battery unit for BatteryDegrade, the zone for
+	// ZoneOutage; unused (0) for the other modes.
+	Target int `json:"target,omitempty"`
+	// Recover is the epoch at which the fault heals; 0 means
+	// permanent (recovery epochs are always > Epoch >= 0, so the
+	// zero value is unambiguous).
+	Recover int `json:"recover,omitempty"`
+	// Factor is the BatteryDegrade capacity-fade multiplier in
+	// (0,1); unused for other modes.
+	Factor float64 `json:"factor,omitempty"`
+	// Resist is the BatteryDegrade internal-resistance multiplier
+	// (> 1); unused for other modes.
+	Resist float64 `json:"resist,omitempty"`
+	// Cascade marks constituent faults expanded from a ZoneOutage.
+	Cascade bool `json:"cascade,omitempty"`
+}
+
+// String renders a human-readable one-liner for logs and event
+// details.
+func (f Fault) String() string {
+	s := fmt.Sprintf("%s", f.Mode)
+	switch f.Mode {
+	case ServerCrash:
+		s += fmt.Sprintf(" server %d", f.Target)
+	case BatteryDegrade:
+		s += fmt.Sprintf(" unit %d capacity x%.3f resistance x%.3f", f.Target, f.Factor, f.Resist)
+	case ZoneOutage:
+		s += fmt.Sprintf(" zone %d", f.Target)
+	}
+	if f.Recover > 0 {
+		s += fmt.Sprintf(" (epochs %d-%d)", f.Epoch, f.Recover)
+	} else {
+		s += fmt.Sprintf(" (epoch %d, permanent)", f.Epoch)
+	}
+	return s
+}
+
+// Schedule is a fully resolved failure timeline for one run: every
+// fault, target, magnitude and recovery drawn up front from the seed.
+// The same (profile, seed, topology) always resolves to the same
+// Schedule, which is what makes a chaos run replayable, shardable and
+// goldenable.
+type Schedule struct {
+	// Seed is the generator seed the timeline was drawn from.
+	Seed int64 `json:"seed"`
+	// Source is the profile spec the timeline was resolved from
+	// (provenance; not re-parsed).
+	Source string `json:"source,omitempty"`
+	// Epochs is the run horizon the timeline covers.
+	Epochs int `json:"epochs"`
+	// Servers and Units fingerprint the topology targets were drawn
+	// for (green servers and battery units).
+	Servers int `json:"servers"`
+	Units   int `json:"units"`
+	// Faults is the timeline, ordered by Epoch (ties keep draw
+	// order).
+	Faults []Fault `json:"faults"`
+}
+
+// zoneOf returns the zone partition for a server count: servers are
+// split into two contiguous zones (zone 0 gets the first half,
+// rounded up), matching a rack fed by two PDU legs.
+func zoneOf(servers, zone int) (lo, hi int) {
+	split := (servers + 1) / 2
+	if zone == 0 {
+		return 0, split
+	}
+	return split, servers
+}
+
+// NumZones is the zone count ZoneOutage draws targets from.
+const NumZones = 2
+
+// Resolve draws a concrete Schedule from the profile: for every epoch
+// and every profile entry (in fixed mode order) a Bernoulli trial
+// with per-epoch probability weight/epochs decides whether the mode
+// strikes, and targets, durations and magnitudes are drawn from the
+// same seeded generator. Resolution happens once, before the run;
+// nothing during the run consumes randomness.
+func (p Profile) Resolve(seed int64, epochs, servers, units int) (*Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if epochs < 0 {
+		return nil, fmt.Errorf("chaos: negative epoch horizon %d", epochs)
+	}
+	if servers < 1 {
+		return nil, fmt.Errorf("chaos: need at least one server, got %d", servers)
+	}
+	if units < 0 {
+		return nil, fmt.Errorf("chaos: negative battery unit count %d", units)
+	}
+	s := &Schedule{
+		Seed:    seed,
+		Source:  p.String(),
+		Epochs:  epochs,
+		Servers: servers,
+		Units:   units,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for epoch := 0; epoch < epochs; epoch++ {
+		for _, e := range p.Entries {
+			prob := e.Weight / float64(epochs)
+			if prob > 1 {
+				prob = 1
+			}
+			if rng.Float64() >= prob {
+				continue
+			}
+			s.draw(rng, e, epoch)
+		}
+	}
+	return s, nil
+}
+
+// draw materializes one fault of entry e at the given epoch,
+// appending it (and, for zone outages, its cascade constituents) to
+// the schedule.
+func (s *Schedule) draw(rng *rand.Rand, e Entry, epoch int) {
+	recover := func() int {
+		lo, hi := e.MinDur, e.MaxDur
+		if lo <= 0 {
+			lo, hi = defaultDuration(e.Mode)
+		}
+		if lo <= 0 {
+			return 0 // permanent (BatteryDegrade)
+		}
+		d := lo
+		if hi > lo {
+			d += rng.Intn(hi - lo + 1)
+		}
+		return epoch + d
+	}
+	switch e.Mode {
+	case ServerCrash:
+		s.Faults = append(s.Faults, Fault{
+			Epoch: epoch, Mode: ServerCrash,
+			Target: rng.Intn(s.Servers), Recover: recover(),
+		})
+	case PSSStuck:
+		s.Faults = append(s.Faults, Fault{Epoch: epoch, Mode: PSSStuck, Recover: recover()})
+	case BatteryDegrade:
+		if s.Units == 0 {
+			return // battery-less green config: nothing to degrade
+		}
+		s.Faults = append(s.Faults, Fault{
+			Epoch: epoch, Mode: BatteryDegrade,
+			Target: rng.Intn(s.Units),
+			Factor: 0.70 + 0.25*rng.Float64(), // capacity fades to 70-95%
+			Resist: 1.05 + 0.45*rng.Float64(), // resistance rises 5-50%
+		})
+	case SolarDropout:
+		s.Faults = append(s.Faults, Fault{Epoch: epoch, Mode: SolarDropout, Recover: recover()})
+	case BreakerTrip:
+		s.Faults = append(s.Faults, Fault{Epoch: epoch, Mode: BreakerTrip, Recover: recover()})
+	case ZoneOutage:
+		zone := rng.Intn(NumZones)
+		rec := recover()
+		s.Faults = append(s.Faults, Fault{Epoch: epoch, Mode: ZoneOutage, Target: zone, Recover: rec})
+		lo, hi := zoneOf(s.Servers, zone)
+		for srv := lo; srv < hi; srv++ {
+			s.Faults = append(s.Faults, Fault{
+				Epoch: epoch, Mode: ServerCrash,
+				Target: srv, Recover: rec, Cascade: true,
+			})
+		}
+		// The zone's PDU leg carries the green feed: losing the zone
+		// drops the inverter attachment with it.
+		s.Faults = append(s.Faults, Fault{
+			Epoch: epoch, Mode: SolarDropout, Recover: rec, Cascade: true,
+		})
+	}
+}
+
+// defaultDuration returns a mode's default recovery-delay range in
+// epochs (0,0 = permanent).
+func defaultDuration(m Mode) (lo, hi int) {
+	switch m {
+	case ServerCrash:
+		return 2, 6
+	case PSSStuck:
+		return 2, 5
+	case SolarDropout:
+		return 1, 8
+	case BreakerTrip:
+		return 1, 4
+	case ZoneOutage:
+		return 2, 4
+	default: // BatteryDegrade: permanent
+		return 0, 0
+	}
+}
+
+// Validate reports structural errors in a resolved schedule (used
+// when a schedule arrives from a fixture file rather than Resolve).
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return fmt.Errorf("chaos: nil schedule")
+	}
+	if s.Servers < 1 {
+		return fmt.Errorf("chaos: schedule has %d servers", s.Servers)
+	}
+	if s.Units < 0 || s.Epochs < 0 {
+		return fmt.Errorf("chaos: negative units (%d) or epochs (%d)", s.Units, s.Epochs)
+	}
+	prev := 0
+	for i, f := range s.Faults {
+		if f.Epoch < prev {
+			return fmt.Errorf("chaos: fault %d out of epoch order (%d after %d)", i, f.Epoch, prev)
+		}
+		prev = f.Epoch
+		if f.Recover != 0 && f.Recover <= f.Epoch {
+			return fmt.Errorf("chaos: fault %d recovers at %d, not after epoch %d", i, f.Recover, f.Epoch)
+		}
+		switch f.Mode {
+		case ServerCrash:
+			if f.Target < 0 || f.Target >= s.Servers {
+				return fmt.Errorf("chaos: fault %d targets server %d of %d", i, f.Target, s.Servers)
+			}
+			if f.Recover == 0 {
+				return fmt.Errorf("chaos: fault %d: server crash without restart", i)
+			}
+		case BatteryDegrade:
+			if f.Target < 0 || f.Target >= s.Units {
+				return fmt.Errorf("chaos: fault %d targets battery unit %d of %d", i, f.Target, s.Units)
+			}
+			if !(f.Factor > 0 && f.Factor <= 1) {
+				return fmt.Errorf("chaos: fault %d capacity-fade factor %v outside (0,1]", i, f.Factor)
+			}
+			if f.Resist < 1 {
+				return fmt.Errorf("chaos: fault %d resistance factor %v below 1", i, f.Resist)
+			}
+		case PSSStuck, SolarDropout, BreakerTrip:
+			// No target.
+		case ZoneOutage:
+			if f.Target < 0 || f.Target >= NumZones {
+				return fmt.Errorf("chaos: fault %d targets zone %d of %d", i, f.Target, NumZones)
+			}
+		default:
+			return fmt.Errorf("chaos: fault %d has unknown mode %d", i, f.Mode)
+		}
+	}
+	return nil
+}

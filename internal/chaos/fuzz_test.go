@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSchedule fuzzes the profile parser and the seed→timeline
+// resolution for panics, and checks the package's standing invariants
+// on whatever parses: same seed ⇒ same timeline, resolved schedules
+// validate, and replaying the timeline — including through a mid-run
+// snapshot/restore — never drives a component's ref-counted state
+// machine negative, even with overlapping faults on one component.
+func FuzzSchedule(f *testing.F) {
+	f.Add("crash=2,solar=1.5:3-6", int64(1), 20, 3, 3)
+	f.Add("heavy", int64(42), 50, 4, 4)
+	f.Add("light", int64(-7), 17, 2, 0)
+	f.Add("zone=5,stuck=1", int64(9), 30, 5, 2)
+	f.Add("degrade=3", int64(3), 25, 1, 6)
+	f.Add("breaker=2:1-1", int64(0), 10, 16, 1)
+	f.Fuzz(func(t *testing.T, spec string, seed int64, epochs, servers, units int) {
+		// Bound the topology so a fuzzed int cannot turn into an
+		// enormous allocation; the parser itself takes spec verbatim.
+		epochs = clamp(epochs, 0, 120)
+		servers = clamp(servers, 1, 16)
+		units = clamp(units, 0, 8)
+
+		p, err := ParseProfile(spec)
+		if err != nil {
+			return // malformed spec: rejection is the correct outcome
+		}
+		s1, err := p.Resolve(seed, epochs, servers, units)
+		if err != nil {
+			t.Fatalf("parsed profile %q failed to resolve: %v", spec, err)
+		}
+		s2, err := p.Resolve(seed, epochs, servers, units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j1, _ := json.Marshal(s1)
+		j2, _ := json.Marshal(s2)
+		if string(j1) != string(j2) {
+			t.Fatalf("same seed resolved differently:\n%s\n%s", j1, j2)
+		}
+		if err := s1.Validate(); err != nil {
+			t.Fatalf("resolved schedule invalid: %v", err)
+		}
+
+		in, err := NewInjector(s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewInjector(s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Replay past the horizon so every recoverable fault heals,
+		// snapshotting/restoring `in` halfway through.
+		last := epochs
+		for _, fl := range s1.Faults {
+			if fl.Recover > last {
+				last = fl.Recover
+			}
+		}
+		mid := last / 2
+		for epoch := 0; epoch <= last; epoch++ {
+			if epoch == mid {
+				snap := in.Snapshot()
+				fresh, err := NewInjector(s1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fresh.Restore(snap); err != nil {
+					t.Fatalf("epoch %d: snapshot did not restore: %v", epoch, err)
+				}
+				in = fresh
+			}
+			a := ref.Advance(epoch)
+			b := in.Advance(epoch)
+			ja, _ := json.Marshal(a)
+			jb, _ := json.Marshal(b)
+			if string(ja) != string(jb) {
+				t.Fatalf("epoch %d: restored replay diverged", epoch)
+			}
+			checkInvariants(t, epoch, in, servers)
+		}
+		// All recoverable faults healed: only permanent effects remain.
+		if in.Stuck() || in.BreakerForced() || in.SolarFactor() != 1 {
+			t.Fatalf("transient faults survive past their recovery: %+v", in.Snapshot())
+		}
+		if in.AliveServers() != servers {
+			t.Fatalf("%d of %d servers alive after all recoveries", in.AliveServers(), servers)
+		}
+	})
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// checkInvariants asserts the injector's state machine never corrupts:
+// ref-counts non-negative, aggregates within range.
+func checkInvariants(t *testing.T, epoch int, in *Injector, servers int) {
+	t.Helper()
+	snap := in.Snapshot()
+	for i, d := range snap.Down {
+		if d < 0 {
+			t.Fatalf("epoch %d: server %d ref-count %d", epoch, i, d)
+		}
+	}
+	if snap.Stuck < 0 || snap.Breaker < 0 || snap.Solar < 0 {
+		t.Fatalf("epoch %d: negative ref-count: %+v", epoch, snap)
+	}
+	if alive := in.AliveServers(); alive < 0 || alive > servers {
+		t.Fatalf("epoch %d: AliveServers = %d of %d", epoch, alive, servers)
+	}
+	for i, fl := range snap.Active {
+		if fl.Recover != 0 && fl.Recover <= epoch {
+			t.Fatalf("epoch %d: active fault %d should have recovered at %d", epoch, i, fl.Recover)
+		}
+	}
+}

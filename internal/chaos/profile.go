@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Entry is one weighted failure distribution in a Profile: Weight is
+// the expected number of injections of Mode over the whole run (the
+// resolver turns it into a per-epoch Bernoulli probability), and
+// MinDur/MaxDur optionally override the mode's default recovery-delay
+// range in epochs (0 means "use the default").
+type Entry struct {
+	Mode   Mode
+	Weight float64
+	MinDur int
+	MaxDur int
+}
+
+// Profile is a set of weighted failure distributions, one entry per
+// mode at most, in fixed mode order. The zero Profile injects
+// nothing.
+type Profile struct {
+	Entries []Entry
+}
+
+// profileKeys maps the short spec keys to modes (and back, via
+// keyOf). These are the knobs exposed on -chaos-profile.
+var profileKeys = [numModes]string{
+	ServerCrash:    "crash",
+	PSSStuck:       "stuck",
+	BatteryDegrade: "degrade",
+	SolarDropout:   "solar",
+	BreakerTrip:    "breaker",
+	ZoneOutage:     "zone",
+}
+
+func keyOf(m Mode) string {
+	if int(m) < len(profileKeys) {
+		return profileKeys[m]
+	}
+	return m.String()
+}
+
+// namedProfiles are the built-in presets selectable by bare name.
+// "light" sprinkles a couple of transient faults over a run; "heavy"
+// exercises every mode including a cascading zone outage.
+func namedProfiles(name string) (Profile, bool) {
+	switch name {
+	case "light":
+		return Profile{Entries: []Entry{
+			{Mode: ServerCrash, Weight: 1},
+			{Mode: SolarDropout, Weight: 1},
+		}}, true
+	case "heavy":
+		return Profile{Entries: []Entry{
+			{Mode: ServerCrash, Weight: 2},
+			{Mode: PSSStuck, Weight: 1},
+			{Mode: BatteryDegrade, Weight: 1},
+			{Mode: SolarDropout, Weight: 2},
+			{Mode: BreakerTrip, Weight: 1},
+			{Mode: ZoneOutage, Weight: 1},
+		}}, true
+	}
+	return Profile{}, false
+}
+
+// ParseProfile parses a profile spec. A spec is either a preset name
+// ("light", "heavy") or a comma-separated list of key=weight pairs
+// with an optional :MIN-MAX recovery-delay override in epochs:
+//
+//	crash=2,solar=1.5:3-6,degrade=1
+//
+// means "expect two server crashes and one battery degradation over
+// the run, plus 1.5 solar dropouts each lasting 3-6 epochs". Keys are
+// crash, stuck, degrade, solar, breaker, zone. Parsing never panics;
+// malformed specs return an error (this is the fuzz surface).
+func ParseProfile(spec string) (Profile, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Profile{}, fmt.Errorf("chaos: empty profile spec")
+	}
+	if p, ok := namedProfiles(spec); ok {
+		return p, nil
+	}
+	var seen [numModes]bool
+	var p Profile
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Profile{}, fmt.Errorf("chaos: empty entry in profile spec %q", spec)
+		}
+		key, rest, ok := strings.Cut(part, "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("chaos: entry %q is not key=weight", part)
+		}
+		mode := numModes
+		for m, k := range profileKeys {
+			if key == k {
+				mode = Mode(m)
+				break
+			}
+		}
+		if mode == numModes {
+			return Profile{}, fmt.Errorf("chaos: unknown failure mode key %q", key)
+		}
+		if seen[mode] {
+			return Profile{}, fmt.Errorf("chaos: duplicate entry for %q", key)
+		}
+		seen[mode] = true
+		e := Entry{Mode: mode}
+		weightStr, durStr, hasDur := strings.Cut(rest, ":")
+		w, err := strconv.ParseFloat(weightStr, 64)
+		if err != nil {
+			return Profile{}, fmt.Errorf("chaos: entry %q: bad weight: %v", part, err)
+		}
+		e.Weight = w
+		if hasDur {
+			loStr, hiStr, ok := strings.Cut(durStr, "-")
+			if !ok {
+				return Profile{}, fmt.Errorf("chaos: entry %q: duration must be MIN-MAX", part)
+			}
+			if e.MinDur, err = strconv.Atoi(loStr); err != nil {
+				return Profile{}, fmt.Errorf("chaos: entry %q: bad min duration: %v", part, err)
+			}
+			if e.MaxDur, err = strconv.Atoi(hiStr); err != nil {
+				return Profile{}, fmt.Errorf("chaos: entry %q: bad max duration: %v", part, err)
+			}
+		}
+		p.Entries = append(p.Entries, e)
+	}
+	// Canonicalize to fixed mode order so equivalent specs resolve to
+	// the same timeline regardless of how the user ordered the keys.
+	ordered := make([]Entry, 0, len(p.Entries))
+	for m := Mode(0); m < numModes; m++ {
+		for _, e := range p.Entries {
+			if e.Mode == m {
+				ordered = append(ordered, e)
+			}
+		}
+	}
+	p.Entries = ordered
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// Validate reports structural errors in the profile.
+func (p Profile) Validate() error {
+	var seen [numModes]bool
+	prev := Mode(0)
+	for i, e := range p.Entries {
+		if e.Mode >= numModes {
+			return fmt.Errorf("chaos: entry %d has unknown mode %d", i, e.Mode)
+		}
+		if seen[e.Mode] {
+			return fmt.Errorf("chaos: duplicate entry for %s", e.Mode)
+		}
+		if i > 0 && e.Mode < prev {
+			return fmt.Errorf("chaos: entries out of mode order at %d (%s after %s)", i, e.Mode, prev)
+		}
+		seen[e.Mode] = true
+		prev = e.Mode
+		if !(e.Weight >= 0) || e.Weight > 1e6 {
+			return fmt.Errorf("chaos: %s weight %v outside [0, 1e6]", e.Mode, e.Weight)
+		}
+		if e.MinDur < 0 || e.MaxDur < 0 {
+			return fmt.Errorf("chaos: %s has negative duration bound", e.Mode)
+		}
+		if e.MinDur > 0 && e.MaxDur < e.MinDur {
+			return fmt.Errorf("chaos: %s duration range %d-%d inverted", e.Mode, e.MinDur, e.MaxDur)
+		}
+		if e.Mode == BatteryDegrade && e.MinDur > 0 {
+			return fmt.Errorf("chaos: battery degradation is permanent; no duration override")
+		}
+	}
+	return nil
+}
+
+// String renders the profile back in spec syntax (canonical mode
+// order), suitable for Schedule.Source provenance.
+func (p Profile) String() string {
+	var b strings.Builder
+	for i, e := range p.Entries {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", keyOf(e.Mode), strconv.FormatFloat(e.Weight, 'g', -1, 64))
+		if e.MinDur > 0 {
+			fmt.Fprintf(&b, ":%d-%d", e.MinDur, e.MaxDur)
+		}
+	}
+	return b.String()
+}

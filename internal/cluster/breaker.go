@@ -74,10 +74,19 @@ func (b *Breaker) Step(draw units.Watt, dt time.Duration) bool {
 	return b.tripped
 }
 
-// Reset closes the breaker and clears the thermal state.
+// Reset closes the breaker and clears the thermal state (a technician
+// reclose: it recovers nuisance trips and organic thermal trips alike).
 func (b *Breaker) Reset() {
 	b.stress = 0
 	b.tripped = false
+}
+
+// ForceTrip opens the breaker immediately regardless of load — the
+// chaos nuisance trip. The thermal state saturates so a snapshot of a
+// forced-open breaker restores as tripped.
+func (b *Breaker) ForceTrip() {
+	b.stress = 1
+	b.tripped = true
 }
 
 // BreakerSnapshot is the serializable thermal state of a breaker; the

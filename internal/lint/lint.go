@@ -44,6 +44,7 @@ const ModulePath = "greensprint"
 // the global math/rand source and unordered map iteration are
 // forbidden (rules nondeterm and maprange).
 var DeterministicPackages = map[string]bool{
+	ModulePath + "/internal/chaos":       true,
 	ModulePath + "/internal/sim":         true,
 	ModulePath + "/internal/strategy":    true,
 	ModulePath + "/internal/battery":     true,
@@ -68,6 +69,7 @@ var DeterministicPackages = map[string]bool{
 // lives one layer up, in the sweep worker pool. A go statement here is
 // a data race waiting for a scheduler change (rule nogoroutine).
 var StepGraphPackages = map[string]bool{
+	ModulePath + "/internal/chaos":     true,
 	ModulePath + "/internal/sim":       true,
 	ModulePath + "/internal/strategy":  true,
 	ModulePath + "/internal/battery":   true,

@@ -73,6 +73,16 @@ type Event struct {
 	BatteryCycles float64 `json:"battery_cycles,omitempty"`
 	BreakerStress float64 `json:"breaker_stress,omitempty"`
 	QoSViolation  bool    `json:"qos_violation,omitempty"`
+
+	// Chaos transitions. A fault injection or recovery is emitted as
+	// its own event line (Chaos "fault" or "recover") ahead of the
+	// epoch record it strikes in; epoch records themselves leave these
+	// empty, so fault-free streams are byte-identical to pre-chaos
+	// ones.
+	Chaos       string `json:"chaos,omitempty"`
+	ChaosMode   string `json:"chaos_mode,omitempty"`
+	ChaosTarget int    `json:"chaos_target,omitempty"`
+	ChaosDetail string `json:"chaos_detail,omitempty"`
 }
 
 // Sink receives one Event per scheduling epoch. Implementations must

@@ -188,6 +188,34 @@ func (f *Fleet) ApplyAll(c server.Config) error {
 	return firstErr
 }
 
+// Apply applies a config to server i only — used when servers diverge,
+// e.g. a chaos crash forcing one server to Normal while the rest keep
+// sprinting.
+func (f *Fleet) Apply(i int, c server.Config) error {
+	if i < 0 || i >= len(f.knobs) {
+		return fmt.Errorf("pmk: apply: server %d of %d", i, len(f.knobs))
+	}
+	return f.knobs[i].Apply(c)
+}
+
+// ApplyAlive applies the same config to every server whose index is
+// not reported down, returning the first error (remaining knobs are
+// still attempted). Crashed servers keep their last setting: there is
+// nothing to actuate on a powered-off machine, and counting phantom
+// transitions would corrupt the actuation accounting.
+func (f *Fleet) ApplyAlive(c server.Config, down func(i int) bool) error {
+	var firstErr error
+	for i, k := range f.knobs {
+		if down != nil && down(i) {
+			continue
+		}
+		if err := k.Apply(c); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Configs returns the current config of every server.
 func (f *Fleet) Configs() []server.Config {
 	out := make([]server.Config, len(f.knobs))

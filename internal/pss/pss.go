@@ -76,6 +76,12 @@ type Selector struct {
 	bank *battery.Bank
 	pred *predictor.EWMA
 	acct cluster.EnergyAccount
+	// stuck models a transfer switch welded to the utility (source)
+	// side: the green bus cannot deliver to the servers, so every
+	// epoch is grid-fed Normal mode until the switch is freed. The
+	// PV feed stays on the green bus, so battery charging from green
+	// surplus continues.
+	stuck bool
 }
 
 // New creates a Selector over a battery bank with the paper's EWMA
@@ -91,6 +97,12 @@ func (s *Selector) Bank() *battery.Bank { return s.bank }
 // Account returns the cumulative energy accounting.
 func (s *Selector) Account() cluster.EnergyAccount { return s.acct }
 
+// SetStuck forces (or releases) the stuck-at-source failure mode.
+func (s *Selector) SetStuck(stuck bool) { s.stuck = stuck }
+
+// Stuck reports whether the switch is currently welded to the source.
+func (s *Selector) Stuck() bool { return s.stuck }
+
 // ObserveSupply feeds the renewable production measured over the epoch
 // that just ended (Eq. 1's Obs(t)).
 func (s *Selector) ObserveSupply(w units.Watt) { s.pred.Observe(float64(w)) }
@@ -103,15 +115,22 @@ func (s *Selector) PredictedSupply() units.Watt {
 
 // BatterySustainable returns the aggregate power the battery bank can
 // hold for the given horizon without breaching its DoD floors —
-// BattSupp in the paper, recomputed Peukert-aware each epoch.
+// BattSupp in the paper, recomputed Peukert-aware each epoch. A stuck
+// switch disconnects the bank from the servers, so it contributes 0.
 func (s *Selector) BatterySustainable(horizon time.Duration) units.Watt {
+	if s.stuck {
+		return 0
+	}
 	return s.bank.MaxSustainablePower(horizon)
 }
 
 // AvailablePower returns PowerSupp(t) = RESupp(t) + BattSupp(t): the
 // total power the green bus can commit for the next epoch of the given
-// length.
+// length. A stuck switch can commit nothing.
 func (s *Selector) AvailablePower(horizon time.Duration) units.Watt {
+	if s.stuck {
+		return 0
+	}
 	return s.PredictedSupply() + s.BatterySustainable(horizon)
 }
 
@@ -121,6 +140,12 @@ func (s *Selector) AvailablePower(horizon time.Duration) units.Watt {
 // the Peukert-limited fraction before the battery floor ends the
 // sprint.
 func (s *Selector) SustainFraction(demand, green units.Watt, epoch time.Duration) float64 {
+	if s.stuck {
+		if demand <= 0 {
+			return 1
+		}
+		return 0
+	}
 	if demand <= green {
 		return 1
 	}
@@ -138,6 +163,9 @@ func (s *Selector) SustainFraction(demand, green units.Watt, epoch time.Duration
 // green supply, given the battery's current ability to cover the
 // shortfall for the epoch.
 func (s *Selector) Classify(demand, green units.Watt, epoch time.Duration) Case {
+	if s.stuck {
+		return CaseGridFallback
+	}
 	if green >= demand {
 		return CaseGreenOnly
 	}
@@ -189,6 +217,19 @@ func (s *Selector) Allocate(demand, green units.Watt, epoch time.Duration, gridF
 	}
 	if green < 0 {
 		green = 0
+	}
+	if s.stuck {
+		// Welded to the utility side: the whole epoch runs grid-fed
+		// Normal mode. The PV feed still reaches the batteries, so
+		// green output is banked rather than lost.
+		al := Allocation{Case: CaseGridFallback, Grid: gridFallback}
+		if green > 0 {
+			in := s.bank.Charge(green, epoch)
+			al.Charged = in.Power(epoch)
+			s.acct.GreenCharged += in
+		}
+		s.acct.Grid += al.Grid.Energy(epoch)
+		return al
 	}
 	greenUsed := green
 	if greenUsed > demand {
@@ -305,6 +346,9 @@ type SelectorSnapshot struct {
 	Bank      battery.BankSnapshot   `json:"bank"`
 	Predictor predictor.EWMASnapshot `json:"predictor"`
 	Account   cluster.EnergyAccount  `json:"account"`
+	// Stuck is the chaos stuck-at-source flag; omitted while false so
+	// fault-free snapshots keep their pre-chaos wire format.
+	Stuck bool `json:"stuck,omitempty"`
 }
 
 // Snapshot captures the selector's mutable state.
@@ -313,6 +357,7 @@ func (s *Selector) Snapshot() SelectorSnapshot {
 		Bank:      s.bank.Snapshot(),
 		Predictor: s.pred.Snapshot(),
 		Account:   s.acct,
+		Stuck:     s.stuck,
 	}
 }
 
@@ -326,5 +371,6 @@ func (s *Selector) Restore(snap SelectorSnapshot) error {
 		return fmt.Errorf("pss: %w", err)
 	}
 	s.acct = snap.Account
+	s.stuck = snap.Stuck
 	return nil
 }

@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"greensprint/internal/chaos"
+	"greensprint/internal/obs"
+	"greensprint/internal/pss"
+)
+
+// chaosModeCases enumerates the six failure modes with a single-mode
+// profile spec each; the per-mode tests below iterate it.
+var chaosModeCases = []struct {
+	name string
+	spec string
+	mode chaos.Mode
+}{
+	{"server-crash", "crash=5", chaos.ServerCrash},
+	{"pss-stuck", "stuck=5", chaos.PSSStuck},
+	{"battery-degrade", "degrade=5", chaos.BatteryDegrade},
+	{"solar-dropout", "solar=5:2-4", chaos.SolarDropout},
+	{"breaker-trip", "breaker=5", chaos.BreakerTrip},
+	{"zone-outage", "zone=5", chaos.ZoneOutage},
+}
+
+// findChaosSchedule resolves the profile under successive seeds until
+// the timeline contains a fault of the wanted mode that (a) strikes a
+// few epochs in, (b) is still active one epoch later — so a checkpoint
+// cut there is genuinely mid-failure — and (c) recovers before the run
+// ends when the mode recovers at all. The search is deterministic, so
+// the chosen seed (and therefore the timeline) is stable across runs.
+func findChaosSchedule(t *testing.T, spec string, mode chaos.Mode, total int) (*chaos.Schedule, int) {
+	t.Helper()
+	p, err := chaos.ParseProfile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ckptConfig's RE-Batt rack: 3 green servers, one battery unit
+	// per server.
+	for seed := int64(1); seed < 1000; seed++ {
+		s, err := p.Resolve(seed, total, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range s.Faults {
+			if f.Mode != mode || f.Cascade {
+				continue
+			}
+			if f.Epoch < 1 || f.Epoch > total-4 {
+				continue
+			}
+			if f.Recover != 0 && (f.Recover < f.Epoch+2 || f.Recover > total-1) {
+				continue
+			}
+			return s, f.Epoch
+		}
+	}
+	t.Fatalf("no seed under 1000 yields a usable %v fault", mode)
+	return nil, 0
+}
+
+// chaosCfg builds a fresh ckptConfig carrying the schedule (fresh
+// strategy instance per call; the schedule itself is immutable and
+// safely shared across engines).
+func chaosCfg(t *testing.T, sched *chaos.Schedule, mode chaos.Mode) Config {
+	t.Helper()
+	cfg := ckptConfig(t)
+	cfg.Chaos = sched
+	// The breaker mode needs a breaker to trip.
+	if mode == chaos.BreakerTrip {
+		cfg.AllowBreakerOverdraw = true
+	}
+	return cfg
+}
+
+// TestChaosCheckpointRoundTrip is the per-mode resilience round-trip:
+// inject the fault, cut a checkpoint one epoch into the failure, send
+// it through JSON, restore into a fresh engine, and demand the
+// remaining epochs be bit-identical to the uninterrupted chaos run.
+// ckptConfig runs the Q-learning Hybrid, so the server-crash case also
+// proves the Q-table survives a crash-recovery cycle across the
+// checkpoint boundary.
+func TestChaosCheckpointRoundTrip(t *testing.T) {
+	probe := mustNew(t, ckptConfig(t))
+	total := probe.TotalEpochs()
+	for _, tc := range chaosModeCases {
+		t.Run(tc.name, func(t *testing.T) {
+			sched, faultEpoch := findChaosSchedule(t, tc.spec, tc.mode, total)
+			ref := mustRunAll(t, mustNew(t, chaosCfg(t, sched, tc.mode)))
+
+			e := mustNew(t, chaosCfg(t, sched, tc.mode))
+			stopAt := faultEpoch + 1 // one epoch into the failure
+			for i := 0; i < stopAt; i++ {
+				if _, _, err := e.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cp, err := e.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp.Chaos == nil {
+				t.Fatal("chaos run checkpointed without injector state")
+			}
+			if tc.mode != chaos.BatteryDegrade && len(cp.Chaos.Active) == 0 {
+				t.Fatalf("checkpoint at epoch %d is not mid-failure: %+v", stopAt, cp.Chaos)
+			}
+			b, err := cp.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp2, err := DecodeCheckpoint(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := mustNew(t, chaosCfg(t, sched, tc.mode))
+			if err := fresh.Restore(cp2); err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, ref, mustRunAll(t, fresh))
+		})
+	}
+}
+
+// TestChaosTopologyMismatch pins the schedule/config fingerprint: a
+// timeline resolved for a different rack must not run.
+func TestChaosTopologyMismatch(t *testing.T) {
+	p, err := chaos.ParseProfile("crash=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongServers, err := p.Resolve(1, 10, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ckptConfig(t)
+	cfg.Chaos = wrongServers
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "servers") {
+		t.Errorf("New with 5-server schedule = %v, want servers error", err)
+	}
+	wrongUnits, err := p.Resolve(1, 10, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = ckptConfig(t)
+	cfg.Chaos = wrongUnits
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "battery units") {
+		t.Errorf("New with 5-unit schedule = %v, want units error", err)
+	}
+}
+
+// TestChaosCheckpointPresenceMismatch verifies a chaos checkpoint and
+// a fault-free engine (and vice versa) refuse to mix.
+func TestChaosCheckpointPresenceMismatch(t *testing.T) {
+	sched, _ := findChaosSchedule(t, "solar=5", chaos.SolarDropout, mustNew(t, ckptConfig(t)).TotalEpochs())
+	chaotic := mustNew(t, chaosCfg(t, sched, chaos.SolarDropout))
+	plain := mustNew(t, ckptConfig(t))
+
+	cp, err := chaotic.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Restore(cp); err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Errorf("plain engine accepted chaos checkpoint: %v", err)
+	}
+	cp2, err := plain.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chaotic.Restore(cp2); err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Errorf("chaos engine accepted fault-free checkpoint: %v", err)
+	}
+}
+
+// TestChaosEventStream checks the stream shape of a chaos run: every
+// fault and recovery appears as its own "chaos" line stamped with the
+// epoch it strikes in, ahead of that epoch's record; epoch records
+// still number exactly TotalEpochs and stay chaos-field-free.
+func TestChaosEventStream(t *testing.T) {
+	sched, faultEpoch := findChaosSchedule(t, "solar=5:2-4", chaos.SolarDropout,
+		mustNew(t, ckptConfig(t)).TotalEpochs())
+	cfg := chaosCfg(t, sched, chaos.SolarDropout)
+	var buf bytes.Buffer
+	cfg.Sink = obs.NewJSONL(&buf)
+	mustRunAll(t, mustNew(t, cfg))
+
+	var (
+		epochLines int
+		faults     int
+		recovers   int
+		lastEpoch  = -1
+	)
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Chaos {
+		case "":
+			if ev.Epoch != lastEpoch+1 {
+				t.Errorf("epoch record %d follows %d", ev.Epoch, lastEpoch)
+			}
+			lastEpoch = ev.Epoch
+			epochLines++
+		case "fault", "recover":
+			// Chaos lines precede the record of the epoch they strike
+			// in: that epoch's record has not been emitted yet.
+			if ev.Epoch != lastEpoch+1 {
+				t.Errorf("chaos line for epoch %d arrived after record %d", ev.Epoch, lastEpoch)
+			}
+			if ev.ChaosMode != "solar-dropout" || ev.ChaosDetail == "" || ev.Time == "" {
+				t.Errorf("malformed chaos line: %+v", ev)
+			}
+			if ev.Chaos == "fault" {
+				faults++
+			} else {
+				recovers++
+			}
+		default:
+			t.Errorf("unknown chaos kind %q", ev.Chaos)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := mustNew(t, ckptConfig(t)).TotalEpochs(); epochLines != want {
+		t.Errorf("epoch records = %d, want %d", epochLines, want)
+	}
+	if faults == 0 || recovers == 0 {
+		t.Errorf("stream has %d faults, %d recoveries; want both (fault at epoch %d)",
+			faults, recovers, faultEpoch)
+	}
+}
+
+// TestChaosStuckForcesGridFallback pins the stuck-at-source semantics
+// at the engine level: while the switch is welded, burst epochs run
+// grid-fed Normal mode with no battery contribution and no sprinting.
+func TestChaosStuckForcesGridFallback(t *testing.T) {
+	total := mustNew(t, ckptConfig(t)).TotalEpochs()
+	sched, faultEpoch := findChaosSchedule(t, "stuck=5", chaos.PSSStuck, total)
+	var recover int
+	for _, f := range sched.Faults {
+		if f.Mode == chaos.PSSStuck && f.Epoch == faultEpoch {
+			recover = f.Recover
+		}
+	}
+	res := mustRunAll(t, mustNew(t, chaosCfg(t, sched, chaos.PSSStuck)))
+	checked := 0
+	for i := faultEpoch; i < recover && i < len(res.Records); i++ {
+		rec := res.Records[i]
+		if !rec.InBurst {
+			continue
+		}
+		checked++
+		if rec.Case != pss.CaseGridFallback {
+			t.Errorf("stuck epoch %d: case %v, want grid-fallback", i, rec.Case)
+		}
+		if rec.Battery != 0 || rec.SprintFraction != 0 {
+			t.Errorf("stuck epoch %d: battery %v, sprint fraction %v; want 0, 0",
+				i, rec.Battery, rec.SprintFraction)
+		}
+	}
+	if checked == 0 {
+		t.Skipf("stuck window [%d,%d) missed the burst; widen the search", faultEpoch, recover)
+	}
+}
+
+// TestChaosFullOutage crashes every server at once: the rack serves
+// nothing (zero goodput, zero draw) and comes back when the servers
+// restart, and the run stays deterministic across repeats.
+func TestChaosFullOutage(t *testing.T) {
+	sched := &chaos.Schedule{
+		Seed: 99, Epochs: 10, Servers: 3, Units: 3,
+		Faults: []chaos.Fault{
+			{Epoch: 3, Mode: chaos.ServerCrash, Target: 0, Recover: 6},
+			{Epoch: 3, Mode: chaos.ServerCrash, Target: 1, Recover: 6},
+			{Epoch: 3, Mode: chaos.ServerCrash, Target: 2, Recover: 6},
+		},
+	}
+	cfg := ckptConfig(t)
+	cfg.Chaos = sched
+	res := mustRunAll(t, mustNew(t, cfg))
+	for i := 3; i < 6; i++ {
+		rec := res.Records[i]
+		if rec.Goodput != 0 || rec.Grid != 0 || rec.Battery != 0 {
+			t.Errorf("outage epoch %d: goodput %v grid %v battery %v; want all 0",
+				i, rec.Goodput, rec.Grid, rec.Battery)
+		}
+		if rec.Case != pss.CaseGridFallback {
+			t.Errorf("outage epoch %d: case %v", i, rec.Case)
+		}
+	}
+	if rec := res.Records[6]; rec.Goodput == 0 {
+		t.Errorf("epoch 6 (post-restart) still serves nothing: %+v", rec)
+	}
+	cfg2 := ckptConfig(t)
+	cfg2.Chaos = sched
+	assertSameResult(t, res, mustRunAll(t, mustNew(t, cfg2)))
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"greensprint/internal/atomicfile"
+	"greensprint/internal/chaos"
 	"greensprint/internal/cluster"
 	"greensprint/internal/pmk"
 	"greensprint/internal/predictor"
@@ -15,10 +16,12 @@ import (
 
 // CheckpointVersion is the format version written into every
 // Checkpoint; Restore rejects any other version so stale files fail
-// loudly instead of silently corrupting a resumed run. Version 2 adds
-// the StrategyName fingerprint; DecodeCheckpoint transparently
-// migrates version-1 files (see migrateV1).
-const CheckpointVersion = 2
+// loudly instead of silently corrupting a resumed run. Version 2 added
+// the StrategyName fingerprint; version 3 adds the chaos injector's
+// replay state (plus per-component degradation fields that older
+// decoders would silently drop). DecodeCheckpoint transparently
+// migrates version-1 and version-2 files (see migrateV1/migrateV2).
+const CheckpointVersion = 3
 
 // Checkpoint is the complete serializable state of an Engine between
 // two epochs: every stateful layer's snapshot (battery bank, PSS,
@@ -49,6 +52,10 @@ type Checkpoint struct {
 	// strategies; the rl-backed Hybrid persists its Q-table, which
 	// pins the knob space).
 	Strategy json.RawMessage `json:"strategy,omitempty"`
+	// Chaos is the fault injector's replay state (v3+); present
+	// exactly when the run has a chaos schedule. Restore rejects a
+	// checkpoint whose chaos-presence disagrees with the engine's.
+	Chaos *chaos.InjectorSnapshot `json:"chaos,omitempty"`
 
 	Records      []EpochRecord `json:"records"`
 	BurstPerfSum float64       `json:"burst_perf_sum"`
@@ -79,6 +86,10 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 	if e.breaker != nil {
 		s := e.breaker.Snapshot()
 		cp.Breaker = &s
+	}
+	if e.injector != nil {
+		s := e.injector.Snapshot()
+		cp.Chaos = &s
 	}
 	return cp, nil
 }
@@ -113,6 +124,9 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 	if (cp.Breaker == nil) != (e.breaker == nil) {
 		return fmt.Errorf("sim: restore: checkpoint and engine disagree on breaker overdraw")
 	}
+	if (cp.Chaos == nil) != (e.injector == nil) {
+		return fmt.Errorf("sim: restore: checkpoint and engine disagree on chaos schedule")
+	}
 	if err := e.selector.Restore(cp.Selector); err != nil {
 		return fmt.Errorf("sim: restore: %w", err)
 	}
@@ -129,6 +143,13 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 	}
 	if err := e.cfg.Strategy.RestoreState(cp.Strategy); err != nil {
 		return fmt.Errorf("sim: restore: %w", err)
+	}
+	if e.injector != nil {
+		if err := e.injector.Restore(*cp.Chaos); err != nil {
+			return fmt.Errorf("sim: restore: %w", err)
+		}
+		e.alive = e.injector.AliveServers()
+		e.selector.SetStuck(e.injector.Stuck())
 	}
 	e.records = append(make([]EpochRecord, 0, e.TotalEpochs()), cp.Records...)
 	e.burstPerfSum = cp.BurstPerfSum
@@ -148,9 +169,9 @@ func (c *Checkpoint) Encode() ([]byte, error) {
 }
 
 // DecodeCheckpoint parses a JSON checkpoint and checks its version.
-// Version-1 checkpoints are migrated in place (see migrateV1) so files
-// cut before the StrategyName fingerprint still restore cleanly; any
-// other version mismatch fails loudly.
+// Version-1 and version-2 checkpoints are migrated in place (see
+// migrateV1/migrateV2) so files cut before the newer fields still
+// restore cleanly; any other version mismatch fails loudly.
 func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	var cp Checkpoint
 	if err := json.Unmarshal(b, &cp); err != nil {
@@ -159,20 +180,34 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	if cp.Version == 1 {
 		migrateV1(&cp)
 	}
+	if cp.Version == 2 {
+		migrateV2(&cp)
+	}
 	if cp.Version != CheckpointVersion {
 		return nil, fmt.Errorf("sim: decode checkpoint: version %d, supported %d", cp.Version, CheckpointVersion)
 	}
 	return &cp, nil
 }
 
-// migrateV1 re-encodes a version-1 checkpoint as version 2. The v1
-// layout is a strict subset of v2 — it lacks only the StrategyName
+// migrateV1 lifts a version-1 checkpoint to version 2. The v1 layout
+// is a strict subset of v2 — it lacks only the StrategyName
 // fingerprint — so migration stamps the new version and leaves the
-// name empty, which Restore treats as "unknown, skip the check". The
-// next Checkpoint/WriteFile cycle persists the file as full v2.
+// name empty, which Restore treats as "unknown, skip the check".
+// migrateV2 then carries the result the rest of the way.
 func migrateV1(cp *Checkpoint) {
-	cp.Version = CheckpointVersion
+	cp.Version = 2
 	cp.StrategyName = ""
+}
+
+// migrateV2 lifts a version-2 checkpoint to version 3. The v2 layout
+// is a strict subset of v3: it predates chaos, so the injector state
+// is absent (a fault-free run, which Restore accepts for engines
+// without a chaos schedule) and every battery unit decodes with the
+// degradation fields at their undegraded defaults. Migration is
+// therefore just the version stamp; the next Checkpoint/WriteFile
+// cycle persists the file as full v3.
+func migrateV2(cp *Checkpoint) {
+	cp.Version = CheckpointVersion
 }
 
 // WriteFile atomically persists the checkpoint through the shared

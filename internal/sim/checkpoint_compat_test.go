@@ -70,6 +70,72 @@ func TestCheckpointV1Migration(t *testing.T) {
 	assertSameResult(t, ref, mustRunAll(t, fresh))
 }
 
+// asV2Blob rewrites an encoded checkpoint into the exact v2 wire
+// format: version stamped 2 and no chaos field. (The other v3
+// additions — per-unit battery degradation — are omitempty fields
+// that a fault-free run never emits, so nothing else differs.)
+func asV2Blob(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["version"] = json.RawMessage(`2`)
+	delete(m, "chaos")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCheckpointV2Migration is the canned-blob test for the v2→v3
+// bump: a pre-chaos checkpoint decodes through the migration shim to
+// the current version with no injector state, restores into a
+// fault-free engine, and the completed run matches the uninterrupted
+// reference bit for bit.
+func TestCheckpointV2Migration(t *testing.T) {
+	ref := mustRunAll(t, mustNew(t, ckptConfig(t)))
+
+	e := mustNew(t, ckptConfig(t))
+	stopAt := e.TotalEpochs() / 2
+	for i := 0; i < stopAt; i++ {
+		if _, _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := asV2Blob(t, b)
+	got, err := DecodeCheckpoint(v2)
+	if err != nil {
+		t.Fatalf("decode v2 checkpoint: %v", err)
+	}
+	if got.Version != CheckpointVersion {
+		t.Errorf("migrated version = %d, want %d", got.Version, CheckpointVersion)
+	}
+	if got.Chaos != nil {
+		t.Errorf("migrated v2 checkpoint carries injector state: %+v", got.Chaos)
+	}
+	if got.StrategyName != cp.StrategyName {
+		t.Errorf("migrated strategy name = %q, want %q (v2 already had the field)",
+			got.StrategyName, cp.StrategyName)
+	}
+
+	fresh := mustNew(t, ckptConfig(t))
+	if err := fresh.Restore(got); err != nil {
+		t.Fatalf("restore migrated v2 checkpoint: %v", err)
+	}
+	assertSameResult(t, ref, mustRunAll(t, fresh))
+}
+
 // TestCheckpointStrategyMismatch verifies the v2 fingerprint: a
 // checkpoint cut under one strategy must not restore into an engine
 // running another.

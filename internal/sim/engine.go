@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"greensprint/internal/chaos"
 	"greensprint/internal/cluster"
 	"greensprint/internal/obs"
 	"greensprint/internal/pmk"
@@ -39,6 +40,13 @@ type Engine struct {
 	breaker  *cluster.Breaker
 	loadPred *predictor.EWMA
 	n        int
+
+	// injector replays the chaos schedule (nil for fault-free runs:
+	// every fault-free code path below is bit-identical to the
+	// pre-chaos engine). alive tracks the green servers not currently
+	// crashed; it equals n whenever injector is nil.
+	injector *chaos.Injector
+	alive    int
 
 	// kernel memoizes the per-config queueing constants (max rates,
 	// service rates) so the per-epoch hot path runs without bisections;
@@ -109,6 +117,20 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("sim: no green servers in config %q", cfg.Green.Name)
 	}
 	fleet := pmk.NewSimFleet(n)
+	var injector *chaos.Injector
+	if cfg.Chaos != nil {
+		if cfg.Chaos.Servers != n {
+			return nil, fmt.Errorf("sim: chaos schedule resolved for %d servers, config has %d",
+				cfg.Chaos.Servers, n)
+		}
+		if cfg.Chaos.Units != bank.Size() {
+			return nil, fmt.Errorf("sim: chaos schedule resolved for %d battery units, config has %d",
+				cfg.Chaos.Units, bank.Size())
+		}
+		if injector, err = chaos.NewInjector(cfg.Chaos); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
 	var breaker *cluster.Breaker
 	if cfg.AllowBreakerOverdraw {
 		cl, err := cluster.New(cfg.Green)
@@ -132,6 +154,8 @@ func New(cfg Config) (*Engine, error) {
 		breaker:  breaker,
 		loadPred: predictor.NewEWMA(predictor.DefaultAlpha),
 		n:        n,
+		injector: injector,
+		alive:    n,
 		kernel:   kernel,
 		latMemo:  make(map[latKey]float64),
 
@@ -155,7 +179,10 @@ func New(cfg Config) (*Engine, error) {
 		if v, ok := e.fracMemo[perServer]; ok {
 			return v
 		}
-		v := e.selector.SustainFraction(units.Watt(float64(perServer)*float64(e.n)), e.predGreen, e.epoch)
+		// Demand scales with the servers actually running (alive == n
+		// for fault-free runs, so this stays bit-identical to the
+		// pre-chaos closure).
+		v := e.selector.SustainFraction(units.Watt(float64(perServer)*float64(e.alive)), e.predGreen, e.epoch)
 		e.fracMemo[perServer] = v
 		return v
 	}
@@ -191,6 +218,15 @@ func (e *Engine) Step() (EpochRecord, bool, error) {
 		predicted = e.loadPred.Predict()
 	}
 	greenObserved := units.Watt(meanWindow(e.cfg.Supply, at, e.epoch))
+	if e.injector != nil {
+		// Fault and recovery transitions land at the epoch boundary,
+		// before the epoch's physics; an active inverter dropout then
+		// zeroes the observed green supply.
+		if err := e.applyChaos(e.epochIndex, at); err != nil {
+			return EpochRecord{}, true, err
+		}
+		greenObserved = units.Watt(float64(greenObserved) * e.injector.SolarFactor())
+	}
 
 	var rec EpochRecord
 	rec.Start = at
@@ -198,9 +234,19 @@ func (e *Engine) Step() (EpochRecord, bool, error) {
 	rec.Supply = greenObserved
 	rec.Offered = offered
 
-	if inBurst {
+	switch {
+	case e.alive == 0:
+		// Every green server is down (a full zone outage, or worse):
+		// nothing serves, nothing sprints, the strategy has nothing to
+		// decide. Surviving infrastructure still runs — batteries bank
+		// whatever green output remains — and the breaker cools.
+		rec = e.runOutageEpoch(rec, greenObserved)
+		if e.breaker != nil {
+			e.breaker.Step(0, e.epoch)
+		}
+	case inBurst:
 		rec = e.runBurstEpoch(rec, greenObserved, offered, predicted, at)
-	} else {
+	default:
 		rec = e.runIdleEpoch(rec, greenObserved, offered)
 		if e.breaker != nil {
 			// Non-burst epochs stay within the budget and cool the
@@ -264,6 +310,86 @@ func (e *Engine) event(index int, rec EpochRecord) obs.Event {
 		ev.BreakerStress = e.breaker.Stress()
 	}
 	return ev
+}
+
+// applyChaos advances the injector to the epoch boundary, applies each
+// due transition to the affected component, and emits one obs.Event
+// per transition ahead of the epoch record. Aggregate state (alive
+// servers, stuck switch, solar factor) comes from the injector's
+// ref-counts, so overlapping faults on one component compose instead
+// of corrupting each other.
+func (e *Engine) applyChaos(index int, at time.Time) error {
+	for _, a := range e.injector.Advance(index) {
+		f := a.Fault
+		switch f.Mode {
+		case chaos.ServerCrash:
+			if !a.Recovered {
+				// The crashed server drops its sprint; when it
+				// restarts it boots into Normal mode, which its knob
+				// already records from here on.
+				e.fleet.Apply(f.Target, server.Normal())
+			}
+		case chaos.BatteryDegrade:
+			if err := e.selector.Bank().DegradeUnit(f.Target, f.Factor, f.Resist); err != nil {
+				return fmt.Errorf("sim: chaos: %w", err)
+			}
+		case chaos.BreakerTrip:
+			// Without a breaker model (AllowBreakerOverdraw off) the
+			// trip is recorded in the stream but has no electrical
+			// effect: the rack never overdraws through it anyway.
+			if e.breaker != nil {
+				if a.Recovered {
+					e.breaker.Reset() // technician reclose
+				} else {
+					e.breaker.ForceTrip()
+				}
+			}
+		}
+		// PSSStuck and SolarDropout act purely through the injector's
+		// ref-counts read below; ZoneOutage is a marker whose cascade
+		// constituents carry the component effects.
+		if e.cfg.Sink != nil {
+			if err := e.cfg.Sink.Emit(e.chaosEvent(index, at, a)); err != nil {
+				return fmt.Errorf("sim: event sink: %w", err)
+			}
+		}
+	}
+	e.alive = e.injector.AliveServers()
+	e.selector.SetStuck(e.injector.Stuck())
+	return nil
+}
+
+// chaosEvent renders one fault/recovery transition for the event
+// stream, stamped with the epoch it strikes in.
+func (e *Engine) chaosEvent(index int, at time.Time, a chaos.Action) obs.Event {
+	e.timeBuf = at.UTC().AppendFormat(e.timeBuf[:0], time.RFC3339Nano)
+	kind := "fault"
+	if a.Recovered {
+		kind = "recover"
+	}
+	return obs.Event{
+		Epoch:        index,
+		Time:         string(e.timeBuf),
+		EpochSeconds: e.epoch.Seconds(),
+		Strategy:     e.cfg.Strategy.Name(),
+		Servers:      e.n,
+		Chaos:        kind,
+		ChaosMode:    a.Fault.Mode.String(),
+		ChaosTarget:  a.Fault.Target,
+		ChaosDetail:  a.Fault.String(),
+	}
+}
+
+// applyFleet applies a config to the running servers: all of them on a
+// fault-free engine, only the alive ones under chaos (a powered-off
+// server has nothing to actuate, and phantom transitions would corrupt
+// the actuation accounting).
+func (e *Engine) applyFleet(c server.Config) {
+	if e.injector != nil {
+		e.fleet.ApplyAlive(c, e.injector.ServerDown)
+		return
+	}
+	e.fleet.ApplyAll(c)
 }
 
 // Done reports whether the configured horizon has been consumed.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"greensprint/internal/chaos"
 	"greensprint/internal/cluster"
 	"greensprint/internal/obs"
 	"greensprint/internal/pmk"
@@ -70,6 +71,14 @@ type Config struct {
 	// across sharded vs. sequential execution (a restored engine
 	// re-emits nothing for epochs already run).
 	Sink obs.Sink
+	// Chaos optionally replays a resolved fault-injection timeline
+	// against the run (see internal/chaos). The schedule must match
+	// the config's topology (green servers, battery units). Fault and
+	// recovery transitions are emitted as their own events ahead of
+	// the epoch record they strike in, and the injector's replay state
+	// rides the checkpoint, so a chaos run shards and resumes
+	// bit-identically like a fault-free one.
+	Chaos *chaos.Schedule
 }
 
 // EpochRecord captures one scheduling epoch of one run.
@@ -146,12 +155,16 @@ func (c *Config) Validate() error {
 func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 	offered, predicted float64, at time.Time) EpochRecord {
 
-	cfg, tab, selector, fleet, breaker := &e.cfg, e.tab, e.selector, e.fleet, e.breaker
-	n, epoch := e.n, e.epoch
+	cfg, tab, selector, breaker := &e.cfg, e.tab, e.selector, e.breaker
+	epoch := e.epoch
+	// All demand arithmetic runs over the servers actually up this
+	// epoch; m == n on fault-free runs, so every expression below is
+	// bit-identical to the pre-chaos engine there.
+	n, m := e.n, e.alive
 
 	// The strategy sees the PSS's committed budget: predicted green
 	// plus Peukert-sustainable battery power, per server.
-	budget := units.Watt(float64(selector.AvailablePower(epoch)) / float64(n))
+	budget := units.Watt(float64(selector.AvailablePower(epoch)) / float64(m))
 	e.predGreen = selector.PredictedSupply()
 	// Selector state is fixed until Allocate below, but it changed
 	// since last epoch: drop the previous epoch's fraction memo.
@@ -166,14 +179,14 @@ func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 		SprintFraction: e.sprintFrac,
 	}
 	chosen := cfg.Strategy.Decide(in)
-	fleet.ApplyAll(chosen)
+	e.applyFleet(chosen)
 
 	level := tab.LevelFor(offered)
 	perServer, ok := tab.LoadPower(level, chosen)
 	if !ok {
 		perServer = e.kernel.LoadPower(chosen, offered)
 	}
-	demand := units.Watt(float64(perServer) * float64(n))
+	demand := units.Watt(float64(perServer) * float64(m))
 	var al pss.Allocation
 	useOverdraw := false
 	if breaker != nil && !breaker.Tripped() && chosen.IsSprinting() &&
@@ -186,11 +199,11 @@ func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 		stressLeft := 1 - breaker.Stress()
 		maxExtra := units.Watt(float64(breaker.Rated) * (breaker.MaxOverload - 1) *
 			stressLeft * float64(breaker.TripAfter) / float64(epoch))
-		budget := units.Watt((float64(greenObserved) + float64(maxExtra)) / float64(n))
+		budget := units.Watt((float64(greenObserved) + float64(maxExtra)) / float64(m))
 		if en, ok := tab.BestWithin(level, budget, nil); ok && en.Config().IsSprinting() {
 			chosen = en.Config()
-			fleet.ApplyAll(chosen)
-			demand = units.Watt(float64(en.Power) * float64(n))
+			e.applyFleet(chosen)
+			demand = units.Watt(float64(en.Power) * float64(m))
 			if overdraw := demand - greenObserved; overdraw > 0 {
 				breaker.Step(breaker.Rated+overdraw, epoch)
 				useOverdraw = true
@@ -203,7 +216,7 @@ func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 	if useOverdraw {
 		al = selector.AllocateOverdraw(demand, greenObserved, epoch)
 	} else {
-		al = selector.Allocate(demand, greenObserved, epoch, units.Watt(float64(e.normalPower)*float64(n)))
+		al = selector.Allocate(demand, greenObserved, epoch, units.Watt(float64(e.normalPower)*float64(m)))
 		if breaker != nil {
 			breaker.Step(breaker.Rated, epoch) // within budget: no extra stress
 		}
@@ -218,7 +231,7 @@ func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 	}
 	if al.Case == pss.CaseGridFallback {
 		executed = server.Normal()
-		fleet.ApplyAll(executed)
+		e.applyFleet(executed)
 	}
 	rec.Case = al.Case
 	rec.Config = executed
@@ -229,13 +242,19 @@ func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 	goodSprint := e.kernel.Goodput(chosen, offered)
 	goodNormal := e.kernel.Goodput(server.Normal(), offered)
 	rec.Goodput = frac*goodSprint + (1-frac)*goodNormal
+	if m != n {
+		// Goodput is normalized per provisioned server: crashed
+		// servers serve nothing, so the rack delivers the alive
+		// fraction of it.
+		rec.Goodput *= float64(m) / float64(n)
+	}
 	latSprint := e.latency(chosen, offered)
 	latNormal := e.latency(server.Normal(), offered)
 	rec.Latency = frac*latSprint + (1-frac)*latNormal
 
 	// Feed the measured epoch back to the learner with the next
 	// epoch's state.
-	nextBudget := units.Watt(float64(selector.AvailablePower(epoch)) / float64(n))
+	nextBudget := units.Watt(float64(selector.AvailablePower(epoch)) / float64(m))
 	nextOffered := offered
 	if !at.Add(epoch).Before(e.burstEnd) {
 		nextOffered = 0
@@ -244,7 +263,7 @@ func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 		(1-frac)*float64(e.kernel.LoadPower(server.Normal(), offered)))
 	cfg.Strategy.Learn(strategy.Feedback{
 		Chosen:  executed,
-		Supply:  units.Watt(float64(greenObserved)/float64(n)) + selector.BatterySustainable(epoch)/units.Watt(n),
+		Supply:  units.Watt(float64(greenObserved)/float64(m)) + selector.BatterySustainable(epoch)/units.Watt(m),
 		Power:   actualPower,
 		Offered: offered,
 		Goodput: rec.Goodput,
@@ -264,7 +283,7 @@ func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 // trigger fires).
 func (e *Engine) runIdleEpoch(rec EpochRecord, greenObserved units.Watt, offered float64) EpochRecord {
 	selector, epoch := e.selector, e.epoch
-	e.fleet.ApplyAll(server.Normal())
+	e.applyFleet(server.Normal())
 	rec.Case = pss.CaseGridFallback
 	rec.Config = server.Normal()
 	rec.Goodput = e.kernel.Goodput(server.Normal(), offered)
@@ -277,6 +296,28 @@ func (e *Engine) runIdleEpoch(rec EpochRecord, greenObserved units.Watt, offered
 		selector.RechargeFromGrid(GridRechargePower, epoch)
 	}
 	rec.Grid = e.kernel.LoadPower(server.Normal(), offered)
+	if m := e.alive; m != e.n {
+		// Crashed servers neither serve nor draw: the per-provisioned-
+		// server aggregates shrink by the alive fraction.
+		scale := float64(m) / float64(e.n)
+		rec.Goodput *= scale
+		rec.Grid = units.Watt(float64(rec.Grid) * scale)
+	}
+	return rec
+}
+
+// runOutageEpoch executes an epoch with every green server down: zero
+// goodput, zero draw, no decision to make. Surviving infrastructure
+// still runs — the batteries bank whatever green output remains and
+// grid recharge continues once the DoD trigger has fired.
+func (e *Engine) runOutageEpoch(rec EpochRecord, greenObserved units.Watt) EpochRecord {
+	selector, epoch := e.selector, e.epoch
+	rec.Case = pss.CaseGridFallback
+	rec.Config = server.Normal()
+	selector.RechargeFromGreen(greenObserved, epoch)
+	if selector.NeedsRecharge() {
+		selector.RechargeFromGrid(GridRechargePower, epoch)
+	}
 	return rec
 }
 
