@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metric is one benchmark's recorded or measured numbers. Bytes and
+// allocs are pointers so "not reported" (a benchmark run without
+// -benchmem, or a budget that never recorded them) is distinguishable
+// from zero.
+type metric struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// budgetFile is the subset of the repo's BENCH_*.json schema the tool
+// consumes: the result map is the budget, and the optional allocs cap
+// rides along.
+type budgetFile struct {
+	Result                 map[string]metric `json:"result"`
+	EngineStepAllocsBudget *float64          `json:"engine_step_allocs_budget"`
+}
+
+// budgetSet is the merged view across all budget files.
+type budgetSet struct {
+	metrics    map[string]metric
+	allocsCaps map[string]float64 // benchmark name -> allocs/op cap
+}
+
+// loadBudgets reads and merges the budget files. A benchmark budgeted
+// in several files keeps the most recent (last file) numbers, which is
+// how a later optimization PR ratchets an earlier budget.
+func loadBudgets(paths []string) (*budgetSet, error) {
+	set := &budgetSet{metrics: map[string]metric{}, allocsCaps: map[string]float64{}}
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var f budgetFile
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if len(f.Result) == 0 {
+			return nil, fmt.Errorf("%s: no result map", p)
+		}
+		for name, m := range f.Result {
+			set.metrics[name] = m
+		}
+		if f.EngineStepAllocsBudget != nil {
+			set.allocsCaps["BenchmarkEngineStep"] = *f.EngineStepAllocsBudget
+		}
+	}
+	return set, nil
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkEngineStep-8   117740   10300 ns/op   69 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBenchOutput extracts {name -> metric} from go test -bench text.
+// Non-benchmark lines (goos/pkg headers, PASS, ok) are skipped; a
+// benchmark that appears twice keeps its last run.
+func parseBenchOutput(out string) (map[string]metric, error) {
+	fresh := map[string]metric{}
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], strings.Fields(m[2])
+		var met metric
+		sawNs := false
+		for i := 1; i < len(rest); i++ {
+			v, err := strconv.ParseFloat(rest[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch rest[i] {
+			case "ns/op":
+				met.NsPerOp, sawNs = v, true
+			case "B/op":
+				met.BytesPerOp = &v
+			case "allocs/op":
+				met.AllocsPerOp = &v
+			}
+		}
+		if !sawNs {
+			return nil, fmt.Errorf("benchmark line without ns/op: %q", line)
+		}
+		fresh[name] = met
+	}
+	if len(fresh) == 0 {
+		return nil, fmt.Errorf("no benchmark results found in input")
+	}
+	return fresh, nil
+}
+
+// row is one benchmark's comparison.
+type row struct {
+	name     string
+	old, new float64 // ns/op
+	delta    float64 // (new-old)/old
+	verdict  string
+}
+
+// report is the full comparison outcome.
+type report struct {
+	rows     []row
+	missing  []string
+	failures []string
+}
+
+// diff compares fresh results against the merged budgets.
+func diff(budget *budgetSet, fresh map[string]metric, threshold float64) *report {
+	rep := &report{}
+	names := make([]string, 0, len(budget.metrics))
+	for name := range budget.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := budget.metrics[name]
+		got, ok := fresh[name]
+		if !ok {
+			rep.missing = append(rep.missing, name)
+			continue
+		}
+		r := row{name: name, old: want.NsPerOp, new: got.NsPerOp}
+		if want.NsPerOp > 0 {
+			r.delta = (got.NsPerOp - want.NsPerOp) / want.NsPerOp
+		}
+		switch {
+		case r.delta > threshold:
+			r.verdict = "REGRESSION"
+			rep.failures = append(rep.failures, fmt.Sprintf(
+				"%s ns/op regressed %+.1f%% (budget %s, got %s, threshold +%.0f%%)",
+				name, r.delta*100, fmtNs(r.old), fmtNs(r.new), threshold*100))
+		case r.delta < -threshold:
+			r.verdict = "improved"
+		default:
+			r.verdict = "ok"
+		}
+		if cap, capped := budget.allocsCaps[name]; capped {
+			if got.AllocsPerOp == nil {
+				rep.failures = append(rep.failures, fmt.Sprintf(
+					"%s has an allocs/op budget (%.0f) but the run lacks -benchmem output", name, cap))
+			} else if *got.AllocsPerOp > cap {
+				r.verdict = "OVER ALLOC BUDGET"
+				rep.failures = append(rep.failures, fmt.Sprintf(
+					"%s allocs/op = %.0f, budget %.0f", name, *got.AllocsPerOp, cap))
+			}
+		}
+		rep.rows = append(rep.rows, r)
+	}
+	return rep
+}
+
+// fmtNs renders a nanosecond quantity with a human unit, benchstat
+// style.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.4gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.4gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.3gns", ns)
+	}
+}
+
+// table renders the benchstat-style comparison.
+func (r *report) table() string {
+	var b strings.Builder
+	w := len("name")
+	for _, row := range r.rows {
+		if len(row.name) > w {
+			w = len(row.name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %12s  %12s  %8s  %s\n", w, "name", "budget", "fresh", "delta", "verdict")
+	for _, row := range r.rows {
+		fmt.Fprintf(&b, "%-*s  %12s  %12s  %+7.1f%%  %s\n",
+			w, row.name, fmtNs(row.old), fmtNs(row.new), row.delta*100, row.verdict)
+	}
+	return b.String()
+}

@@ -8,9 +8,16 @@
 //	                [-strategy S] [-intensity N] [-duration D]
 //	                [-availability Min|Med|Max] [-trace FILE] [-csv]
 //	                [-checkpoint FILE] [-resume] [-events FILE]
-//	                [-chaos-profile P] [-chaos-seed N]
+//	                [-chaos-profile P] [-chaos-seed N] [-fleet FILE]
 //
-// Flags override the config file. With -checkpoint the simulator
+// Flags override the config file. With -fleet the run replaces the
+// flat -green rack with a generated heterogeneous fleet: FILE is a
+// fleet spec (see internal/fleet) whose weighted server-class
+// templates are stamped into racks deterministically under the spec's
+// seed. The synthetic supply is sized to the generated fleet's PV
+// peak, chaos profiles resolve against the generated topology (zone
+// outages strike generated zones), and checkpoints record the
+// topology fingerprint so -resume refuses a different fleet. With -checkpoint the simulator
 // persists its full state (battery, PSS, predictors, strategy) to FILE
 // after every epoch, atomically; an interrupted run restarted with
 // -resume continues from the last completed epoch and produces the
@@ -28,7 +35,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -41,6 +50,7 @@ import (
 	"greensprint/internal/chaos"
 	"greensprint/internal/cluster"
 	"greensprint/internal/config"
+	"greensprint/internal/fleet"
 	"greensprint/internal/obs"
 	"greensprint/internal/profile"
 	"greensprint/internal/report"
@@ -66,6 +76,7 @@ func main() {
 	eventsPath := flag.String("events", "", "stream one JSONL observability record per epoch to this file")
 	chaosProfile := flag.String("chaos-profile", "", "failure profile enabling chaos injection: light, heavy, or key=weight[:MIN-MAX] spec")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed resolving the -chaos-profile failure timeline")
+	fleetPath := flag.String("fleet", "", "fleet spec JSON file replacing -green with a generated heterogeneous fleet")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -99,6 +110,14 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
+	var fleetSpec *fleet.Spec
+	if *fleetPath != "" {
+		spec, err := loadFleetSpec(*fleetPath)
+		if err != nil {
+			fatal(err)
+		}
+		fleetSpec = spec
+	}
 	if *resume && *ckptPath == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
@@ -116,7 +135,7 @@ func main() {
 		defer f.Close()
 		sink = obs.NewJSONL(f)
 	}
-	if err := run(ctx, os.Stdout, cfg, *csvOut, *ckptPath, *resume, sink, *chaosProfile, *chaosSeed); err != nil {
+	if err := run(ctx, os.Stdout, cfg, fleetSpec, *csvOut, *ckptPath, *resume, sink, *chaosProfile, *chaosSeed); err != nil {
 		fatal(err)
 	}
 }
@@ -126,7 +145,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(ctx context.Context, w io.Writer, cfg config.Config, csvOut bool, ckptPath string, resume bool, sink obs.Sink, chaosProfile string, chaosSeed int64) error {
+func run(ctx context.Context, w io.Writer, cfg config.Config, fleetSpec *fleet.Spec, csvOut bool, ckptPath string, resume bool, sink obs.Sink, chaosProfile string, chaosSeed int64) error {
 	p, err := cfg.WorkloadProfile()
 	if err != nil {
 		return err
@@ -134,6 +153,17 @@ func run(ctx context.Context, w io.Writer, cfg config.Config, csvOut bool, ckptP
 	green, err := cfg.GreenConfig()
 	if err != nil {
 		return err
+	}
+	// A fleet spec overrides the flat rack: generate the topology once
+	// here so the supply sizing, chaos resolution and the engine all
+	// agree on it (Generate is deterministic, so the engine's own
+	// regeneration yields the identical topology).
+	var topo *fleet.Topology
+	if fleetSpec != nil {
+		if topo, err = fleetSpec.Generate(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, topo.Summary())
 	}
 	tab, err := profile.Build(p, profile.DefaultLevels)
 	if err != nil {
@@ -143,17 +173,18 @@ func run(ctx context.Context, w io.Writer, cfg config.Config, csvOut bool, ckptP
 	if err != nil {
 		return err
 	}
-	supply, err := loadSupply(cfg, green)
+	supply, err := loadSupply(cfg, green, topo)
 	if err != nil {
 		return err
 	}
-	sched, err := resolveChaos(w, cfg, green, chaosProfile, chaosSeed)
+	sched, err := resolveChaos(w, cfg, green, topo, chaosProfile, chaosSeed)
 	if err != nil {
 		return err
 	}
 	eng, err := sim.New(sim.Config{
 		Workload: p,
 		Green:    green,
+		Fleet:    fleetSpec,
 		Strategy: strat,
 		Table:    tab,
 		Burst:    workload.Burst{Intensity: cfg.BurstIntensity, Duration: cfg.BurstDuration.Std()},
@@ -251,7 +282,7 @@ func run(ctx context.Context, w io.Writer, cfg config.Config, csvOut bool, ckptP
 // resolution happens before the run starts and depends only on the
 // flags and the run's topology, so a resumed run passing the same
 // flags replays the exact same failures.
-func resolveChaos(w io.Writer, cfg config.Config, green cluster.GreenConfig, spec string, seed int64) (*chaos.Schedule, error) {
+func resolveChaos(w io.Writer, cfg config.Config, green cluster.GreenConfig, topo *fleet.Topology, spec string, seed int64) (*chaos.Schedule, error) {
 	if spec == "" {
 		return nil, nil
 	}
@@ -270,11 +301,18 @@ func resolveChaos(w io.Writer, cfg config.Config, green cluster.GreenConfig, spe
 	if time.Duration(epochs)*epoch < total {
 		epochs++
 	}
-	bank, err := green.NewBank()
-	if err != nil {
-		return nil, err
+	var sched *chaos.Schedule
+	if topo != nil {
+		// Fleet run: draw targets from the generated topology so zone
+		// outages strike generated zones, not the legacy two-way split.
+		sched, err = prof.ResolveFor(seed, epochs, topo.ChaosTopology())
+	} else {
+		bank, berr := green.NewBank()
+		if berr != nil {
+			return nil, berr
+		}
+		sched, err = prof.Resolve(seed, epochs, green.GreenServers, bank.Size())
 	}
-	sched, err := prof.Resolve(seed, epochs, green.GreenServers, bank.Size())
 	if err != nil {
 		return nil, err
 	}
@@ -284,9 +322,28 @@ func resolveChaos(w io.Writer, cfg config.Config, green cluster.GreenConfig, spe
 	return sched, nil
 }
 
+// loadFleetSpec reads and validates a fleet spec JSON file.
+func loadFleetSpec(path string) (*fleet.Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load fleet spec: %w", err)
+	}
+	var spec fleet.Spec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("fleet spec %s: %w", path, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet spec %s: %w", path, err)
+	}
+	return &spec, nil
+}
+
 // loadSupply replays the configured CSV trace, or synthesizes the
-// canonical window for the configured availability class.
-func loadSupply(cfg config.Config, green cluster.GreenConfig) (*trace.Trace, error) {
+// canonical window for the configured availability class, sized to the
+// generated fleet's PV peak when a fleet topology is in effect.
+func loadSupply(cfg config.Config, green cluster.GreenConfig, topo *fleet.Topology) (*trace.Trace, error) {
 	if cfg.SupplyTrace != "" {
 		f, err := os.Open(cfg.SupplyTrace)
 		if err != nil {
@@ -299,6 +356,10 @@ func loadSupply(cfg config.Config, green cluster.GreenConfig) (*trace.Trace, err
 	if err != nil {
 		return nil, err
 	}
+	peak := float64(green.PeakGreen())
+	if topo != nil {
+		peak = float64(topo.PeakGreen())
+	}
 	total := cfg.Lead.Std() + cfg.BurstDuration.Std() + cfg.Tail.Std()
-	return solar.Synthesize(level, total, time.Minute, float64(green.PeakGreen()), 42), nil
+	return solar.Synthesize(level, total, time.Minute, peak, 42), nil
 }

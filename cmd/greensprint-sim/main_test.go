@@ -24,7 +24,7 @@ func smallConfig() config.Config {
 
 func TestRunText(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, smallConfig(), false, "", false, nil, "", 0); err != nil {
+	if err := run(context.Background(), &buf, smallConfig(), nil, false, "", false, nil, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -37,7 +37,7 @@ func TestRunText(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, smallConfig(), true, "", false, nil, "", 0); err != nil {
+	if err := run(context.Background(), &buf, smallConfig(), nil, true, "", false, nil, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "epoch,burst,case,config") {
@@ -50,7 +50,7 @@ func TestRunAllStrategiesAndWorkloads(t *testing.T) {
 		cfg := smallConfig()
 		cfg.Strategy = s
 		var buf bytes.Buffer
-		if err := run(context.Background(), &buf, cfg, false, "", false, nil, "", 0); err != nil {
+		if err := run(context.Background(), &buf, cfg, nil, false, "", false, nil, "", 0); err != nil {
 			t.Errorf("%s: %v", s, err)
 		}
 	}
@@ -58,7 +58,7 @@ func TestRunAllStrategiesAndWorkloads(t *testing.T) {
 		cfg := smallConfig()
 		cfg.Workload = w
 		var buf bytes.Buffer
-		if err := run(context.Background(), &buf, cfg, false, "", false, nil, "", 0); err != nil {
+		if err := run(context.Background(), &buf, cfg, nil, false, "", false, nil, "", 0); err != nil {
 			t.Errorf("%s: %v", w, err)
 		}
 	}
@@ -67,7 +67,7 @@ func TestRunAllStrategiesAndWorkloads(t *testing.T) {
 func TestLoadSupplySynthetic(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Lead = config.Duration(5 * time.Minute)
-	tr, err := loadSupply(cfg, cluster.REBatt())
+	tr, err := loadSupply(cfg, cluster.REBatt(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestLoadSupplySynthetic(t *testing.T) {
 		t.Errorf("len = %d, want lead+burst minutes", tr.Len())
 	}
 	cfg.Availability = "Banana"
-	if _, err := loadSupply(cfg, cluster.REBatt()); err == nil {
+	if _, err := loadSupply(cfg, cluster.REBatt(), nil); err == nil {
 		t.Error("bad availability should error")
 	}
 }
@@ -95,7 +95,7 @@ func TestLoadSupplyFromFile(t *testing.T) {
 
 	cfg := smallConfig()
 	cfg.SupplyTrace = path
-	got, err := loadSupply(cfg, cluster.REBatt())
+	got, err := loadSupply(cfg, cluster.REBatt(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,12 +104,12 @@ func TestLoadSupplyFromFile(t *testing.T) {
 	}
 	// Replayed trace drives a full run.
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, cfg, false, "", false, nil, "", 0); err != nil {
+	if err := run(context.Background(), &buf, cfg, nil, false, "", false, nil, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	// Missing file errors.
 	cfg.SupplyTrace = filepath.Join(dir, "missing.csv")
-	if _, err := loadSupply(cfg, cluster.REBatt()); err == nil {
+	if _, err := loadSupply(cfg, cluster.REBatt(), nil); err == nil {
 		t.Error("missing trace should error")
 	}
 }
@@ -119,7 +119,7 @@ func TestLoadSupplyFromFile(t *testing.T) {
 func TestRunEvents(t *testing.T) {
 	capture := func() string {
 		var out, events bytes.Buffer
-		if err := run(context.Background(), &out, smallConfig(), false, "", false, obs.NewJSONL(&events), "", 0); err != nil {
+		if err := run(context.Background(), &out, smallConfig(), nil, false, "", false, obs.NewJSONL(&events), "", 0); err != nil {
 			t.Fatal(err)
 		}
 		return events.String()
@@ -156,7 +156,7 @@ func TestRunChaos(t *testing.T) {
 
 	capture := func(ctx context.Context, ckpt string, resume bool) (string, string, error) {
 		var out, events bytes.Buffer
-		err := run(ctx, &out, cfg, true, ckpt, resume, obs.NewJSONL(&events), "heavy", 3)
+		err := run(ctx, &out, cfg, nil, true, ckpt, resume, obs.NewJSONL(&events), "heavy", 3)
 		return out.String(), events.String(), err
 	}
 
@@ -191,7 +191,7 @@ func TestRunChaos(t *testing.T) {
 	// Resuming without the chaos flags must be refused, not silently
 	// continued fault-free.
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, cfg, true, ckpt, true, nil, "", 0); err == nil ||
+	if err := run(context.Background(), &buf, cfg, nil, true, ckpt, true, nil, "", 0); err == nil ||
 		!strings.Contains(err.Error(), "chaos") {
 		t.Errorf("resume without chaos flags = %v, want chaos mismatch error", err)
 	}
@@ -236,6 +236,75 @@ func (c *checkCountCtx) Err() error {
 	return nil
 }
 
+// TestRunFleet drives the -fleet path end to end: the spec file loads
+// and validates, the topology census is announced, the run completes
+// with per-class stats on the event stream, and chaos resolves against
+// the generated topology instead of the flat rack.
+func TestRunFleet(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.json")
+	specJSON := `{
+		"name": "clitest",
+		"total_servers": 40,
+		"rack_size": 8,
+		"zones": 2,
+		"seed": 11,
+		"templates": [
+			{"name": "web", "weight": 3, "battery_ah": 10, "panels": 3},
+			{"name": "batch", "weight": 1, "battery_ah": 3.2, "panels": 2}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := loadFleetSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := smallConfig()
+	var out, events bytes.Buffer
+	if err := run(context.Background(), &out, cfg, spec, false, "", false, obs.NewJSONL(&events), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `fleet "clitest": 40 servers`) {
+		t.Errorf("missing fleet summary:\n%s", out.String())
+	}
+	if !strings.Contains(events.String(), `"classes":[`) ||
+		!strings.Contains(events.String(), `"name":"web"`) {
+		t.Errorf("no per-class stats on the event stream:\n%s", events.String())
+	}
+
+	// Chaos resolves against the generated topology and the run accepts
+	// the schedule (a flat-rack resolution would be refused by sim.New).
+	out.Reset()
+	if err := run(context.Background(), &out, cfg, spec, false, "", false, nil, "heavy", 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `chaos: profile "heavy" seed 3 resolved to`) {
+		t.Errorf("missing chaos resolution notice:\n%s", out.String())
+	}
+
+	// Invalid specs are rejected at load time, before any run starts.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name":"x","total_servers":0,"templates":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadFleetSpec(bad); err == nil {
+		t.Error("invalid spec should error")
+	}
+	typo := filepath.Join(dir, "typo.json")
+	if err := os.WriteFile(typo, []byte(`{"name":"x","total_server":40}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadFleetSpec(typo); err == nil {
+		t.Error("unknown spec field should error")
+	}
+	if _, err := loadFleetSpec(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing spec file should error")
+	}
+}
+
 func TestRunCheckpointResume(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "state.json")
 	cfg := smallConfig()
@@ -243,13 +312,13 @@ func TestRunCheckpointResume(t *testing.T) {
 
 	// Reference: the uninterrupted run.
 	var ref bytes.Buffer
-	if err := run(context.Background(), &ref, cfg, true, "", false, nil, "", 0); err != nil {
+	if err := run(context.Background(), &ref, cfg, nil, true, "", false, nil, "", 0); err != nil {
 		t.Fatal(err)
 	}
 
 	// Interrupt after three epochs; the per-epoch checkpoint survives.
 	var interrupted bytes.Buffer
-	err := run(newCheckCountCtx(3), &interrupted, cfg, true, ckpt, false, nil, "", 0)
+	err := run(newCheckCountCtx(3), &interrupted, cfg, nil, true, ckpt, false, nil, "", 0)
 	if err != context.Canceled {
 		t.Fatalf("interrupted run err = %v, want context.Canceled", err)
 	}
@@ -263,7 +332,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	// Resume: picks up at epoch 3 and reproduces the reference output
 	// exactly (everything after the resume notice is bit-identical).
 	var resumed bytes.Buffer
-	if err := run(context.Background(), &resumed, cfg, true, ckpt, true, nil, "", 0); err != nil {
+	if err := run(context.Background(), &resumed, cfg, nil, true, ckpt, true, nil, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := resumed.String()
@@ -277,7 +346,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	// -resume with no checkpoint file on disk is a fresh start.
 	var freshStart bytes.Buffer
 	missing := filepath.Join(t.TempDir(), "absent.json")
-	if err := run(context.Background(), &freshStart, cfg, true, missing, true, nil, "", 0); err != nil {
+	if err := run(context.Background(), &freshStart, cfg, nil, true, missing, true, nil, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(freshStart.String(), "resumed") {

@@ -20,7 +20,15 @@
 //	             [-sysfs-root DIR] [-epoch 5m] [-once N]
 //	             [-checkpoint FILE] [-resume] [-checkpoint-keep N]
 //	             [-qtable FILE] [-events FILE] [-pprof]
-//	             [-chaos-profile P] [-chaos-seed N]
+//	             [-chaos-profile P] [-chaos-seed N] [-fleet FILE]
+//
+// With -fleet FILE (sim backend only) the daemon manages a generated
+// heterogeneous fleet instead of the flat Table I rack: FILE is a
+// fleet spec (see internal/fleet) stamped deterministically into
+// racks, classes and zones. The control plane then sees the fleet's
+// aggregate census — total servers, fleet-level PV peak, a
+// class-indexed battery bank — and chaos profiles resolve against the
+// generated topology, so zone outages strike generated zones.
 //
 // With -checkpoint the daemon persists the full controller state
 // (battery model, PSS accounting, predictors, decision history and the
@@ -46,6 +54,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -62,10 +71,12 @@ import (
 	"time"
 
 	"greensprint/internal/atomicfile"
+	"greensprint/internal/battery"
 	"greensprint/internal/chaos"
 	"greensprint/internal/cluster"
 	"greensprint/internal/config"
 	"greensprint/internal/core"
+	"greensprint/internal/fleet"
 	"greensprint/internal/httpapi"
 	"greensprint/internal/loadgen"
 	"greensprint/internal/obs"
@@ -90,6 +101,7 @@ type options struct {
 	pprof     bool
 	chaos     string
 	chaosSeed int64
+	fleetSpec *fleet.Spec
 }
 
 func main() {
@@ -108,12 +120,23 @@ func main() {
 	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.StringVar(&o.chaos, "chaos-profile", "", "failure profile enabling chaos injection: light, heavy, or key=weight[:MIN-MAX] spec (sim backend)")
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed resolving the -chaos-profile failure timeline")
+	fleetPath := flag.String("fleet", "", "fleet spec JSON file replacing the flat rack with a generated heterogeneous fleet (sim backend)")
 	flag.Parse()
 	if o.resume && o.ckpt == "" {
 		log.Fatal("greensprintd: -resume requires -checkpoint")
 	}
 	if o.chaos != "" && o.backend != "sim" {
 		log.Fatal("greensprintd: -chaos-profile requires -backend sim")
+	}
+	if *fleetPath != "" {
+		if o.backend != "sim" {
+			log.Fatal("greensprintd: -fleet requires -backend sim")
+		}
+		spec, err := loadFleetSpec(*fleetPath)
+		if err != nil {
+			log.Fatalf("greensprintd: %v", err)
+		}
+		o.fleetSpec = spec
 	}
 	if o.ckptKeep > 0 && o.ckpt == "" {
 		log.Fatal("greensprintd: -checkpoint-keep requires -checkpoint")
@@ -152,7 +175,7 @@ func buildController(cfg config.Config, o options) (ctrl *core.Controller, colle
 	if err != nil {
 		return nil, nil, false, err
 	}
-	green, err := cfg.GreenConfig()
+	green, topo, err := fleetView(cfg, o)
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -161,17 +184,29 @@ func buildController(cfg config.Config, o options) (ctrl *core.Controller, colle
 		epoch = cfg.Epoch.Std()
 	}
 
-	var fleet *pmk.Fleet
+	var knobs *pmk.Fleet
+	var bank battery.Store
 	ticker = true
 	switch o.backend {
 	case "sim":
-		fleet = pmk.NewSimFleet(green.GreenServers)
-	case "sysfs":
-		knobs := make([]pmk.Knob, green.GreenServers)
-		for i := range knobs {
-			knobs[i] = pmk.NewSysfs(o.sysfsRoot)
+		knobs = pmk.NewSimFleet(green.GreenServers)
+		if topo != nil {
+			// Fleet run: the controller's battery view is the
+			// class-indexed bank of the generated topology instead of
+			// the flat per-unit bank green.NewBank would build.
+			cb, err := battery.NewClassBank(topo.BatteryClasses())
+			if err != nil {
+				return nil, nil, false, err
+			}
+			bank = cb
+			log.Printf("greensprintd: %s", topo.Summary())
 		}
-		fleet = pmk.NewFleet(knobs...)
+	case "sysfs":
+		ks := make([]pmk.Knob, green.GreenServers)
+		for i := range ks {
+			ks[i] = pmk.NewSysfs(o.sysfsRoot)
+		}
+		knobs = pmk.NewFleet(ks...)
 		ticker = false // external monitor drives /step
 	default:
 		return nil, nil, false, fmt.Errorf("unknown backend %q", o.backend)
@@ -183,7 +218,8 @@ func buildController(cfg config.Config, o options) (ctrl *core.Controller, colle
 		Green:        green,
 		StrategyName: cfg.Strategy,
 		Epoch:        epoch,
-		Fleet:        fleet,
+		Fleet:        knobs,
+		Bank:         bank,
 		Sink:         collector, // the JSONL sink joins in serve, where the file is owned
 	})
 	if err != nil {
@@ -209,7 +245,7 @@ func buildController(cfg config.Config, o options) (ctrl *core.Controller, colle
 // save: an in-flight Step can neither race the save (the Q-table has
 // no lock of its own) nor land after it and be lost.
 func serve(ctx context.Context, ctrl *core.Controller, collector *obs.Collector, ticker bool, cfg config.Config, o options) error {
-	green, err := cfg.GreenConfig()
+	green, topo, err := fleetView(cfg, o)
 	if err != nil {
 		return err
 	}
@@ -230,7 +266,7 @@ func serve(ctx context.Context, ctrl *core.Controller, collector *obs.Collector,
 		ctrl.SetSink(sink)
 	}
 
-	inj, err := buildInjector(cfg, green, epoch, o)
+	inj, err := buildInjector(cfg, green, topo, epoch, o)
 	if err != nil {
 		return err
 	}
@@ -289,6 +325,50 @@ func serve(ctx context.Context, ctrl *core.Controller, collector *obs.Collector,
 		return srvErr
 	}
 	return srv.Shutdown(shutdownCtx)
+}
+
+// fleetView resolves the run's effective green view. For flat runs it
+// is the configured Table I option and a nil topology. For -fleet runs
+// the spec is generated (deterministically — every caller sees the
+// identical topology) and the green config becomes the fleet's
+// aggregate census: total servers and fleet-level panel count, so the
+// control plane's per-server budgeting and the synthesized supply are
+// both sized to the generated fleet. The class-indexed battery bank is
+// built separately from the topology (see buildController).
+func fleetView(cfg config.Config, o options) (cluster.GreenConfig, *fleet.Topology, error) {
+	green, err := cfg.GreenConfig()
+	if err != nil {
+		return cluster.GreenConfig{}, nil, err
+	}
+	if o.fleetSpec == nil {
+		return green, nil, nil
+	}
+	topo, err := o.fleetSpec.Generate()
+	if err != nil {
+		return cluster.GreenConfig{}, nil, err
+	}
+	green.Name = topo.Spec.Name
+	green.GreenServers = topo.Servers
+	green.Panels = topo.Panels
+	return green, topo, nil
+}
+
+// loadFleetSpec reads and validates a fleet spec JSON file.
+func loadFleetSpec(path string) (*fleet.Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load fleet spec: %w", err)
+	}
+	var spec fleet.Spec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("fleet spec %s: %w", path, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet spec %s: %w", path, err)
+	}
+	return &spec, nil
 }
 
 // loadQTable restores a persisted Hybrid Q-table, if the controller
@@ -409,15 +489,11 @@ func rotateCheckpoints(path string, epoch, keep int) error {
 // injector for the tick loop, or nil when chaos is off. The timeline
 // covers the same window the synthesized supply trace does; ticks past
 // it simply see no further faults.
-func buildInjector(cfg config.Config, green cluster.GreenConfig, epoch time.Duration, o options) (*chaos.Injector, error) {
+func buildInjector(cfg config.Config, green cluster.GreenConfig, topo *fleet.Topology, epoch time.Duration, o options) (*chaos.Injector, error) {
 	if o.chaos == "" {
 		return nil, nil
 	}
 	prof, err := chaos.ParseProfile(o.chaos)
-	if err != nil {
-		return nil, err
-	}
-	bank, err := green.NewBank()
 	if err != nil {
 		return nil, err
 	}
@@ -426,7 +502,18 @@ func buildInjector(cfg config.Config, green cluster.GreenConfig, epoch time.Dura
 	if time.Duration(epochs)*epoch < window {
 		epochs++
 	}
-	sched, err := prof.Resolve(o.chaosSeed, epochs, green.GreenServers, bank.Size())
+	var sched *chaos.Schedule
+	if topo != nil {
+		// Fleet run: draw fault targets from the generated topology so
+		// zone outages strike generated zone membership.
+		sched, err = prof.ResolveFor(o.chaosSeed, epochs, topo.ChaosTopology())
+	} else {
+		bank, berr := green.NewBank()
+		if berr != nil {
+			return nil, berr
+		}
+		sched, err = prof.Resolve(o.chaosSeed, epochs, green.GreenServers, bank.Size())
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -176,6 +176,69 @@ func TestEventLog(t *testing.T) {
 	}
 }
 
+// TestRunFleet boots the daemon over a generated heterogeneous fleet:
+// the spec file loads and validates, the control plane sees the
+// fleet's aggregate census on every event, and chaos resolves against
+// the generated topology.
+func TestRunFleet(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "fleet.json")
+	specJSON := `{
+		"name": "daemonfleet",
+		"total_servers": 40,
+		"rack_size": 8,
+		"seed": 5,
+		"templates": [
+			{"name": "web", "weight": 3, "battery_ah": 10, "panels": 3},
+			{"name": "batch", "weight": 1, "battery_ah": 3.2, "panels": 2}
+		]
+	}`
+	if err := os.WriteFile(specPath, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := loadFleetSpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := filepath.Join(dir, "events.jsonl")
+	runWith(t, context.Background(), demoConfig(),
+		options{addr: "127.0.0.1:0", backend: "sim", epoch: 5 * time.Millisecond,
+			once: 3, events: events, fleetSpec: spec, chaos: "light", chaosSeed: 2})
+
+	f, err := os.Open(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var n int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if ev.Chaos != "" {
+			continue // fault/recovery transitions ride along
+		}
+		if ev.Servers != 40 {
+			t.Errorf("event %d sees %d servers, want the fleet's 40", n, ev.Servers)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("epoch events = %d, want 3", n)
+	}
+
+	// A fleet spec on a non-sim backend is refused by flag validation in
+	// main; the helper itself rejects malformed specs.
+	if _, err := loadFleetSpec(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing spec file should error")
+	}
+}
+
 // TestCheckpointRotation verifies -checkpoint-keep retains only the N
 // newest epoch-numbered snapshots beside the live checkpoint.
 func TestCheckpointRotation(t *testing.T) {

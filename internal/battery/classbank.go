@@ -1,0 +1,303 @@
+package battery
+
+import (
+	"fmt"
+	"time"
+
+	"greensprint/internal/units"
+)
+
+// ClassSpec declares one battery class of a fleet: a unit
+// configuration shared by Count servers.
+type ClassSpec struct {
+	Config Config
+	Count  int
+}
+
+// classGroup is a run of units in identical state: same class (so same
+// Config) and same mutable state, represented by one exemplar unit.
+// Groups form an ordered partition of the bank's unit index space —
+// group g covers the Count units after the groups before it.
+//
+// Even discharge/charge splitting keeps every unit of a class in
+// lockstep, so a fleet of 10,000 units is usually a handful of groups:
+// all per-epoch operations touch the exemplar once and weight the
+// result by Count. Only a targeted chaos degradation breaks a unit out
+// of its group (DegradeUnit splits the run), which mirrors how
+// Bank's shared-memo optimization stops sharing across degraded units.
+type classGroup struct {
+	class int
+	count int
+	unit  *Battery
+}
+
+// ClassBank is the structure-of-arrays generalization of Bank: the
+// fleet's battery units grouped by (class, state) instead of stored
+// per unit, so aggregate operations cost O(groups) rather than
+// O(units). For the paper's single-class topologies it is numerically
+// identical to Bank (unit counts ≤ 3 make the weighted sums exact).
+// A ClassBank is stateful and not safe for concurrent use.
+type ClassBank struct {
+	specs  []ClassSpec
+	groups []classGroup
+	size   int
+}
+
+// NewClassBank creates the fleet's units fully charged, one group per
+// class, units numbered class-major in spec order.
+func NewClassBank(specs []ClassSpec) (*ClassBank, error) {
+	b := &ClassBank{specs: append([]ClassSpec(nil), specs...)}
+	for i, s := range specs {
+		if s.Count < 1 {
+			return nil, fmt.Errorf("battery: class %d count %d < 1", i, s.Count)
+		}
+		u, err := New(s.Config)
+		if err != nil {
+			return nil, fmt.Errorf("battery: class %d: %w", i, err)
+		}
+		b.groups = append(b.groups, classGroup{class: i, count: s.Count, unit: u})
+		b.size += s.Count
+	}
+	return b, nil
+}
+
+// Size returns the total number of units represented.
+func (b *ClassBank) Size() int { return b.size }
+
+// Groups returns the current group count (units in distinct states) —
+// the quantity per-epoch cost actually scales with.
+func (b *ClassBank) Groups() int { return len(b.groups) }
+
+// availCount returns the number of units not at the DoD floor.
+func (b *ClassBank) availCount() int {
+	n := 0
+	for _, g := range b.groups {
+		if !g.unit.AtFloor() {
+			n += g.count
+		}
+	}
+	return n
+}
+
+// MaxDoD returns the most conservative (smallest) depth-of-discharge
+// limit across classes, which is exact for single-class fleets and a
+// safe floor for mixed ones. An empty bank returns 0.
+func (b *ClassBank) MaxDoD() float64 {
+	min := 0.0
+	for i, s := range b.specs {
+		if i == 0 || s.Config.MaxDoD < min {
+			min = s.Config.MaxDoD
+		}
+	}
+	return min
+}
+
+// MaxSustainablePower returns the aggregate constant power the fleet's
+// batteries can hold for duration d: one bisection per group, weighted
+// by group size. Each exemplar's memo makes per-epoch repeats free,
+// exactly like Bank's shared-run optimization.
+func (b *ClassBank) MaxSustainablePower(d time.Duration) units.Watt {
+	var sum units.Watt
+	for _, g := range b.groups {
+		if g.unit.AtFloor() {
+			continue
+		}
+		sum += units.Watt(float64(g.count) * float64(g.unit.MaxSustainablePower(d)))
+	}
+	return sum
+}
+
+// RemainingTime returns how long the fleet sustains an aggregate draw
+// split evenly across available units: the Peukert full-drain time is
+// computed once per group and the weakest group bounds the bank.
+func (b *ClassBank) RemainingTime(p units.Watt) time.Duration {
+	if p <= 0 {
+		return 1<<63 - 1
+	}
+	avail := b.availCount()
+	if avail == 0 {
+		return 0
+	}
+	per := units.Watt(float64(p) / float64(avail))
+	min := time.Duration(1<<63 - 1)
+	for _, g := range b.groups {
+		if g.unit.AtFloor() {
+			continue
+		}
+		if t := g.unit.remainingTimeWithFull(g.unit.timeToEmpty(per)); t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// Discharge draws aggregate power p for duration d, split evenly over
+// the available units. Every unit of a group is in the same state, so
+// one exemplar discharge advances them all; the weakest group limits
+// the sustained duration, as the weakest unit does for Bank.
+func (b *ClassBank) Discharge(p units.Watt, d time.Duration) (time.Duration, error) {
+	if p <= 0 || d <= 0 {
+		return 0, nil
+	}
+	avail := b.availCount()
+	if avail == 0 {
+		return 0, ErrEmpty
+	}
+	per := units.Watt(float64(p) / float64(avail))
+	min := d
+	var firstErr error
+	for _, g := range b.groups {
+		if g.unit.AtFloor() {
+			continue
+		}
+		took, err := g.unit.Discharge(per, d)
+		if took < min {
+			min = took
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return min, firstErr
+}
+
+// Charge distributes charging power evenly across all units and
+// returns the total energy accepted.
+func (b *ClassBank) Charge(p units.Watt, d time.Duration) units.WattHour {
+	if b.size == 0 || p <= 0 || d <= 0 {
+		return 0
+	}
+	per := units.Watt(float64(p) / float64(b.size))
+	var total units.WattHour
+	for _, g := range b.groups {
+		total += units.WattHour(float64(g.count) * float64(g.unit.Charge(per, d)))
+	}
+	return total
+}
+
+// DegradeUnit applies a permanent chaos degradation to unit i. The
+// unit's group splits so the degraded unit gets its own exemplar and
+// the healthy neighbours keep theirs — after the split each group
+// still holds units in identical state.
+func (b *ClassBank) DegradeUnit(i int, capFactor, resistFactor float64) error {
+	if i < 0 || i >= b.size {
+		return fmt.Errorf("battery: degrade: unit %d of %d", i, b.size)
+	}
+	gi, offset := 0, i
+	for offset >= b.groups[gi].count {
+		offset -= b.groups[gi].count
+		gi++
+	}
+	g := b.groups[gi]
+	if g.count == 1 {
+		return g.unit.Degrade(capFactor, resistFactor)
+	}
+	// Split the run at the target: [before][target][after]. Each part
+	// needs its own exemplar — groups apply mutations once apiece, so
+	// sharing a *Battery across groups would double-apply them.
+	target := *g.unit
+	if err := target.Degrade(capFactor, resistFactor); err != nil {
+		return err
+	}
+	parts := make([]classGroup, 0, 3)
+	if offset > 0 {
+		parts = append(parts, classGroup{class: g.class, count: offset, unit: g.unit})
+	}
+	parts = append(parts, classGroup{class: g.class, count: 1, unit: &target})
+	if rest := g.count - offset - 1; rest > 0 {
+		after := *g.unit
+		parts = append(parts, classGroup{class: g.class, count: rest, unit: &after})
+	}
+	b.groups = append(b.groups[:gi], append(parts, b.groups[gi+1:]...)...)
+	return nil
+}
+
+// SoC returns the count-weighted mean state of charge (1 for an empty
+// bank).
+func (b *ClassBank) SoC() float64 {
+	if b.size == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, g := range b.groups {
+		sum += float64(g.count) * g.unit.SoC()
+	}
+	return sum / float64(b.size)
+}
+
+// UsableEnergy returns the aggregate energy above the DoD floors.
+func (b *ClassBank) UsableEnergy() units.WattHour {
+	var sum units.WattHour
+	for _, g := range b.groups {
+		sum += units.WattHour(float64(g.count) * float64(g.unit.UsableEnergy()))
+	}
+	return sum
+}
+
+// EquivalentCycles returns the count-weighted mean cycle usage.
+func (b *ClassBank) EquivalentCycles() float64 {
+	if b.size == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, g := range b.groups {
+		sum += float64(g.count) * g.unit.EquivalentCycles()
+	}
+	return sum / float64(b.size)
+}
+
+// Reset restores all units to full charge without clearing wear.
+func (b *ClassBank) Reset() {
+	for _, g := range b.groups {
+		g.unit.Reset()
+	}
+}
+
+// Snapshot captures the bank's grouped state.
+func (b *ClassBank) Snapshot() BankSnapshot {
+	s := BankSnapshot{Groups: make([]GroupSnapshot, len(b.groups))}
+	for i, g := range b.groups {
+		s.Groups[i] = GroupSnapshot{Class: g.class, Count: g.count, State: g.unit.Snapshot()}
+	}
+	return s
+}
+
+// Restore replaces the bank's state from a group-form snapshot taken
+// from a bank with the same class specs: the per-class unit totals
+// must match, but the grouping itself may differ (chaos splits move).
+func (b *ClassBank) Restore(s BankSnapshot) error {
+	if len(s.Groups) == 0 && len(s.Units) > 0 {
+		return fmt.Errorf("battery: restore: class bank needs a group-form snapshot, got %d flat units", len(s.Units))
+	}
+	perClass := make([]int, len(b.specs))
+	groups := make([]classGroup, 0, len(s.Groups))
+	last := -1
+	for i, gs := range s.Groups {
+		if gs.Class < 0 || gs.Class >= len(b.specs) {
+			return fmt.Errorf("battery: restore: group %d class %d of %d", i, gs.Class, len(b.specs))
+		}
+		if gs.Class < last {
+			return fmt.Errorf("battery: restore: group %d class %d out of order", i, gs.Class)
+		}
+		if gs.Count < 1 {
+			return fmt.Errorf("battery: restore: group %d count %d < 1", i, gs.Count)
+		}
+		last = gs.Class
+		perClass[gs.Class] += gs.Count
+		u, err := New(b.specs[gs.Class].Config)
+		if err != nil {
+			return fmt.Errorf("battery: restore: group %d: %w", i, err)
+		}
+		if err := u.Restore(gs.State); err != nil {
+			return fmt.Errorf("battery: restore: group %d: %w", i, err)
+		}
+		groups = append(groups, classGroup{class: gs.Class, count: gs.Count, unit: u})
+	}
+	for i, want := range b.specs {
+		if perClass[i] != want.Count {
+			return fmt.Errorf("battery: restore: class %d has %d units, want %d", i, perClass[i], want.Count)
+		}
+	}
+	b.groups = groups
+	return nil
+}

@@ -64,10 +64,23 @@ func (b *Battery) Restore(s Snapshot) error {
 	return nil
 }
 
-// BankSnapshot is the serializable state of a bank: one Snapshot per
-// unit, in unit order.
+// BankSnapshot is the serializable state of a bank. A per-unit Bank
+// captures one Snapshot per unit, in unit order; a fleet-scale
+// ClassBank captures its grouped form instead — runs of units in
+// identical state keyed by class. Exactly one of the two shapes is
+// populated, and Groups is omitted from the wire format for per-unit
+// banks so pre-fleet snapshots stay byte-identical.
 type BankSnapshot struct {
-	Units []Snapshot `json:"units"`
+	Units  []Snapshot      `json:"units"`
+	Groups []GroupSnapshot `json:"groups,omitempty"`
+}
+
+// GroupSnapshot is one ClassBank group: Count units of class Class
+// sharing the captured mutable state.
+type GroupSnapshot struct {
+	Class int      `json:"class"`
+	Count int      `json:"count"`
+	State Snapshot `json:"state"`
 }
 
 // Snapshot captures the per-unit state of the whole bank.
@@ -82,6 +95,9 @@ func (b *Bank) Snapshot() BankSnapshot {
 // Restore replaces every unit's state from a snapshot of a bank with
 // the same unit count and configuration.
 func (b *Bank) Restore(s BankSnapshot) error {
+	if len(s.Groups) > 0 {
+		return fmt.Errorf("battery: restore: per-unit bank cannot restore a group-form (class bank) snapshot")
+	}
 	if len(s.Units) != len(b.units) {
 		return fmt.Errorf("battery: restore: snapshot has %d units, bank has %d", len(s.Units), len(b.units))
 	}

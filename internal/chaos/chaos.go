@@ -140,9 +140,25 @@ type Schedule struct {
 	// for (green servers and battery units).
 	Servers int `json:"servers"`
 	Units   int `json:"units"`
+	// Zones is the availability-zone count targets were drawn for;
+	// 0 (omitted) means the legacy two-way contiguous split, which
+	// keeps pre-fleet schedule fixtures byte-identical.
+	Zones int `json:"zones,omitempty"`
+	// ZoneMembers lists each zone's server indices (ascending) when
+	// the schedule was resolved against a generated fleet topology;
+	// nil means the legacy contiguous split of Servers.
+	ZoneMembers [][]int `json:"zone_members,omitempty"`
 	// Faults is the timeline, ordered by Epoch (ties keep draw
 	// order).
 	Faults []Fault `json:"faults"`
+}
+
+// numZones returns the zone count outage targets range over.
+func (s *Schedule) numZones() int {
+	if s.Zones > 0 {
+		return s.Zones
+	}
+	return NumZones
 }
 
 // zoneOf returns the zone partition for a server count: servers are
@@ -159,31 +175,64 @@ func zoneOf(servers, zone int) (lo, hi int) {
 // NumZones is the zone count ZoneOutage draws targets from.
 const NumZones = 2
 
-// Resolve draws a concrete Schedule from the profile: for every epoch
-// and every profile entry (in fixed mode order) a Bernoulli trial
-// with per-epoch probability weight/epochs decides whether the mode
-// strikes, and targets, durations and magnitudes are drawn from the
-// same seeded generator. Resolution happens once, before the run;
-// nothing during the run consumes randomness.
+// Topology is the component census fault targets are drawn from: the
+// flat (servers, units) pair for the paper's single rack, or the
+// generated fleet shape with explicit zone membership. The zero-value
+// zone fields mean the legacy two-way contiguous split.
+type Topology struct {
+	// Servers and Units are the server and battery-unit counts.
+	Servers int
+	Units   int
+	// Zones is the availability-zone count (0 = NumZones).
+	Zones int
+	// ZoneMembers lists each zone's server indices in ascending
+	// order; nil = contiguous split of Servers across Zones == 2.
+	ZoneMembers [][]int
+}
+
+// Resolve draws a concrete Schedule from the profile for the paper's
+// flat single-rack topology: servers split into the legacy two
+// contiguous zones. It consumes the seeded generator exactly as
+// ResolveFor does, so pre-fleet schedules stay bit-identical.
 func (p Profile) Resolve(seed int64, epochs, servers, units int) (*Schedule, error) {
+	return p.ResolveFor(seed, epochs, Topology{Servers: servers, Units: units})
+}
+
+// ResolveFor draws a concrete Schedule from the profile against an
+// explicit topology: for every epoch and every profile entry (in fixed
+// mode order) a Bernoulli trial with per-epoch probability
+// weight/epochs decides whether the mode strikes, and targets,
+// durations and magnitudes are drawn from the same seeded generator.
+// Zone outages target the topology's zones and cascade across their
+// member lists. Resolution happens once, before the run; nothing
+// during the run consumes randomness.
+func (p Profile) ResolveFor(seed int64, epochs int, topo Topology) (*Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if epochs < 0 {
 		return nil, fmt.Errorf("chaos: negative epoch horizon %d", epochs)
 	}
-	if servers < 1 {
-		return nil, fmt.Errorf("chaos: need at least one server, got %d", servers)
+	if topo.Servers < 1 {
+		return nil, fmt.Errorf("chaos: need at least one server, got %d", topo.Servers)
 	}
-	if units < 0 {
-		return nil, fmt.Errorf("chaos: negative battery unit count %d", units)
+	if topo.Units < 0 {
+		return nil, fmt.Errorf("chaos: negative battery unit count %d", topo.Units)
+	}
+	if topo.Zones < 0 {
+		return nil, fmt.Errorf("chaos: negative zone count %d", topo.Zones)
 	}
 	s := &Schedule{
-		Seed:    seed,
-		Source:  p.String(),
-		Epochs:  epochs,
-		Servers: servers,
-		Units:   units,
+		Seed:        seed,
+		Source:      p.String(),
+		Epochs:      epochs,
+		Servers:     topo.Servers,
+		Units:       topo.Units,
+		Zones:       topo.Zones,
+		ZoneMembers: topo.ZoneMembers,
+	}
+	if s.ZoneMembers != nil && len(s.ZoneMembers) != s.numZones() {
+		return nil, fmt.Errorf("chaos: %d zone member lists for %d zones", len(s.ZoneMembers), s.numZones())
 	}
 	rng := rand.New(rand.NewSource(seed))
 	for epoch := 0; epoch < epochs; epoch++ {
@@ -242,15 +291,24 @@ func (s *Schedule) draw(rng *rand.Rand, e Entry, epoch int) {
 	case BreakerTrip:
 		s.Faults = append(s.Faults, Fault{Epoch: epoch, Mode: BreakerTrip, Recover: recover()})
 	case ZoneOutage:
-		zone := rng.Intn(NumZones)
+		zone := rng.Intn(s.numZones())
 		rec := recover()
 		s.Faults = append(s.Faults, Fault{Epoch: epoch, Mode: ZoneOutage, Target: zone, Recover: rec})
-		lo, hi := zoneOf(s.Servers, zone)
-		for srv := lo; srv < hi; srv++ {
-			s.Faults = append(s.Faults, Fault{
-				Epoch: epoch, Mode: ServerCrash,
-				Target: srv, Recover: rec, Cascade: true,
-			})
+		if s.ZoneMembers != nil {
+			for _, srv := range s.ZoneMembers[zone] {
+				s.Faults = append(s.Faults, Fault{
+					Epoch: epoch, Mode: ServerCrash,
+					Target: srv, Recover: rec, Cascade: true,
+				})
+			}
+		} else {
+			lo, hi := zoneOf(s.Servers, zone)
+			for srv := lo; srv < hi; srv++ {
+				s.Faults = append(s.Faults, Fault{
+					Epoch: epoch, Mode: ServerCrash,
+					Target: srv, Recover: rec, Cascade: true,
+				})
+			}
 		}
 		// The zone's PDU leg carries the green feed: losing the zone
 		// drops the inverter attachment with it.
@@ -291,6 +349,21 @@ func (s *Schedule) Validate() error {
 	if s.Units < 0 || s.Epochs < 0 {
 		return fmt.Errorf("chaos: negative units (%d) or epochs (%d)", s.Units, s.Epochs)
 	}
+	if s.Zones < 0 {
+		return fmt.Errorf("chaos: negative zone count %d", s.Zones)
+	}
+	if s.ZoneMembers != nil {
+		if len(s.ZoneMembers) != s.numZones() {
+			return fmt.Errorf("chaos: %d zone member lists for %d zones", len(s.ZoneMembers), s.numZones())
+		}
+		for z, members := range s.ZoneMembers {
+			for _, srv := range members {
+				if srv < 0 || srv >= s.Servers {
+					return fmt.Errorf("chaos: zone %d member %d of %d servers", z, srv, s.Servers)
+				}
+			}
+		}
+	}
 	prev := 0
 	for i, f := range s.Faults {
 		if f.Epoch < prev {
@@ -321,8 +394,8 @@ func (s *Schedule) Validate() error {
 		case PSSStuck, SolarDropout, BreakerTrip:
 			// No target.
 		case ZoneOutage:
-			if f.Target < 0 || f.Target >= NumZones {
-				return fmt.Errorf("chaos: fault %d targets zone %d of %d", i, f.Target, NumZones)
+			if f.Target < 0 || f.Target >= s.numZones() {
+				return fmt.Errorf("chaos: fault %d targets zone %d of %d", i, f.Target, s.numZones())
 			}
 		default:
 			return fmt.Errorf("chaos: fault %d has unknown mode %d", i, f.Mode)

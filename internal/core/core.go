@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"greensprint/internal/battery"
 	"greensprint/internal/cluster"
 	"greensprint/internal/obs"
 	"greensprint/internal/pmk"
@@ -55,6 +56,10 @@ type Options struct {
 	// Table is the profiling table; built from the workload model
 	// when nil.
 	Table *profile.Table
+	// Bank optionally supplies the battery store backing the PSS —
+	// e.g. a battery.ClassBank for a generated fleet; when nil a
+	// per-unit bank is built from Green.NewBank.
+	Bank battery.Store
 	// Sink optionally receives one obs.Event per Step: the telemetry
 	// that drove the decision, the decision itself and the
 	// power-source split (the daemon wires a Prometheus collector and
@@ -162,9 +167,13 @@ func New(opts Options) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	bank, err := opts.Green.NewBank()
-	if err != nil {
-		return nil, err
+	var bank battery.Store = opts.Bank
+	if bank == nil {
+		b, err := opts.Green.NewBank()
+		if err != nil {
+			return nil, err
+		}
+		bank = b
 	}
 	fleet := opts.Fleet
 	if fleet == nil {

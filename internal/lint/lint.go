@@ -45,6 +45,7 @@ const ModulePath = "greensprint"
 // forbidden (rules nondeterm and maprange).
 var DeterministicPackages = map[string]bool{
 	ModulePath + "/internal/chaos":       true,
+	ModulePath + "/internal/fleet":       true,
 	ModulePath + "/internal/sim":         true,
 	ModulePath + "/internal/strategy":    true,
 	ModulePath + "/internal/battery":     true,
@@ -70,6 +71,7 @@ var DeterministicPackages = map[string]bool{
 // a data race waiting for a scheduler change (rule nogoroutine).
 var StepGraphPackages = map[string]bool{
 	ModulePath + "/internal/chaos":     true,
+	ModulePath + "/internal/fleet":     true,
 	ModulePath + "/internal/sim":       true,
 	ModulePath + "/internal/strategy":  true,
 	ModulePath + "/internal/battery":   true,

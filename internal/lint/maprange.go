@@ -12,7 +12,10 @@ import (
 // PR 4 removed. A site is accepted when the iteration result is
 // sorted immediately afterwards (an ordering call — sort.Slice,
 // slices.Sort, ... — later in the same block, the collect-then-sort
-// idiom) or when it carries a
+// idiom), when it is deterministic by construction (a map keyed by
+// server.Config whose body drains each entry into its canonical
+// server.Index slot — every key lands in a fixed position regardless
+// of visit order), or when it carries a
 // //greensprint:allow(maprange) directive with a justification that
 // the loop body is order-independent.
 type MapRangeRule struct{}
@@ -39,7 +42,9 @@ func (MapRangeRule) Check(p *Package, report ReportFunc) {
 			}
 			if rs, ok := n.(*ast.RangeStmt); ok && len(stack) > 0 {
 				if t := p.Info.TypeOf(rs.X); t != nil {
-					if _, isMap := t.Underlying().(*types.Map); isMap && !sortedAfter(p, stack[len(stack)-1], rs) {
+					if _, isMap := t.Underlying().(*types.Map); isMap &&
+						!sortedAfter(p, stack[len(stack)-1], rs) &&
+						!drainedByServerIndex(p, rs) {
 						name := types.TypeString(t, types.RelativeTo(p.Types))
 						report(rs.Pos(), "range over map (type "+name+") iterates in nondeterministic order; sort the collected keys/results or annotate with //greensprint:allow(maprange)")
 					}
@@ -49,6 +54,74 @@ func (MapRangeRule) Check(p *Package, report ReportFunc) {
 			return true
 		})
 	}
+}
+
+// serverPkgPath is the knob-space package whose canonical index makes
+// a map drain order-independent.
+const serverPkgPath = ModulePath + "/internal/server"
+
+// drainedByServerIndex reports whether the range is deterministic by
+// construction: the map is keyed by server.Config and the body indexes
+// by server.Index(key), so every entry lands in its canonical slot of
+// a dense structure no matter which order the runtime visits keys in.
+// Both the key type and the Index call are resolved through the type
+// checker (types.Info), so a local shadow of the server package name
+// or a different Index function does not qualify.
+func drainedByServerIndex(p *Package, rs *ast.RangeStmt) bool {
+	t := p.Info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	mt, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	named, ok := mt.Key().(*types.Named)
+	if !ok {
+		return false
+	}
+	if obj := named.Obj(); obj.Pkg() == nil || obj.Pkg().Path() != serverPkgPath || obj.Name() != "Config" {
+		return false
+	}
+	keyIdent, ok := rs.Key.(*ast.Ident)
+	if !ok || keyIdent.Name == "_" {
+		return false
+	}
+	keyObj := p.Info.Defs[keyIdent]
+	if keyObj == nil {
+		keyObj = p.Info.Uses[keyIdent]
+	}
+	if keyObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Index" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != serverPkgPath {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && p.Info.Uses[arg] == keyObj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // orderingFuncs are the stdlib functions that impose an order on

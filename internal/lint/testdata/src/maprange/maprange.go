@@ -3,7 +3,11 @@
 // must not, and a justified order-independent loop.
 package maprange
 
-import "sort"
+import (
+	"sort"
+
+	"greensprint/internal/server"
+)
 
 // Keys leaks map iteration order into its return value.
 func Keys(m map[string]int) []string {
@@ -22,6 +26,31 @@ func SortedKeys(m map[string]int) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// DenseByIndex drains a Config-keyed map into canonical server.Index
+// slots: every key lands in a fixed position regardless of visit
+// order, so the rule accepts it without a directive — deterministic by
+// construction.
+func DenseByIndex(m map[server.Config]float64) []float64 {
+	out := make([]float64, server.NumConfigs())
+	for c, v := range m {
+		out[server.Index(c)] = v
+	}
+	return out
+}
+
+// LeakConfigOrder is also keyed by server.Config but appends, so the
+// iteration order still leaks into the result; the exemption must not
+// cover it.
+func LeakConfigOrder(m map[server.Config]float64) []float64 {
+	var out []float64
+	for c, v := range m {
+		if c.Valid() {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // Reset mutates each value independently; order is unobservable, which

@@ -27,6 +27,10 @@ type Collector struct {
 	splitGreen, splitBattery, splitGrid    *Gauge
 	latQ50, latQ90, latQ99                 *Gauge
 
+	classAlive   *Gauge
+	classGoodput *Gauge
+	classEnergy  *Gauge
+
 	greenSupply *Gauge
 	soc         *Gauge
 	dod         *Gauge
@@ -43,6 +47,17 @@ type Collector struct {
 	// small and recur every epoch).
 	decisionCh map[decisionKey]*Counter
 	caseCh     map[string]*Counter
+	// classCh memoizes the per-class gauge children of a fleet-scale
+	// run (one label set per fleet template; flat runs never touch
+	// it).
+	classCh map[string]*classGauges
+}
+
+// classGauges is one server class's gauge children.
+type classGauges struct {
+	alive    *Gauge
+	goodput  *Gauge
+	energyWh *Gauge
 }
 
 type decisionKey struct{ strategy, config string }
@@ -82,7 +97,14 @@ func NewCollector() *Collector {
 		gp:         metrics.DefaultGoodputHistogram(),
 		decisionCh: map[decisionKey]*Counter{},
 		caseCh:     map[string]*Counter{},
+		classCh:    map[string]*classGauges{},
 	}
+	c.classAlive = r.NewGauge("greensprint_class_alive_servers",
+		"Alive servers per fleet class (fleet-scale runs only).")
+	c.classGoodput = r.NewGauge("greensprint_class_goodput_rps",
+		"Aggregate QoS-compliant throughput per fleet class.")
+	c.classEnergy = r.NewGauge("greensprint_class_energy_wh",
+		"Cumulative server energy per fleet class (Wh).")
 	energyWh := r.NewCounter("greensprint_energy_wh_total",
 		"Rack-level energy delivered, by power source.")
 	c.energyGreen = energyWh.With("source", "green")
@@ -143,10 +165,35 @@ func (c *Collector) Observe(ev Event) {
 	c.sprintFrac.Set(ev.SprintFraction)
 	c.goodput.Set(ev.Goodput)
 
+	// Per-class gauges: ev.Classes may be the emitter's reused
+	// buffer, so its values are consumed here and not retained.
+	for _, cs := range ev.Classes {
+		g := c.class(cs.Name)
+		g.alive.Set(float64(cs.Alive))
+		g.goodput.Set(cs.Goodput)
+		g.energyWh.Set(cs.EnergyWh)
+	}
+
 	c.mu.Lock()
 	c.lat.Observe(ev.LatencySec)
 	c.gp.Observe(ev.Goodput)
 	c.mu.Unlock()
+}
+
+// class returns the memoized gauge children for one fleet class.
+func (c *Collector) class(name string) *classGauges {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.classCh[name]
+	if !ok {
+		g = &classGauges{
+			alive:    c.classAlive.With("class", name),
+			goodput:  c.classGoodput.With("class", name),
+			energyWh: c.classEnergy.With("class", name),
+		}
+		c.classCh[name] = g
+	}
+	return g
 }
 
 // decision returns the memoized counter child for one

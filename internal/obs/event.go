@@ -83,6 +83,22 @@ type Event struct {
 	ChaosMode   string `json:"chaos_mode,omitempty"`
 	ChaosTarget int    `json:"chaos_target,omitempty"`
 	ChaosDetail string `json:"chaos_detail,omitempty"`
+
+	// Classes is the per-server-class breakdown of a fleet-scale run,
+	// in fleet-spec template order; nil (omitted) for the paper's flat
+	// configs, so pre-fleet streams stay byte-identical. The slice may
+	// be a buffer reused by the emitter: sinks must consume it during
+	// Emit and not retain it.
+	Classes []ClassStat `json:"classes,omitempty"`
+}
+
+// ClassStat is one server class's slice of a fleet epoch: its alive
+// census, aggregate goodput, and cumulative server energy.
+type ClassStat struct {
+	Name     string  `json:"name"`
+	Alive    int     `json:"alive"`
+	Goodput  float64 `json:"goodput"`
+	EnergyWh float64 `json:"energy_wh"`
 }
 
 // Sink receives one Event per scheduling epoch. Implementations must

@@ -132,6 +132,52 @@ func TestCollectorMetrics(t *testing.T) {
 	}
 }
 
+// TestCollectorClassGauges feeds events carrying per-class stats (a
+// fleet-scale run) and checks the class-labelled gauges: last-write
+// values per class, and no class series at all for flat events.
+func TestCollectorClassGauges(t *testing.T) {
+	flat := NewCollector()
+	if err := flat.Emit(sampleEvent(0)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := flat.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `class="`) {
+		t.Error("flat events produced class-labelled series")
+	}
+
+	c := NewCollector()
+	for i := 0; i < 2; i++ {
+		ev := sampleEvent(i)
+		ev.Classes = []ClassStat{
+			{Name: "web", Alive: 5000 - i, Goodput: 1000.5, EnergyWh: float64(100 * (i + 1))},
+			{Name: "batch", Alive: 3000, Goodput: 600.25, EnergyWh: float64(80 * (i + 1))},
+		}
+		if err := c.Emit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.Reset()
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`greensprint_class_alive_servers{class="web"} 4999`,
+		`greensprint_class_alive_servers{class="batch"} 3000`,
+		`greensprint_class_goodput_rps{class="web"} 1000.5`,
+		`greensprint_class_energy_wh{class="web"} 200`,
+		`greensprint_class_energy_wh{class="batch"} 160`,
+		"# TYPE greensprint_class_alive_servers gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
 // TestCollectorGoodputHistogram drives epochs with known goodput
 // values through the collector and checks the exported histogram:
 // cumulative le buckets bracket the samples, and sum/count match.

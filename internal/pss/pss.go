@@ -73,7 +73,7 @@ const greenFloor units.Watt = 1
 
 // Selector is the stateful PSS for one green rack.
 type Selector struct {
-	bank *battery.Bank
+	bank battery.Store
 	pred *predictor.EWMA
 	acct cluster.EnergyAccount
 	// stuck models a transfer switch welded to the utility (source)
@@ -84,15 +84,16 @@ type Selector struct {
 	stuck bool
 }
 
-// New creates a Selector over a battery bank with the paper's EWMA
-// smoothing (α = 0.3).
-func New(bank *battery.Bank) *Selector {
+// New creates a Selector over a battery store — the paper's per-unit
+// Bank or a fleet-scale ClassBank — with the paper's EWMA smoothing
+// (α = 0.3).
+func New(bank battery.Store) *Selector {
 	return &Selector{bank: bank, pred: predictor.NewEWMA(predictor.DefaultAlpha)}
 }
 
-// Bank exposes the underlying battery bank (read-mostly; the simulator
-// inspects SoC and wear).
-func (s *Selector) Bank() *battery.Bank { return s.bank }
+// Bank exposes the underlying battery store (read-mostly; the
+// simulator inspects SoC and wear).
+func (s *Selector) Bank() battery.Store { return s.bank }
 
 // Account returns the cumulative energy accounting.
 func (s *Selector) Account() cluster.EnergyAccount { return s.acct }
@@ -318,7 +319,7 @@ func (s *Selector) NeedsRecharge() bool {
 	if s.bank.Size() == 0 {
 		return false
 	}
-	floor := 1 - s.bank.Unit(0).Config().MaxDoD
+	floor := 1 - s.bank.MaxDoD()
 	return s.bank.SoC() <= floor+0.02
 }
 

@@ -1,12 +1,15 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"greensprint/internal/cluster"
+	"greensprint/internal/fleet"
 	"greensprint/internal/solar"
 	"greensprint/internal/strategy"
+	"greensprint/internal/units"
 	"greensprint/internal/workload"
 )
 
@@ -73,3 +76,91 @@ func BenchmarkEngineNew(b *testing.B) {
 		benchEngine(b)
 	}
 }
+
+// benchFleetEngine builds an Engine over a generated fleet of total
+// servers split across the given class count: class 0 is the default
+// profile, the rest step their sprint envelope up in 1 W increments so
+// every class carries its own profiling table and kernel.
+func benchFleetEngine(b *testing.B, total, classes int) *Engine {
+	b.Helper()
+	tpls := make([]fleet.Template, classes)
+	for i := range tpls {
+		tpls[i] = fleet.Template{
+			Name:      fmt.Sprintf("class%02d", i),
+			Weight:    1,
+			BatteryAh: 10,
+			Panels:    3,
+		}
+		if i > 0 {
+			tpls[i].PeakPower = testProfile.PeakPower + units.Watt(i)
+		}
+	}
+	spec := &fleet.Spec{
+		Name:         "bench",
+		TotalServers: total,
+		RackSize:     20,
+		Seed:         7,
+		Templates:    tpls,
+	}
+	topo, err := spec.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := 12 * time.Hour
+	lead, tail := 6*time.Hour, 6*time.Hour
+	supply := solar.Synthesize(solar.Med, lead+d+tail, time.Minute, float64(topo.PeakGreen()), 42)
+	h, err := newBenchHybrid()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(Config{
+		Workload: testProfile,
+		Green:    cluster.REBatt(),
+		Fleet:    spec,
+		Strategy: h,
+		Table:    testTable,
+		Epoch:    time.Minute,
+		Burst:    workload.Burst{Intensity: 12, Duration: d},
+		Supply:   supply,
+		Lead:     lead,
+		Tail:     tail,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// benchFleetDay runs complete simulated days (1440 one-minute epochs)
+// over a generated fleet — the headline fleet-scale benchmark. The
+// structure-of-arrays core makes one day O(epochs × classes), not
+// O(epochs × servers), so the 10k-server day costs roughly what the
+// 3-server day does.
+func benchFleetDay(b *testing.B, total, classes int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := benchFleetEngine(b, total, classes)
+		if e.TotalEpochs() != 1440 {
+			b.Fatalf("horizon = %d epochs, want 1440", e.TotalEpochs())
+		}
+		for {
+			_, ok, err := e.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkFleetDay10k is the headline: one full simulated day for a
+// 10,000-server single-class fleet. CI compares it against the budget
+// in BENCH_PR7.json.
+func BenchmarkFleetDay10k(b *testing.B) { benchFleetDay(b, 10_000, 1) }
+
+// BenchmarkFleetDay10k50Classes is the heterogeneity stress: the same
+// 10,000 servers across 50 distinct classes, each with its own table
+// and kernel — per-epoch cost scales with classes, not servers.
+func BenchmarkFleetDay10k50Classes(b *testing.B) { benchFleetDay(b, 10_000, 50) }

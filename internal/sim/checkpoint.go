@@ -17,11 +17,14 @@ import (
 // CheckpointVersion is the format version written into every
 // Checkpoint; Restore rejects any other version so stale files fail
 // loudly instead of silently corrupting a resumed run. Version 2 added
-// the StrategyName fingerprint; version 3 adds the chaos injector's
+// the StrategyName fingerprint; version 3 added the chaos injector's
 // replay state (plus per-component degradation fields that older
-// decoders would silently drop). DecodeCheckpoint transparently
-// migrates version-1 and version-2 files (see migrateV1/migrateV2).
-const CheckpointVersion = 3
+// decoders would silently drop); version 4 adds the fleet-scale state
+// — topology fingerprint, class-indexed knob herd, grouped battery
+// snapshot, per-class energy counters — all absent for flat runs.
+// DecodeCheckpoint transparently migrates version-1 through version-3
+// files (see migrateV1/migrateV2/migrateV3).
+const CheckpointVersion = 4
 
 // Checkpoint is the complete serializable state of an Engine between
 // two epochs: every stateful layer's snapshot (battery bank, PSS,
@@ -57,6 +60,17 @@ type Checkpoint struct {
 	// checkpoint whose chaos-presence disagrees with the engine's.
 	Chaos *chaos.InjectorSnapshot `json:"chaos,omitempty"`
 
+	// Fleet-scale state (v4+), present exactly when the run has a
+	// generated fleet topology. FleetFingerprint pins the topology the
+	// checkpoint was cut from — a resumed engine regenerates it from
+	// Config.Fleet and refuses a mismatch. ClassFleet carries the
+	// class-indexed knob herd (replacing the flat Fleet snapshot,
+	// which stays empty), and ClassEnergyWh the cumulative per-class
+	// energy counters behind the event stream's class stats.
+	FleetFingerprint string                  `json:"fleet_fingerprint,omitempty"`
+	ClassFleet       *pmk.ClassFleetSnapshot `json:"class_fleet,omitempty"`
+	ClassEnergyWh    []float64               `json:"class_energy_wh,omitempty"`
+
 	Records      []EpochRecord `json:"records"`
 	BurstPerfSum float64       `json:"burst_perf_sum"`
 	BurstEpochs  int           `json:"burst_epochs"`
@@ -76,12 +90,19 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 		EpochIndex:   e.epochIndex,
 		StrategyName: e.cfg.Strategy.Name(),
 		Selector:     e.selector.Snapshot(),
-		Fleet:        e.fleet.Snapshot(),
 		LoadPred:     e.loadPred.Snapshot(),
 		Strategy:     stratRaw,
 		Records:      append([]EpochRecord(nil), e.records...),
 		BurstPerfSum: e.burstPerfSum,
 		BurstEpochs:  e.burstEpochs,
+	}
+	if e.cfleet != nil {
+		s := e.cfleet.Snapshot()
+		cp.ClassFleet = &s
+		cp.FleetFingerprint = e.topo.Fingerprint()
+		cp.ClassEnergyWh = append([]float64(nil), e.classEnergyWh...)
+	} else {
+		cp.Fleet = e.fleet.Snapshot()
 	}
 	if e.breaker != nil {
 		s := e.breaker.Snapshot()
@@ -127,10 +148,28 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 	if (cp.Chaos == nil) != (e.injector == nil) {
 		return fmt.Errorf("sim: restore: checkpoint and engine disagree on chaos schedule")
 	}
+	if (cp.ClassFleet == nil) != (e.cfleet == nil) {
+		return fmt.Errorf("sim: restore: checkpoint and engine disagree on fleet topology")
+	}
+	if e.cfleet != nil {
+		if fp := e.topo.Fingerprint(); cp.FleetFingerprint != fp {
+			return fmt.Errorf("sim: restore: checkpoint fleet fingerprint %.12s… does not match generated topology %.12s…",
+				cp.FleetFingerprint, fp)
+		}
+		if len(cp.ClassEnergyWh) != len(e.classEnergyWh) {
+			return fmt.Errorf("sim: restore: %d class energy counters for %d classes",
+				len(cp.ClassEnergyWh), len(e.classEnergyWh))
+		}
+	}
 	if err := e.selector.Restore(cp.Selector); err != nil {
 		return fmt.Errorf("sim: restore: %w", err)
 	}
-	if err := e.fleet.Restore(cp.Fleet); err != nil {
+	if e.cfleet != nil {
+		if err := e.cfleet.Restore(*cp.ClassFleet); err != nil {
+			return fmt.Errorf("sim: restore: %w", err)
+		}
+		copy(e.classEnergyWh, cp.ClassEnergyWh)
+	} else if err := e.fleet.Restore(cp.Fleet); err != nil {
 		return fmt.Errorf("sim: restore: %w", err)
 	}
 	if e.breaker != nil {
@@ -150,6 +189,9 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 		}
 		e.alive = e.injector.AliveServers()
 		e.selector.SetStuck(e.injector.Stuck())
+		if e.topo != nil {
+			e.recomputeClassAlive()
+		}
 	}
 	e.records = append(make([]EpochRecord, 0, e.TotalEpochs()), cp.Records...)
 	e.burstPerfSum = cp.BurstPerfSum
@@ -169,9 +211,9 @@ func (c *Checkpoint) Encode() ([]byte, error) {
 }
 
 // DecodeCheckpoint parses a JSON checkpoint and checks its version.
-// Version-1 and version-2 checkpoints are migrated in place (see
-// migrateV1/migrateV2) so files cut before the newer fields still
-// restore cleanly; any other version mismatch fails loudly.
+// Version-1 through version-3 checkpoints are migrated in place (see
+// migrateV1/migrateV2/migrateV3) so files cut before the newer fields
+// still restore cleanly; any other version mismatch fails loudly.
 func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	var cp Checkpoint
 	if err := json.Unmarshal(b, &cp); err != nil {
@@ -182,6 +224,9 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	}
 	if cp.Version == 2 {
 		migrateV2(&cp)
+	}
+	if cp.Version == 3 {
+		migrateV3(&cp)
 	}
 	if cp.Version != CheckpointVersion {
 		return nil, fmt.Errorf("sim: decode checkpoint: version %d, supported %d", cp.Version, CheckpointVersion)
@@ -207,6 +252,15 @@ func migrateV1(cp *Checkpoint) {
 // therefore just the version stamp; the next Checkpoint/WriteFile
 // cycle persists the file as full v3.
 func migrateV2(cp *Checkpoint) {
+	cp.Version = 3
+}
+
+// migrateV3 lifts a version-3 checkpoint to version 4. The v3 layout
+// is a strict subset of v4: it predates generated fleets, so the
+// fleet fingerprint, class-fleet snapshot and per-class energy
+// counters are all absent — exactly how v4 encodes a flat (paper
+// topology) run. Migration is therefore just the version stamp.
+func migrateV3(cp *Checkpoint) {
 	cp.Version = CheckpointVersion
 }
 

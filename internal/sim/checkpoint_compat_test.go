@@ -136,6 +136,71 @@ func TestCheckpointV2Migration(t *testing.T) {
 	assertSameResult(t, ref, mustRunAll(t, fresh))
 }
 
+// asV3Blob rewrites an encoded checkpoint into the exact v3 wire
+// format: version stamped 3 and no fleet fields. (The v4 additions —
+// fleet fingerprint, class-fleet snapshot, per-class energy — are
+// omitempty fields a flat run never emits, so nothing else differs.)
+func asV3Blob(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["version"] = json.RawMessage(`3`)
+	delete(m, "fleet_fingerprint")
+	delete(m, "class_fleet")
+	delete(m, "class_energy_wh")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCheckpointV3Migration is the canned-blob test for the v3→v4
+// bump: a pre-fleet checkpoint decodes through the migration shim to
+// the current version with no fleet state, restores into a flat
+// engine, and the completed run matches the uninterrupted reference
+// bit for bit.
+func TestCheckpointV3Migration(t *testing.T) {
+	ref := mustRunAll(t, mustNew(t, ckptConfig(t)))
+
+	e := mustNew(t, ckptConfig(t))
+	stopAt := e.TotalEpochs() / 2
+	for i := 0; i < stopAt; i++ {
+		if _, _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v3 := asV3Blob(t, b)
+	got, err := DecodeCheckpoint(v3)
+	if err != nil {
+		t.Fatalf("decode v3 checkpoint: %v", err)
+	}
+	if got.Version != CheckpointVersion {
+		t.Errorf("migrated version = %d, want %d", got.Version, CheckpointVersion)
+	}
+	if got.ClassFleet != nil || got.FleetFingerprint != "" || got.ClassEnergyWh != nil {
+		t.Errorf("migrated v3 checkpoint carries fleet state: %q %v %v",
+			got.FleetFingerprint, got.ClassFleet, got.ClassEnergyWh)
+	}
+
+	fresh := mustNew(t, ckptConfig(t))
+	if err := fresh.Restore(got); err != nil {
+		t.Fatalf("restore migrated v3 checkpoint: %v", err)
+	}
+	assertSameResult(t, ref, mustRunAll(t, fresh))
+}
+
 // TestCheckpointStrategyMismatch verifies the v2 fingerprint: a
 // checkpoint cut under one strategy must not restore into an engine
 // running another.

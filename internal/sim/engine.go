@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"time"
 
+	"greensprint/internal/battery"
 	"greensprint/internal/chaos"
 	"greensprint/internal/cluster"
+	"greensprint/internal/fleet"
 	"greensprint/internal/obs"
 	"greensprint/internal/pmk"
 	"greensprint/internal/predictor"
@@ -48,6 +50,23 @@ type Engine struct {
 	injector *chaos.Injector
 	alive    int
 
+	// Fleet-scale (structure-of-arrays) state, all nil for the
+	// paper's flat single-rack configs: topo is the generated
+	// topology, cfleet the class-indexed knob herd replacing fleet,
+	// classes the per-class runtime (profiling table, kernel, Normal
+	// draw), classAlive the per-class alive census, classEnergyWh the
+	// cumulative per-class server energy (checkpointed so resumed
+	// streams continue the counters), and classEv the reused event
+	// buffer. perAliveGoodput is the epoch's per-alive-server goodput
+	// before alive-fraction scaling, feeding per-class event stats.
+	topo            *fleet.Topology
+	cfleet          *pmk.ClassFleet
+	classes         []classRT
+	classAlive      []int
+	classEnergyWh   []float64
+	classEv         []obs.ClassStat
+	perAliveGoodput float64
+
 	// kernel memoizes the per-config queueing constants (max rates,
 	// service rates) so the per-epoch hot path runs without bisections;
 	// latMemo caches effective-latency results per (config, offered)
@@ -84,6 +103,18 @@ type Engine struct {
 	burstEpochs  int
 }
 
+// classRT is one server class's engine-side runtime: its census and
+// the derived per-class lookup structures (profiling table, queueing
+// kernel, Normal-mode draw at the burst rate). Derived data: rebuilt
+// identically by New/Restore, never checkpointed.
+type classRT struct {
+	name        string
+	count       int
+	tab         *profile.Table
+	kernel      *workload.Kernel
+	normalPower units.Watt
+}
+
 // New validates cfg and builds an Engine positioned at the first
 // epoch. The setup matches what Run has always done: the supply
 // predictor is primed with the pre-run observation and the workload
@@ -97,9 +128,9 @@ func New(cfg Config) (*Engine, error) {
 	if epoch == 0 {
 		epoch = DefaultEpoch
 	}
+	var err error
 	tab := cfg.Table
 	if tab == nil {
-		var err error
 		// BuildCached: runs whose callers did not pre-build a table
 		// (sweep cells, CLI one-offs) share one immutable profiling
 		// table per workload instead of re-profiling per Engine.
@@ -107,18 +138,49 @@ func New(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
-	bank, err := cfg.Green.NewBank()
-	if err != nil {
-		return nil, err
+	// Topology: either the flat Green config (the paper's rack) or a
+	// generated heterogeneous fleet with class-indexed state.
+	var topo *fleet.Topology
+	if cfg.Fleet != nil {
+		if topo, err = cfg.Fleet.Generate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	var bank battery.Store
+	n := cfg.Green.GreenServers
+	if topo != nil {
+		cb, err := battery.NewClassBank(topo.BatteryClasses())
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		bank = cb
+		n = topo.Servers
+	} else {
+		b, err := cfg.Green.NewBank()
+		if err != nil {
+			return nil, err
+		}
+		bank = b
 	}
 	selector := pss.New(bank)
-	n := cfg.Green.GreenServers
 	if n == 0 {
 		return nil, fmt.Errorf("sim: no green servers in config %q", cfg.Green.Name)
 	}
-	fleet := pmk.NewSimFleet(n)
+	var knobs *pmk.Fleet
+	var cfleet *pmk.ClassFleet
+	if topo != nil {
+		cfleet = pmk.NewClassFleet(topo.ClassCounts(), topo.ClassOf)
+	} else {
+		knobs = pmk.NewSimFleet(n)
+	}
 	var injector *chaos.Injector
 	if cfg.Chaos != nil {
+		// The schedule's fault targets were drawn for a concrete
+		// topology; replaying it against a different one would strike
+		// phantom components. For fleet runs n and the bank size come
+		// from the generated topology, so the checks bind the schedule
+		// to the fleet's real census, and the zone shape must match
+		// too (zone outages cascade across generated zone membership).
 		if cfg.Chaos.Servers != n {
 			return nil, fmt.Errorf("sim: chaos schedule resolved for %d servers, config has %d",
 				cfg.Chaos.Servers, n)
@@ -127,12 +189,28 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("sim: chaos schedule resolved for %d battery units, config has %d",
 				cfg.Chaos.Units, bank.Size())
 		}
+		if topo != nil {
+			zones := cfg.Chaos.Zones
+			if zones == 0 {
+				zones = chaos.NumZones
+			}
+			if zones != topo.Zones {
+				return nil, fmt.Errorf("sim: chaos schedule resolved for %d zones, fleet has %d",
+					zones, topo.Zones)
+			}
+		}
 		if injector, err = chaos.NewInjector(cfg.Chaos); err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 	}
 	var breaker *cluster.Breaker
 	if cfg.AllowBreakerOverdraw {
+		if topo != nil {
+			// The breaker model is sized for one rack's PDU; a
+			// generated fleet spans many PDU legs with no single
+			// breaker to overdraw through.
+			return nil, fmt.Errorf("sim: breaker overdraw is not supported with a generated fleet")
+		}
 		cl, err := cluster.New(cfg.Green)
 		if err != nil {
 			return nil, err
@@ -150,7 +228,7 @@ func New(cfg Config) (*Engine, error) {
 		epoch:    epoch,
 		tab:      tab,
 		selector: selector,
-		fleet:    fleet,
+		fleet:    knobs,
 		breaker:  breaker,
 		loadPred: predictor.NewEWMA(predictor.DefaultAlpha),
 		n:        n,
@@ -169,6 +247,42 @@ func New(cfg Config) (*Engine, error) {
 		offeredIdle: 0.6 * baseGoodput,
 
 		at: cfg.Supply.Start,
+	}
+	if topo != nil {
+		e.topo = topo
+		e.cfleet = cfleet
+		e.classes = make([]classRT, len(topo.Classes))
+		e.classAlive = make([]int, len(topo.Classes))
+		e.classEnergyWh = make([]float64, len(topo.Classes))
+		for i, c := range topo.Classes {
+			prof := cfg.Workload
+			if c.PeakPower > 0 {
+				prof.PeakPower = c.PeakPower
+			}
+			// The reference class (no power override) reuses the
+			// engine's own table and kernel — including a caller-built
+			// cfg.Table — so a single-class default fleet computes on
+			// the exact structures the flat engine does. Overridden
+			// classes share process-wide caches keyed by profile.
+			ctab, ck := tab, kernel
+			if prof != cfg.Workload {
+				if err := prof.Validate(); err != nil {
+					return nil, fmt.Errorf("sim: fleet class %q: %w", c.Name, err)
+				}
+				if ctab, err = profile.BuildCached(prof, profile.DefaultLevels); err != nil {
+					return nil, fmt.Errorf("sim: fleet class %q: %w", c.Name, err)
+				}
+				ck = workload.SharedKernel(prof)
+			}
+			e.classes[i] = classRT{
+				name:        c.Name,
+				count:       c.Servers,
+				tab:         ctab,
+				kernel:      ck,
+				normalPower: ck.LoadPower(server.Normal(), cfg.Burst.Rate(prof)),
+			}
+			e.classAlive[i] = c.Servers
+		}
 	}
 	e.runEnd = e.burstEnd.Add(cfg.Tail)
 	// The horizon is fixed at construction, so the record slice can be
@@ -309,6 +423,22 @@ func (e *Engine) event(index int, rec EpochRecord) obs.Event {
 	if e.breaker != nil {
 		ev.BreakerStress = e.breaker.Stress()
 	}
+	if e.classes != nil {
+		// The buffer is reused across epochs; sinks consume the event
+		// synchronously during Emit. Class goodput is the class's
+		// aggregate (alive servers × per-alive-server goodput — the
+		// queueing model is uniform across classes; power is not).
+		e.classEv = e.classEv[:0]
+		for i := range e.classes {
+			e.classEv = append(e.classEv, obs.ClassStat{
+				Name:     e.classes[i].name,
+				Alive:    e.classAlive[i],
+				Goodput:  float64(e.classAlive[i]) * e.perAliveGoodput,
+				EnergyWh: e.classEnergyWh[i],
+			})
+		}
+		ev.Classes = e.classEv
+	}
 	return ev
 }
 
@@ -319,15 +449,22 @@ func (e *Engine) event(index int, rec EpochRecord) obs.Event {
 // ref-counts, so overlapping faults on one component compose instead
 // of corrupting each other.
 func (e *Engine) applyChaos(index int, at time.Time) error {
-	for _, a := range e.injector.Advance(index) {
+	actions := e.injector.Advance(index)
+	for _, a := range actions {
 		f := a.Fault
 		switch f.Mode {
 		case chaos.ServerCrash:
 			if !a.Recovered {
 				// The crashed server drops its sprint; when it
 				// restarts it boots into Normal mode, which its knob
-				// already records from here on.
-				e.fleet.Apply(f.Target, server.Normal())
+				// already records from here on. In fleet mode the
+				// Apply detaches the server from its class herd, which
+				// is what lets ApplyAlive keep skipping it wholesale.
+				if e.cfleet != nil {
+					e.cfleet.Apply(f.Target, server.Normal())
+				} else {
+					e.fleet.Apply(f.Target, server.Normal())
+				}
 			}
 		case chaos.BatteryDegrade:
 			if err := e.selector.Bank().DegradeUnit(f.Target, f.Factor, f.Resist); err != nil {
@@ -356,7 +493,25 @@ func (e *Engine) applyChaos(index int, at time.Time) error {
 	}
 	e.alive = e.injector.AliveServers()
 	e.selector.SetStuck(e.injector.Stuck())
+	if e.topo != nil && len(actions) > 0 {
+		e.recomputeClassAlive()
+	}
 	return nil
+}
+
+// recomputeClassAlive rebuilds the per-class alive census from the
+// injector's ref-counts. It runs only on transition epochs (and after
+// a checkpoint restore), so the O(servers) scan never rides the
+// steady-state hot path.
+func (e *Engine) recomputeClassAlive() {
+	for i := range e.classAlive {
+		e.classAlive[i] = e.classes[i].count
+	}
+	for s := 0; s < e.n; s++ {
+		if e.injector.ServerDown(s) {
+			e.classAlive[e.topo.ClassOf(s)]--
+		}
+	}
 }
 
 // chaosEvent renders one fault/recovery transition for the event
@@ -385,6 +540,14 @@ func (e *Engine) chaosEvent(index int, at time.Time, a chaos.Action) obs.Event {
 // server has nothing to actuate, and phantom transitions would corrupt
 // the actuation accounting).
 func (e *Engine) applyFleet(c server.Config) {
+	if e.cfleet != nil {
+		if e.injector != nil {
+			e.cfleet.ApplyAlive(c, e.injector.ServerDown)
+			return
+		}
+		e.cfleet.ApplyAll(c)
+		return
+	}
 	if e.injector != nil {
 		e.fleet.ApplyAlive(c, e.injector.ServerDown)
 		return
@@ -398,7 +561,10 @@ func (e *Engine) Done() bool { return !e.at.Before(e.runEnd) }
 // Result aggregates the epochs run so far. It may be called at any
 // point; after the final Step it is the same Result Run returns.
 func (e *Engine) Result() *Result {
-	res := &Result{Fleet: e.fleet}
+	res := &Result{Fleet: e.fleet, ClassFleet: e.cfleet}
+	if e.classEnergyWh != nil {
+		res.ClassEnergyWh = append([]float64(nil), e.classEnergyWh...)
+	}
 	res.Records = append(res.Records, e.records...)
 	if e.burstEpochs > 0 {
 		res.MeanNormPerf = e.burstPerfSum / float64(e.burstEpochs)
@@ -431,6 +597,10 @@ func (e *Engine) TotalEpochs() int {
 // Breaker exposes the PDU breaker model, or nil when the run does not
 // allow overdraw. Tests assert on its stress accounting.
 func (e *Engine) Breaker() *cluster.Breaker { return e.breaker }
+
+// Topology exposes the generated fleet topology, or nil for the
+// paper's flat single-rack configs.
+func (e *Engine) Topology() *fleet.Topology { return e.topo }
 
 // Run executes the simulation to completion. It is a thin wrapper over
 // New/Step/Result whose output is identical to driving the Engine by

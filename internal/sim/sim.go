@@ -17,6 +17,7 @@ import (
 
 	"greensprint/internal/chaos"
 	"greensprint/internal/cluster"
+	"greensprint/internal/fleet"
 	"greensprint/internal/obs"
 	"greensprint/internal/pmk"
 	"greensprint/internal/profile"
@@ -37,6 +38,15 @@ type Config struct {
 	Workload workload.Profile
 	// Green is the Table I green-provisioning option.
 	Green cluster.GreenConfig
+	// Fleet optionally replaces Green's flat server count with a
+	// generated heterogeneous topology (see internal/fleet): weighted
+	// server-class templates stamped into racks, each class with its
+	// own power envelope, battery pack and zone. When set, the engine
+	// runs its structure-of-arrays core — per-class battery banks,
+	// class-indexed knob herds, O(classes) power aggregation — and
+	// Green is ignored except as workload context. A single-class
+	// default fleet reproduces the flat run's Result bit-for-bit.
+	Fleet *fleet.Spec
 	// Strategy decides the per-server setting each epoch.
 	Strategy strategy.Strategy
 	// Table is the workload's profiling table (built if nil).
@@ -111,8 +121,16 @@ type Result struct {
 	Account cluster.EnergyAccount
 	// BatteryCycles is the equivalent battery cycle usage.
 	BatteryCycles float64
-	// Fleet exposes the knob fleet (for transition counting).
+	// Fleet exposes the knob fleet (for transition counting); nil for
+	// fleet-scale runs, which expose ClassFleet instead.
 	Fleet *pmk.Fleet
+	// ClassFleet exposes the class-indexed knob herd of a fleet-scale
+	// run (nil for the paper's flat configs).
+	ClassFleet *pmk.ClassFleet
+	// ClassEnergyWh is the cumulative per-class server energy of a
+	// fleet-scale run, indexed like the fleet spec's templates (nil
+	// for flat configs).
+	ClassEnergyWh []float64
 }
 
 // BurstRecords returns only the in-burst epochs.
@@ -131,7 +149,11 @@ func (c *Config) Validate() error {
 	if err := c.Workload.Validate(); err != nil {
 		return err
 	}
-	if err := c.Green.Validate(); err != nil {
+	if c.Fleet != nil {
+		if err := c.Fleet.Validate(); err != nil {
+			return err
+		}
+	} else if err := c.Green.Validate(); err != nil {
 		return err
 	}
 	if c.Strategy == nil {
@@ -182,11 +204,7 @@ func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 	e.applyFleet(chosen)
 
 	level := tab.LevelFor(offered)
-	perServer, ok := tab.LoadPower(level, chosen)
-	if !ok {
-		perServer = e.kernel.LoadPower(chosen, offered)
-	}
-	demand := units.Watt(float64(perServer) * float64(m))
+	demand := e.sprintDemand(level, chosen, offered)
 	var al pss.Allocation
 	useOverdraw := false
 	if breaker != nil && !breaker.Tripped() && chosen.IsSprinting() &&
@@ -203,7 +221,7 @@ func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 		if en, ok := tab.BestWithin(level, budget, nil); ok && en.Config().IsSprinting() {
 			chosen = en.Config()
 			e.applyFleet(chosen)
-			demand = units.Watt(float64(en.Power) * float64(m))
+			demand = e.sprintDemand(level, chosen, offered)
 			if overdraw := demand - greenObserved; overdraw > 0 {
 				breaker.Step(breaker.Rated+overdraw, epoch)
 				useOverdraw = true
@@ -216,7 +234,7 @@ func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 	if useOverdraw {
 		al = selector.AllocateOverdraw(demand, greenObserved, epoch)
 	} else {
-		al = selector.Allocate(demand, greenObserved, epoch, units.Watt(float64(e.normalPower)*float64(m)))
+		al = selector.Allocate(demand, greenObserved, epoch, e.normalFleetPower())
 		if breaker != nil {
 			breaker.Step(breaker.Rated, epoch) // within budget: no extra stress
 		}
@@ -251,6 +269,10 @@ func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 	latSprint := e.latency(chosen, offered)
 	latNormal := e.latency(server.Normal(), offered)
 	rec.Latency = frac*latSprint + (1-frac)*latNormal
+	if e.classes != nil {
+		e.perAliveGoodput = frac*goodSprint + (1-frac)*goodNormal
+		e.accumulateClassEnergy(chosen, frac, offered)
+	}
 
 	// Feed the measured epoch back to the learner with the next
 	// epoch's state.
@@ -303,6 +325,23 @@ func (e *Engine) runIdleEpoch(rec EpochRecord, greenObserved units.Watt, offered
 		rec.Goodput *= scale
 		rec.Grid = units.Watt(float64(rec.Grid) * scale)
 	}
+	if e.classes != nil {
+		e.perAliveGoodput = e.kernel.Goodput(server.Normal(), offered)
+		e.accumulateClassEnergy(server.Normal(), 0, offered)
+		if len(e.classes) > 1 {
+			// Heterogeneous classes draw different Normal-mode power:
+			// the per-provisioned-server grid figure is the class-
+			// weighted mean. (A single class keeps the exact flat
+			// expression above, preserving legacy bit-identity.)
+			var sum float64
+			for i := range e.classes {
+				if a := e.classAlive[i]; a > 0 {
+					sum += float64(e.classes[i].kernel.LoadPower(server.Normal(), offered)) * float64(a)
+				}
+			}
+			rec.Grid = units.Watt(sum / float64(e.n))
+		}
+	}
 	return rec
 }
 
@@ -318,7 +357,72 @@ func (e *Engine) runOutageEpoch(rec EpochRecord, greenObserved units.Watt) Epoch
 	if selector.NeedsRecharge() {
 		selector.RechargeFromGrid(GridRechargePower, epoch)
 	}
+	if e.classes != nil {
+		e.perAliveGoodput = 0
+	}
 	return rec
+}
+
+// sprintDemand returns the fleet's aggregate power demand at config c:
+// for the paper's flat topology, the per-server load times the alive
+// count (bit-identical to the pre-fleet expression); for a generated
+// fleet, the class-weighted sum over each class's own profiling table
+// and kernel — O(classes), not O(servers). A single-class fleet
+// degenerates to the flat expression exactly (0 + x is exact).
+func (e *Engine) sprintDemand(level int, c server.Config, offered float64) units.Watt {
+	if e.classes == nil {
+		perServer, ok := e.tab.LoadPower(level, c)
+		if !ok {
+			perServer = e.kernel.LoadPower(c, offered)
+		}
+		return units.Watt(float64(perServer) * float64(e.alive))
+	}
+	var demand float64
+	for i := range e.classes {
+		cl := &e.classes[i]
+		alive := e.classAlive[i]
+		if alive == 0 {
+			continue
+		}
+		perServer, ok := cl.tab.LoadPower(level, c)
+		if !ok {
+			perServer = cl.kernel.LoadPower(c, offered)
+		}
+		demand += float64(perServer) * float64(alive)
+	}
+	return units.Watt(demand)
+}
+
+// normalFleetPower returns the fleet's aggregate Normal-mode draw at
+// the burst rate — the grid-fallback demand handed to the allocator.
+// Same degeneration contract as sprintDemand.
+func (e *Engine) normalFleetPower() units.Watt {
+	if e.classes == nil {
+		return units.Watt(float64(e.normalPower) * float64(e.alive))
+	}
+	var sum float64
+	for i := range e.classes {
+		if a := e.classAlive[i]; a > 0 {
+			sum += float64(e.classes[i].normalPower) * float64(a)
+		}
+	}
+	return units.Watt(sum)
+}
+
+// accumulateClassEnergy folds one epoch's per-class server energy into
+// the cumulative counters behind the per-class /metrics gauges: each
+// class draws its own load curve for the executed sprint fraction.
+func (e *Engine) accumulateClassEnergy(c server.Config, frac float64, offered float64) {
+	hours := e.epoch.Hours()
+	for i := range e.classes {
+		alive := e.classAlive[i]
+		if alive == 0 {
+			continue
+		}
+		k := e.classes[i].kernel
+		p := frac*float64(k.LoadPower(c, offered)) + (1-frac)*float64(k.LoadPower(server.Normal(), offered))
+		e.classEnergyWh[i] += p * float64(alive) * hours
+	}
 }
 
 // latency is the engine's memo over Kernel.EffectiveLatency. The

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"greensprint/internal/cluster"
+	"greensprint/internal/fleet"
 	"greensprint/internal/profile"
 	"greensprint/internal/sim"
 	"greensprint/internal/solar"
@@ -108,6 +109,91 @@ func TestShardedRunMatchesSequential(t *testing.T) {
 				t.Errorf("%s/%d windows: BatteryCycles = %v, want %v",
 					strat, windows, got.BatteryCycles, seq.BatteryCycles)
 			}
+		}
+	}
+}
+
+// fleetDayConfig builds a full simulated day (1440 one-minute epochs)
+// over a generated 10,000-server three-class fleet — the fleet-scale
+// shape the structure-of-arrays engine core exists for.
+func fleetDayConfig(t *testing.T) sim.Config {
+	t.Helper()
+	spec := &fleet.Spec{
+		Name:         "shardfleet",
+		TotalServers: 10_000,
+		RackSize:     20,
+		Seed:         7,
+		Templates: []fleet.Template{
+			{Name: "web", Weight: 5, BatteryAh: 10, Panels: 3},
+			{Name: "batch", Weight: 3, PeakPower: 250, BatteryAh: 3.2, Panels: 2},
+			{Name: "archive", Weight: 2},
+		},
+	}
+	topo, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 12 * time.Hour
+	lead, tail := 6*time.Hour, 6*time.Hour
+	supply := solar.Synthesize(solar.Med, lead+d+tail, time.Minute, float64(topo.PeakGreen()), 42)
+	h, err := strategy.NewHybrid(shardProfile, shardTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Config{
+		Workload: shardProfile,
+		Green:    cluster.REBatt(),
+		Fleet:    spec,
+		Strategy: h,
+		Table:    shardTable,
+		Epoch:    time.Minute,
+		Burst:    workload.Burst{Intensity: 12, Duration: d},
+		Supply:   supply,
+		Lead:     lead,
+		Tail:     tail,
+	}
+}
+
+// TestShardedFleetDayMatchesSequential shards a 10,000-server
+// simulated day through the v4 checkpoint hand-off and demands the
+// stitched run reproduce the sequential one bit for bit — records,
+// aggregates and the per-class energy counters that only exist in
+// fleet mode.
+func TestShardedFleetDayMatchesSequential(t *testing.T) {
+	seq, err := sim.Run(context.Background(), fleetDayConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, windows := range []int{3} {
+		got, err := ShardedRun(context.Background(), fleetDayConfig(t), windows)
+		if err != nil {
+			t.Fatalf("%d windows: %v", windows, err)
+		}
+		if len(got.Records) != len(seq.Records) {
+			t.Fatalf("%d windows: records = %d, want %d", windows, len(got.Records), len(seq.Records))
+		}
+		for i := range seq.Records {
+			if got.Records[i] != seq.Records[i] {
+				t.Fatalf("%d windows: record %d differs:\nseq   %+v\nshard %+v",
+					windows, i, seq.Records[i], got.Records[i])
+			}
+		}
+		if got.MeanNormPerf != seq.MeanNormPerf || got.Account != seq.Account || got.BatteryCycles != seq.BatteryCycles {
+			t.Errorf("%d windows: aggregates differ", windows)
+		}
+		if len(got.ClassEnergyWh) != len(seq.ClassEnergyWh) {
+			t.Fatalf("%d windows: %d class energy counters, want %d",
+				windows, len(got.ClassEnergyWh), len(seq.ClassEnergyWh))
+		}
+		for i := range seq.ClassEnergyWh {
+			if got.ClassEnergyWh[i] != seq.ClassEnergyWh[i] {
+				t.Errorf("%d windows: class %d energy = %v, want %v",
+					windows, i, got.ClassEnergyWh[i], seq.ClassEnergyWh[i])
+			}
+		}
+		if got.ClassFleet.Transitions() != seq.ClassFleet.Transitions() {
+			t.Errorf("%d windows: transitions = %d, want %d",
+				windows, got.ClassFleet.Transitions(), seq.ClassFleet.Transitions())
 		}
 	}
 }
