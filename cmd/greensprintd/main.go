@@ -44,13 +44,19 @@
 // epoch (telemetry in, decision out, power-source split), and -pprof
 // mounts net/http/pprof under /debug/pprof/.
 //
-// With -chaos-profile (sim backend only) the ticker injects seeded
-// failures into the synthesized telemetry: the profile is resolved
-// under -chaos-seed into a fixed fault timeline, solar dropouts and
-// server outages scale the green supply and goodput the monitor sees,
-// and every fault and recovery is emitted as a chaos event on the
-// observability stream. The timeline depends only on the flags, so a
-// restarted daemon passing the same flags replays the same failures.
+// With -chaos-profile (sim backend only) the resolved failure timeline
+// is handed to the controller itself (core.Options.Chaos): every epoch
+// the controller advances the injector under its own lock, so crashed
+// servers shrink the live census behind budget division and knob
+// actuation, a stuck PSS is welded to the utility feed, battery faults
+// degrade the bank, breaker trips force the PDU breaker open, and
+// every fault and recovery is emitted as a chaos event on the
+// observability stream. The tick loop keeps synthesizing fault-free,
+// full-fleet telemetry — the controller applies solar dropouts and
+// alive-fraction degradation itself. The timeline depends only on the
+// flags, so a daemon restarted with the same flags and -resume (which
+// restores the injector's replay position from the checkpoint) replays
+// the same failures.
 package main
 
 import (
@@ -212,6 +218,11 @@ func buildController(cfg config.Config, o options) (ctrl *core.Controller, colle
 		return nil, nil, false, fmt.Errorf("unknown backend %q", o.backend)
 	}
 
+	inj, err := buildInjector(cfg, green, topo, epoch, o)
+	if err != nil {
+		return nil, nil, false, err
+	}
+
 	collector = obs.NewCollector()
 	ctrl, err = core.New(core.Options{
 		Workload:     p,
@@ -221,6 +232,7 @@ func buildController(cfg config.Config, o options) (ctrl *core.Controller, colle
 		Fleet:        knobs,
 		Bank:         bank,
 		Sink:         collector, // the JSONL sink joins in serve, where the file is owned
+		Chaos:        inj,
 	})
 	if err != nil {
 		return nil, nil, false, err
@@ -245,7 +257,7 @@ func buildController(cfg config.Config, o options) (ctrl *core.Controller, colle
 // save: an in-flight Step can neither race the save (the Q-table has
 // no lock of its own) nor land after it and be lost.
 func serve(ctx context.Context, ctrl *core.Controller, collector *obs.Collector, ticker bool, cfg config.Config, o options) error {
-	green, topo, err := fleetView(cfg, o)
+	green, _, err := fleetView(cfg, o)
 	if err != nil {
 		return err
 	}
@@ -264,11 +276,6 @@ func serve(ctx context.Context, ctrl *core.Controller, collector *obs.Collector,
 		defer f.Close()
 		sink = obs.Multi(collector, obs.NewJSONL(f))
 		ctrl.SetSink(sink)
-	}
-
-	inj, err := buildInjector(cfg, green, topo, epoch, o)
-	if err != nil {
-		return err
 	}
 
 	apiOpts := []httpapi.Option{httpapi.WithMetrics(collector)}
@@ -291,7 +298,7 @@ func serve(ctx context.Context, ctrl *core.Controller, collector *obs.Collector,
 	if ticker {
 		go func() {
 			defer close(tickDone)
-			tickLoop(ctx, ctrl, cfg, green, epoch, o, inj, sink, cancel)
+			tickLoop(ctx, ctrl, cfg, green, epoch, o, cancel)
 		}()
 	} else {
 		close(tickDone)
@@ -422,11 +429,11 @@ func loadCheckpoint(ctrl *core.Controller, path string) error {
 	if err != nil {
 		return err
 	}
-	var cp core.Checkpoint
-	if err := json.Unmarshal(b, &cp); err != nil {
-		return fmt.Errorf("parse %s: %w", path, err)
+	cp, err := core.DecodeCheckpoint(b)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
-	if err := ctrl.Restore(&cp); err != nil {
+	if err := ctrl.Restore(cp); err != nil {
 		return err
 	}
 	log.Printf("greensprintd: resumed from %s at epoch %d", path, cp.Count)
@@ -530,16 +537,16 @@ func buildInjector(cfg config.Config, green cluster.GreenConfig, topo *fleet.Top
 // tickLoop drives the controller each epoch: an open-loop load
 // generator (the Faban role) offers requests to the current server
 // setting, its measured latencies flow through the Monitor, and the
-// resulting telemetry steps the control loop. The green supply comes
-// from the configured availability window. With a chaos injector the
-// loop degrades the telemetry it synthesizes — solar dropouts scale
-// the green supply, server outages scale goodput by the alive
-// fraction — and emits every fault and recovery as a chaos event;
-// the remaining modes ride along on the event stream only, since the
-// controller owns its PSS and battery state.
+// resulting telemetry steps the control loop. The loop always
+// synthesizes fault-free, full-fleet telemetry — the controller owns
+// the chaos injector, applying solar dropouts and alive-fraction
+// degradation itself and emitting fault transitions on the event
+// stream. The epoch index is seeded from the controller's (possibly
+// restored) epoch count, so a resumed daemon continues the supply
+// trace, the burst schedule and the chaos timeline where the previous
+// run stopped instead of replaying them from zero.
 func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
-	green cluster.GreenConfig, epoch time.Duration, o options,
-	inj *chaos.Injector, sink obs.Sink, stop func()) {
+	green cluster.GreenConfig, epoch time.Duration, o options, stop func()) {
 
 	level, err := cfg.AvailabilityLevel()
 	if err != nil {
@@ -557,44 +564,28 @@ func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
 		return
 	}
 	mon := core.NewMonitor(p)
+	start := ctrl.Snapshot().Epoch
+	if start > 0 {
+		log.Printf("greensprintd: tick loop continuing at epoch %d", start)
+	}
+	// Last chaos state logged, so operators see transitions without
+	// tailing the event stream.
+	prevAlive, prevStuck, prevTripped := green.GreenServers, false, false
 
 	t := time.NewTicker(epoch)
 	defer t.Stop()
-	for i := 0; ; i++ {
-		if o.once > 0 && i >= o.once {
+	for k := 0; ; k++ {
+		if o.once > 0 && k >= o.once {
 			stop()
 			return
 		}
 		// Measure the epoch that just ended: green production from
 		// the trace, request latencies from the load generator run
-		// against the currently applied setting.
+		// against the currently applied setting. i is the absolute
+		// epoch index across restarts; k counts this process's ticks
+		// (-once budgets the session, not the lifetime).
+		i := start + k
 		at := supply.Start.Add(time.Duration(i) * epoch)
-		solarFactor := 1.0
-		alive := green.GreenServers
-		if inj != nil {
-			for _, a := range inj.Advance(i) {
-				kind := "fault"
-				if a.Recovered {
-					kind = "recover"
-				}
-				log.Printf("greensprintd: chaos %s: %v", kind, a.Fault)
-				if err := sink.Emit(obs.Event{
-					Epoch:        i,
-					Time:         at.UTC().Format(time.RFC3339Nano),
-					EpochSeconds: epoch.Seconds(),
-					Strategy:     ctrl.Strategy(),
-					Servers:      green.GreenServers,
-					Chaos:        kind,
-					ChaosMode:    a.Fault.Mode.String(),
-					ChaosTarget:  a.Fault.Target,
-					ChaosDetail:  a.Fault.String(),
-				}); err != nil {
-					log.Printf("greensprintd: chaos event: %v", err)
-				}
-			}
-			solarFactor = inj.SolarFactor()
-			alive = inj.AliveServers()
-		}
 		rate := offered
 		if time.Duration(i)*epoch >= burst {
 			rate = 0.6 * offered
@@ -610,19 +601,25 @@ func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
 			return
 		}
 		load.FeedMonitor(mon.RecordLatency)
-		mon.RecordGreenPower(units.Watt(supply.At(at) * solarFactor))
+		mon.RecordGreenPower(units.Watt(supply.At(at)))
 		mon.RecordServerPower(p.LoadPower(current, rate))
 		tel := mon.Close(epoch)
 		tel.OfferedRate = rate
 		tel.Goodput = load.Goodput()
-		if alive < green.GreenServers {
-			tel.Goodput *= float64(alive) / float64(green.GreenServers)
-		}
 
 		d, err := ctrl.Step(tel)
-		if err != nil {
+		var se *core.SinkError
+		if err != nil && !errors.As(err, &se) {
+			// The step itself failed: nothing was decided or applied,
+			// so there is nothing to persist for this epoch.
 			log.Printf("greensprintd: step: %v", err)
 		} else {
+			if se != nil {
+				// A sink failure loses an observation, not an epoch:
+				// the decision was applied and recorded, so the
+				// checkpoint and the epoch log still happen.
+				log.Printf("greensprintd: event sink: %v", se.Err)
+			}
 			if o.ckpt != "" {
 				if err := saveCheckpoint(ctrl, o.ckpt); err != nil {
 					log.Printf("greensprintd: checkpoint: %v", err)
@@ -635,6 +632,13 @@ func tickLoop(ctx context.Context, ctrl *core.Controller, cfg config.Config,
 			log.Printf("epoch %d: config=%v case=%v budget=%v sprint=%.0f%% goodput=%.0f/s p%v=%.0fms",
 				d.Epoch, d.Config, d.Case, d.Budget, d.SprintFraction*100,
 				tel.Goodput, p.Quantile*100, tel.Latency*1000)
+			if o.chaos != "" {
+				if st := ctrl.Snapshot(); st.Alive != prevAlive || st.PSSStuck != prevStuck || st.BreakerTripped != prevTripped {
+					log.Printf("greensprintd: chaos state: alive=%d/%d pss_stuck=%v breaker_tripped=%v",
+						st.Alive, green.GreenServers, st.PSSStuck, st.BreakerTripped)
+					prevAlive, prevStuck, prevTripped = st.Alive, st.PSSStuck, st.BreakerTripped
+				}
+			}
 		}
 		select {
 		case <-ctx.Done():

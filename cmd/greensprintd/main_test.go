@@ -300,3 +300,159 @@ func TestResumeFromCheckpoint(t *testing.T) {
 		t.Errorf("resumed run ended at epoch %d, want 5", cp.Count)
 	}
 }
+
+// readEvents parses a JSONL event file.
+func readEvents(t *testing.T, path string) []obs.Event {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []obs.Event
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", len(out), err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestResumeContinuesSchedule is the regression test for the resume
+// desync: the tick loop used to restart its epoch index at zero while
+// the restored controller continued from the checkpointed count, so a
+// resumed daemon replayed the burst schedule and the supply trace from
+// the beginning. With a burst spanning epochs 0-4, the epochs after
+// resume (6, 7) must carry the post-burst offered rate — before the
+// fix they carried the in-burst rate of tick indices 0 and 1.
+func TestResumeContinuesSchedule(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ck.json")
+	events := filepath.Join(dir, "events.jsonl")
+	cfg := demoConfig()
+	cfg.BurstDuration = config.Duration(25 * time.Millisecond) // epochs 0-4 at 5 ms
+	o := options{addr: "127.0.0.1:0", backend: "sim", epoch: 5 * time.Millisecond,
+		ckpt: ckpt, events: events}
+
+	first := o
+	first.once = 6
+	runWith(t, context.Background(), cfg, first)
+	second := o
+	second.once = 2
+	second.resume = true
+	runWith(t, context.Background(), cfg, second)
+
+	evs := readEvents(t, events)
+	if len(evs) != 8 {
+		t.Fatalf("events = %d, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Epoch != i {
+			t.Fatalf("event %d has epoch %d — numbering not continuous across resume", i, ev.Epoch)
+		}
+	}
+	inBurst := evs[0].OfferedRate
+	if inBurst <= 0 {
+		t.Fatalf("epoch 0 offered rate = %v", inBurst)
+	}
+	post := 0.6 * inBurst
+	for _, ev := range evs[5:] {
+		if ev.OfferedRate != post {
+			t.Errorf("epoch %d offered rate = %v, want post-burst %v — resumed tick loop replayed the schedule from zero",
+				ev.Epoch, ev.OfferedRate, post)
+		}
+	}
+}
+
+// TestChaosResumeReplaysTimeline stops a chaos daemon mid-run and
+// resumes it with the same flags: the controller-owned injector
+// restores its replay position from the v2 checkpoint, the combined
+// event stream keeps gap-free epoch numbering, and its fault/recovery
+// timeline is bit-identical to an uninterrupted run with the same
+// flags.
+func TestChaosResumeReplaysTimeline(t *testing.T) {
+	dir := t.TempDir()
+	cfg := demoConfig()
+	base := options{addr: "127.0.0.1:0", backend: "sim", epoch: 5 * time.Millisecond,
+		chaos: "crash=400000,solar=300000,stuck=200000,degrade=200000,breaker=200000", chaosSeed: 7}
+
+	// Uninterrupted reference: 9 epochs in one run.
+	ref := base
+	ref.once = 9
+	ref.events = filepath.Join(dir, "ref.jsonl")
+	runWith(t, context.Background(), cfg, ref)
+
+	// Split run: 6 epochs, SIGINT-equivalent shutdown, resume for 3.
+	split := base
+	split.once = 6
+	split.events = filepath.Join(dir, "split.jsonl")
+	split.ckpt = filepath.Join(dir, "ck.json")
+	runWith(t, context.Background(), cfg, split)
+	b, err := os.ReadFile(split.ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := core.DecodeCheckpoint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Chaos == nil {
+		t.Fatal("chaos daemon checkpoint carries no injector state")
+	}
+	resumed := split
+	resumed.once = 3
+	resumed.resume = true
+	runWith(t, context.Background(), cfg, resumed)
+
+	refEvs := readEvents(t, ref.events)
+	splitEvs := readEvents(t, split.events)
+
+	type transition struct {
+		Epoch  int
+		Kind   string
+		Mode   string
+		Target int
+	}
+	timeline := func(evs []obs.Event) (faults []transition, epochs []int) {
+		for _, ev := range evs {
+			if ev.Chaos != "" {
+				faults = append(faults, transition{ev.Epoch, ev.Chaos, ev.ChaosMode, ev.ChaosTarget})
+				continue
+			}
+			epochs = append(epochs, ev.Epoch)
+		}
+		return
+	}
+	refFaults, refEpochs := timeline(refEvs)
+	splitFaults, splitEpochs := timeline(splitEvs)
+
+	if len(refFaults) == 0 {
+		t.Fatal("reference run injected no faults; raise the profile weights")
+	}
+	if len(splitEpochs) != 9 {
+		t.Fatalf("split run epochs = %d, want 9", len(splitEpochs))
+	}
+	for i, e := range splitEpochs {
+		if e != i {
+			t.Fatalf("split epoch record %d numbered %d — gap across resume", i, e)
+		}
+	}
+	if len(refEpochs) != 9 {
+		t.Fatalf("reference run epochs = %d, want 9", len(refEpochs))
+	}
+	if len(splitFaults) != len(refFaults) {
+		t.Fatalf("split run timeline has %d transitions, reference %d:\nsplit %+v\nref   %+v",
+			len(splitFaults), len(refFaults), splitFaults, refFaults)
+	}
+	for i := range refFaults {
+		if splitFaults[i] != refFaults[i] {
+			t.Errorf("transition %d diverged: split %+v, reference %+v", i, splitFaults[i], refFaults[i])
+		}
+	}
+}

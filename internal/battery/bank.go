@@ -172,6 +172,19 @@ func (b *Bank) SoC() float64 {
 	return sum / float64(len(b.units))
 }
 
+// Health returns the mean capacity-fade multiplier across units (1
+// for an undegraded or empty bank).
+func (b *Bank) Health() float64 {
+	if len(b.units) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, u := range b.units {
+		sum += u.CapacityFade()
+	}
+	return sum / float64(len(b.units))
+}
+
 // UsableEnergy returns the aggregate energy above the DoD floors.
 func (b *Bank) UsableEnergy() units.WattHour {
 	var sum units.WattHour

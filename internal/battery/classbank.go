@@ -225,6 +225,19 @@ func (b *ClassBank) SoC() float64 {
 	return sum / float64(b.size)
 }
 
+// Health returns the count-weighted mean capacity-fade multiplier (1
+// for an undegraded or empty bank).
+func (b *ClassBank) Health() float64 {
+	if b.size == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, g := range b.groups {
+		sum += float64(g.count) * g.unit.CapacityFade()
+	}
+	return sum / float64(b.size)
+}
+
 // UsableEnergy returns the aggregate energy above the DoD floors.
 func (b *ClassBank) UsableEnergy() units.WattHour {
 	var sum units.WattHour

@@ -1,0 +1,87 @@
+package battery
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBankHealth pins the degraded-capacity signal: a fresh bank is
+// fully healthy, a targeted degradation pulls the mean capacity fade
+// down by exactly its share, and an empty bank (REOnly) reads healthy
+// rather than dividing by zero.
+func TestBankHealth(t *testing.T) {
+	b, err := NewBank(ServerBattery(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Health(); got != 1 {
+		t.Errorf("fresh bank health = %v, want 1", got)
+	}
+	if err := b.DegradeUnit(1, 0.7, 1.3); err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + 0.7 + 1) / 3
+	if got := b.Health(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("degraded bank health = %v, want %v", got, want)
+	}
+	// Degradation compounds into the mean.
+	if err := b.DegradeUnit(1, 0.5, 1.1); err != nil {
+		t.Fatal(err)
+	}
+	want = (1 + 0.35 + 1) / 3
+	if got := b.Health(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("compounded bank health = %v, want %v", got, want)
+	}
+
+	empty, err := NewBank(ServerBattery(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.Health(); got != 1 {
+		t.Errorf("empty bank health = %v, want 1", got)
+	}
+}
+
+// TestClassBankHealth checks the grouped implementation agrees with
+// the per-unit one: the mean weights each group by its unit count,
+// and splitting a unit out of its group via DegradeUnit is reflected
+// exactly.
+func TestClassBankHealth(t *testing.T) {
+	cb, err := NewClassBank([]ClassSpec{
+		{Config: ServerBattery(), Count: 3},
+		{Config: SmallServerBattery(), Count: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cb.Health(); got != 1 {
+		t.Errorf("fresh class bank health = %v, want 1", got)
+	}
+	if err := cb.DegradeUnit(2, 0.6, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + 1 + 0.6 + 1) / 4
+	if got := cb.Health(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("degraded class bank health = %v, want %v", got, want)
+	}
+
+	// Bank and ClassBank report identical health for the same layout
+	// and fault.
+	b, err := NewBank(ServerBattery(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb2, err := NewClassBank([]ClassSpec{{Config: ServerBattery(), Count: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DegradeUnit(3, 0.8, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cb2.DegradeUnit(3, 0.8, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	if bh, ch := b.Health(), cb2.Health(); math.Abs(bh-ch) > 1e-12 {
+		t.Errorf("Bank health %v != ClassBank health %v", bh, ch)
+	}
+}

@@ -33,6 +33,10 @@ type Store interface {
 	Charge(p units.Watt, d time.Duration) units.WattHour
 	// DegradeUnit applies a permanent chaos degradation to unit i.
 	DegradeUnit(i int, capFactor, resistFactor float64) error
+	// Health returns the mean capacity-fade multiplier across units
+	// (1 for an undegraded or empty store) — the degraded-capacity
+	// signal failure-aware policies consume.
+	Health() float64
 	// UsableEnergy returns the aggregate energy above the DoD floors.
 	UsableEnergy() units.WattHour
 	// EquivalentCycles returns the mean per-unit cycle usage.

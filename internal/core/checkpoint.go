@@ -4,14 +4,19 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"greensprint/internal/chaos"
+	"greensprint/internal/cluster"
 	"greensprint/internal/pmk"
 	"greensprint/internal/predictor"
 	"greensprint/internal/pss"
 )
 
 // CheckpointVersion is the format version written into controller
-// checkpoints; Restore rejects any other version.
-const CheckpointVersion = 1
+// checkpoints; Restore rejects any other version. Version 2 added the
+// chaos injector's replay state, the forced-breaker thermal state and
+// the epoch-length fingerprint. DecodeCheckpoint transparently
+// migrates version-1 files (see migrateV1).
+const CheckpointVersion = 2
 
 // Checkpoint is the serializable state of a Controller between two
 // epochs: every stateful layer (battery bank, PSS accounting,
@@ -26,6 +31,12 @@ type Checkpoint struct {
 	Workload string `json:"workload"`
 	Strategy string `json:"strategy"`
 	Green    string `json:"green_config"`
+	// EpochSeconds fingerprints the scheduling-epoch length (v2+). A
+	// chaos timeline is resolved per epoch index, so resuming with a
+	// different epoch would silently stretch or compress the fault
+	// schedule; Restore rejects a mismatch. Zero (a migrated v1
+	// checkpoint) skips the check.
+	EpochSeconds float64 `json:"epoch_seconds,omitempty"`
 
 	Count   int        `json:"epoch_count"`
 	Last    Decision   `json:"last_decision"`
@@ -37,6 +48,13 @@ type Checkpoint struct {
 	// StrategyState is the strategy's opaque state (nil for stateless
 	// strategies; the Hybrid's persisted Q-table pins the knob space).
 	StrategyState json.RawMessage `json:"strategy_state,omitempty"`
+	// Chaos is the fault injector's replay state (v2+); present
+	// exactly when the controller runs a chaos schedule. Restore
+	// rejects a checkpoint whose chaos-presence disagrees with the
+	// controller's. Breaker rides along: the chaos-only PDU breaker's
+	// thermal state, so a forced-open breaker resumes tripped.
+	Chaos   *chaos.InjectorSnapshot  `json:"chaos,omitempty"`
+	Breaker *cluster.BreakerSnapshot `json:"breaker,omitempty"`
 }
 
 // Checkpoint captures the controller's state at the current epoch
@@ -48,11 +66,12 @@ func (c *Controller) Checkpoint() (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: checkpoint strategy: %w", err)
 	}
-	return &Checkpoint{
+	cp := &Checkpoint{
 		Version:       CheckpointVersion,
 		Workload:      c.opts.Workload.Name,
 		Strategy:      c.strat.Name(),
 		Green:         c.opts.Green.Name,
+		EpochSeconds:  c.epoch.Seconds(),
 		Count:         c.count,
 		Last:          c.last,
 		History:       append([]Decision(nil), c.history...),
@@ -60,14 +79,26 @@ func (c *Controller) Checkpoint() (*Checkpoint, error) {
 		Fleet:         c.fleet.Snapshot(),
 		LoadPred:      c.loadPred.Snapshot(),
 		StrategyState: raw,
-	}, nil
+	}
+	if c.injector != nil {
+		s := c.injector.Snapshot()
+		cp.Chaos = &s
+		if c.breaker != nil {
+			bs := c.breaker.Snapshot()
+			cp.Breaker = &bs
+		}
+	}
+	return cp, nil
 }
 
 // Restore replaces the controller's state with a checkpoint cut from a
-// controller with the same workload, strategy and green configuration.
-// Component snapshots must fit the controller's layout (bank size,
-// fleet size) and a strategy snapshot must match the strategy's knob
-// space, so a stale or foreign checkpoint fails loudly.
+// controller with the same workload, strategy, green configuration and
+// epoch length. Component snapshots must fit the controller's layout
+// (bank size, fleet size, chaos schedule) and a strategy snapshot must
+// match the strategy's knob space, so a stale or foreign checkpoint
+// fails loudly. After a chaos restore the derived state (live census,
+// stuck switch) is recomputed from the injector's ref-counts, exactly
+// as sim.Engine.Restore does.
 func (c *Controller) Restore(cp *Checkpoint) error {
 	if cp == nil {
 		return fmt.Errorf("core: restore: nil checkpoint")
@@ -86,8 +117,14 @@ func (c *Controller) Restore(cp *Checkpoint) error {
 	if cp.Green != c.opts.Green.Name {
 		return fmt.Errorf("core: restore: checkpoint green config %q, controller runs %q", cp.Green, c.opts.Green.Name)
 	}
+	if cp.EpochSeconds != 0 && cp.EpochSeconds != c.epoch.Seconds() {
+		return fmt.Errorf("core: restore: checkpoint epoch %vs, controller epoch %vs", cp.EpochSeconds, c.epoch.Seconds())
+	}
 	if cp.Count < 0 {
 		return fmt.Errorf("core: restore: negative epoch count %d", cp.Count)
+	}
+	if (cp.Chaos == nil) != (c.injector == nil) {
+		return fmt.Errorf("core: restore: checkpoint and controller disagree on chaos schedule")
 	}
 	if err := c.selector.Restore(cp.Selector); err != nil {
 		return fmt.Errorf("core: restore: %w", err)
@@ -101,6 +138,18 @@ func (c *Controller) Restore(cp *Checkpoint) error {
 	if err := c.strat.RestoreState(cp.StrategyState); err != nil {
 		return fmt.Errorf("core: restore: %w", err)
 	}
+	if c.injector != nil {
+		if err := c.injector.Restore(*cp.Chaos); err != nil {
+			return fmt.Errorf("core: restore: %w", err)
+		}
+		if cp.Breaker != nil && c.breaker != nil {
+			if err := c.breaker.Restore(*cp.Breaker); err != nil {
+				return fmt.Errorf("core: restore: %w", err)
+			}
+		}
+		c.alive = c.injector.AliveServers()
+		c.selector.SetStuck(c.injector.Stuck())
+	}
 	c.count = cp.Count
 	c.last = cp.Last
 	c.history = append([]Decision(nil), cp.History...)
@@ -108,4 +157,32 @@ func (c *Controller) Restore(cp *Checkpoint) error {
 		c.history = c.history[len(c.history)-HistoryLimit:]
 	}
 	return nil
+}
+
+// DecodeCheckpoint parses a JSON checkpoint and checks its version.
+// Version-1 checkpoints are migrated in place (see migrateV1) so files
+// cut before the chaos fields still restore cleanly; any other version
+// mismatch fails loudly.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	if cp.Version == 1 {
+		migrateV1(&cp)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: decode checkpoint: version %d, supported %d", cp.Version, CheckpointVersion)
+	}
+	return &cp, nil
+}
+
+// migrateV1 lifts a version-1 checkpoint to version 2. The v1 layout
+// is a strict subset of v2: it predates chaos, so the injector and
+// breaker state are absent (a fault-free run, which Restore accepts
+// for controllers without a chaos schedule) and the epoch fingerprint
+// is zero, which Restore treats as "unknown, skip the check". The next
+// Checkpoint/save cycle persists the file as full v2.
+func migrateV1(cp *Checkpoint) {
+	cp.Version = 2
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"greensprint/internal/battery"
+	"greensprint/internal/chaos"
 	"greensprint/internal/cluster"
 	"greensprint/internal/obs"
 	"greensprint/internal/pmk"
@@ -65,7 +66,32 @@ type Options struct {
 	// power-source split (the daemon wires a Prometheus collector and
 	// an optional JSONL event log here).
 	Sink obs.Sink
+	// Chaos optionally injects a resolved failure timeline into the
+	// real control loop. Step advances the injector at each epoch
+	// boundary under the controller lock: crashed servers shrink the
+	// live census behind budget division and knob actuation,
+	// stuck-at-source welds the PSS to the utility feed, battery
+	// faults degrade the bank, breaker trips force the PDU breaker
+	// open, and every transition is emitted as a chaos event on the
+	// Sink. Telemetry handed to Step must then be full-fleet,
+	// fault-free values — the controller applies solar dropouts and
+	// alive-fraction degradation itself, so the Monitor side needs no
+	// chaos wiring of its own. The schedule must be resolved for
+	// Green.GreenServers servers and the bank's unit count.
+	Chaos *chaos.Injector
 }
+
+// SinkError wraps an event-sink failure surfaced by Step. The step
+// itself succeeded — the decision was applied and recorded — so
+// callers that persist per-epoch state should treat it as a lost
+// observation, not a failed epoch. Detect it with errors.As.
+type SinkError struct{ Err error }
+
+// Error implements error.
+func (e *SinkError) Error() string { return "core: event sink: " + e.Err.Error() }
+
+// Unwrap exposes the underlying sink failure.
+func (e *SinkError) Unwrap() error { return e.Err }
 
 // Telemetry is one epoch's measurements from the Monitor.
 type Telemetry struct {
@@ -115,6 +141,12 @@ type Status struct {
 	BatteryCycle float64               `json:"battery_cycles"`
 	Account      cluster.EnergyAccount `json:"energy_account"`
 	Configs      []server.Config       `json:"server_configs"`
+	// Chaos state, populated only when the controller runs a chaos
+	// injector: the live server census, the PSS stuck-at-source
+	// flag and the forced-open breaker flag.
+	Alive          int  `json:"alive,omitempty"`
+	PSSStuck       bool `json:"pss_stuck,omitempty"`
+	BreakerTripped bool `json:"breaker_tripped,omitempty"`
 }
 
 // Controller is the GreenSprint control plane.
@@ -127,6 +159,15 @@ type Controller struct {
 	loadPred *predictor.EWMA
 	epoch    time.Duration
 	sink     obs.Sink
+
+	// injector replays the chaos schedule (nil for fault-free
+	// controllers: every fault-free code path is bit-identical to the
+	// pre-chaos controller). alive tracks the green servers not
+	// currently crashed; breaker is the PDU breaker model chaos trips
+	// force open, built only when chaos is on.
+	injector *chaos.Injector
+	breaker  *cluster.Breaker
+	alive    int
 
 	mu      sync.Mutex
 	count   int
@@ -179,6 +220,34 @@ func New(opts Options) (*Controller, error) {
 	if fleet == nil {
 		fleet = pmk.NewSimFleet(opts.Green.GreenServers)
 	}
+	var breaker *cluster.Breaker
+	if opts.Chaos != nil {
+		// A schedule's fault targets were drawn for a concrete
+		// topology; replaying it against a different one would strike
+		// phantom components.
+		sched := opts.Chaos.Schedule()
+		if sched.Servers != opts.Green.GreenServers {
+			return nil, fmt.Errorf("core: chaos schedule resolved for %d servers, controller manages %d",
+				sched.Servers, opts.Green.GreenServers)
+		}
+		if sched.Units != bank.Size() {
+			return nil, fmt.Errorf("core: chaos schedule resolved for %d battery units, bank has %d",
+				sched.Units, bank.Size())
+		}
+		// Breaker trips need a breaker to trip: model the rack's PDU
+		// feed so a forced-open breaker is visible state (stress,
+		// tripped flag) instead of a stream-only annotation. A
+		// generated fleet spans many PDU legs with no single breaker
+		// (as in sim.Engine), so fleet-scale controllers go without
+		// and trips ride the event stream only.
+		if opts.Green.GreenServers <= cluster.DefaultServers {
+			cl, err := cluster.New(opts.Green)
+			if err != nil {
+				return nil, err
+			}
+			breaker = cluster.NewBreaker(cl.GridBudget)
+		}
+	}
 	return &Controller{
 		opts:     opts,
 		table:    tab,
@@ -188,6 +257,9 @@ func New(opts Options) (*Controller, error) {
 		loadPred: predictor.NewEWMA(predictor.DefaultAlpha),
 		epoch:    epoch,
 		sink:     opts.Sink,
+		injector: opts.Chaos,
+		breaker:  breaker,
+		alive:    opts.Green.GreenServers,
 	}, nil
 }
 
@@ -228,29 +300,66 @@ func (t Telemetry) sanitize() Telemetry {
 }
 
 // Step closes the control loop for one epoch, using the telemetry
-// measured over the epoch that just ended.
+// measured over the epoch that just ended. With a chaos injector the
+// epoch's fault and recovery transitions are applied first, under the
+// same lock, so the decision below already sees the degraded world. A
+// failed event emission returns the valid, already-applied Decision
+// alongside a *SinkError; every other error means the step itself
+// failed.
 func (c *Controller) Step(t Telemetry) (Decision, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	t = t.sanitize()
 	n := c.opts.Green.GreenServers
+	m := n // servers actually up; == n whenever chaos is off
+
+	// 0. Chaos transitions land at the epoch boundary, before the
+	// epoch's physics.
+	var sinkErr error
+	if c.injector != nil {
+		se, err := c.applyChaos()
+		if err != nil {
+			return Decision{}, err
+		}
+		sinkErr = se
+		m = c.alive
+		// An active inverter dropout zeroes the observed green
+		// supply; crashed servers neither serve nor draw, so the
+		// per-provisioned-server telemetry means shrink coherently by
+		// the alive fraction. Scaling goodput, offered rate and draw
+		// together keeps the learner's ratios intact: losses caused
+		// by dead servers are never blamed on the chosen config.
+		t.GreenPower = units.Watt(float64(t.GreenPower) * c.injector.SolarFactor())
+		if m < n {
+			scale := float64(m) / float64(n)
+			t.OfferedRate *= scale
+			t.Goodput *= scale
+			t.ServerPower = units.Watt(float64(t.ServerPower) * scale)
+		}
+	}
+	if m == 0 {
+		return c.stepOutage(t, sinkErr)
+	}
 
 	// 1. Monitor → Predictor: feed observations.
 	c.selector.ObserveSupply(t.GreenPower)
 	c.loadPred.Observe(t.OfferedRate)
 
-	// 2. Predictor → strategy inputs for the upcoming epoch.
+	// 2. Predictor → strategy inputs for the upcoming epoch. All
+	// demand arithmetic runs over the servers actually up.
 	predGreen := c.selector.PredictedSupply()
 	predRate := c.loadPred.Predict()
-	budget := units.Watt(float64(c.selector.AvailablePower(c.epoch)) / float64(n))
+	budget := units.Watt(float64(c.selector.AvailablePower(c.epoch)) / float64(m))
 	in := strategy.Inputs{
 		Table:         c.table,
 		PredictedRate: predRate,
 		Budget:        budget,
 		Epoch:         c.epoch,
 		SprintFraction: func(perServer units.Watt) float64 {
-			return c.selector.SustainFraction(units.Watt(float64(perServer)*float64(n)), predGreen, c.epoch)
+			return c.selector.SustainFraction(units.Watt(float64(perServer)*float64(m)), predGreen, c.epoch)
 		},
+		AliveFraction: float64(m) / float64(n),
+		BatteryHealth: c.selector.Bank().Health(),
 	}
 
 	// 3. Learn from the epoch that just finished.
@@ -276,8 +385,8 @@ func (c *Controller) Step(t Telemetry) (Decision, error) {
 	if !ok {
 		perServer = c.opts.Workload.LoadPower(chosen, predRate)
 	}
-	demand := units.Watt(float64(perServer) * float64(n))
-	normalFallback := units.Watt(float64(c.opts.Workload.LoadPower(server.Normal(), predRate)) * float64(n))
+	demand := units.Watt(float64(perServer) * float64(m))
+	normalFallback := units.Watt(float64(c.opts.Workload.LoadPower(server.Normal(), predRate)) * float64(m))
 	var al pss.Allocation
 	if chosen.IsSprinting() {
 		al = c.selector.Allocate(demand, t.GreenPower, c.epoch, normalFallback)
@@ -290,14 +399,14 @@ func (c *Controller) Step(t Telemetry) (Decision, error) {
 		// completed in this period").
 		bursting := c.table.MaxRate > 0 && predRate > 0.5*c.table.MaxRate
 		if !bursting && c.selector.NeedsRecharge() {
-			c.selector.RechargeFromGrid(units.Watt(float64(sim.GridRechargePower)*float64(n)), c.epoch)
+			c.selector.RechargeFromGrid(units.Watt(float64(sim.GridRechargePower)*float64(m)), c.epoch)
 		}
 	}
 	applied := chosen
 	if al.Case == pss.CaseGridFallback {
 		applied = server.Normal()
 	}
-	if err := c.fleet.ApplyAll(applied); err != nil {
+	if err := c.applyFleet(applied); err != nil {
 		return Decision{}, fmt.Errorf("core: apply %v: %w", applied, err)
 	}
 
@@ -318,13 +427,135 @@ func (c *Controller) Step(t Telemetry) (Decision, error) {
 		c.history = c.history[len(c.history)-HistoryLimit:]
 	}
 	if c.sink != nil {
-		if err := c.sink.Emit(c.event(t, d, al)); err != nil {
-			// The decision has been applied and recorded; the caller
-			// learns the telemetry was not fully observed.
-			return d, fmt.Errorf("core: event sink: %w", err)
+		if err := c.sink.Emit(c.event(t, d, al)); err != nil && sinkErr == nil {
+			sinkErr = err
 		}
 	}
+	if sinkErr != nil {
+		// The decision has been applied and recorded; the caller
+		// learns the telemetry was not fully observed.
+		return d, &SinkError{Err: sinkErr}
+	}
 	return d, nil
+}
+
+// stepOutage handles an epoch with every green server down: nothing
+// serves, nothing sprints, the strategy has nothing to decide.
+// Surviving infrastructure still runs — the batteries bank whatever
+// green output remains, topped up from the grid once the DoD trigger
+// fires — and the decision log records the outage as a zero-demand
+// grid-fallback epoch so numbering stays gap-free.
+func (c *Controller) stepOutage(t Telemetry, sinkErr error) (Decision, error) {
+	c.selector.ObserveSupply(t.GreenPower)
+	c.loadPred.Observe(t.OfferedRate)
+	c.selector.RechargeFromGreen(t.GreenPower, c.epoch)
+	if c.selector.NeedsRecharge() {
+		c.selector.RechargeFromGrid(sim.GridRechargePower, c.epoch)
+	}
+	d := Decision{
+		Epoch:          c.count,
+		Config:         server.Normal(),
+		Case:           pss.CaseGridFallback,
+		PredictedGreen: c.selector.PredictedSupply(),
+		PredictedRate:  c.loadPred.Predict(),
+	}
+	c.count++
+	c.last = d
+	c.history = append(c.history, d)
+	if len(c.history) > HistoryLimit {
+		c.history = c.history[len(c.history)-HistoryLimit:]
+	}
+	if c.sink != nil {
+		if err := c.sink.Emit(c.event(t, d, pss.Allocation{Case: pss.CaseGridFallback})); err != nil && sinkErr == nil {
+			sinkErr = err
+		}
+	}
+	if sinkErr != nil {
+		return d, &SinkError{Err: sinkErr}
+	}
+	return d, nil
+}
+
+// applyChaos advances the injector to the current epoch, applies each
+// due transition to the affected component, and emits one chaos event
+// per transition ahead of the epoch record — the controller-owned
+// equivalent of sim.Engine's chaos path, so daemon and sim share one
+// failure semantics. Aggregate state (alive servers, stuck switch)
+// comes from the injector's ref-counts, so overlapping faults on one
+// component compose instead of corrupting each other. Emission
+// failures are reported separately from component failures: the
+// transitions are applied regardless.
+func (c *Controller) applyChaos() (sinkErr, hard error) {
+	for _, a := range c.injector.Advance(c.count) {
+		f := a.Fault
+		switch f.Mode {
+		case chaos.ServerCrash:
+			if !a.Recovered {
+				// The crashed server drops its sprint; when it
+				// restarts it boots into Normal mode, which its knob
+				// already records from here on.
+				if err := c.fleet.Apply(f.Target, server.Normal()); err != nil {
+					return sinkErr, fmt.Errorf("core: chaos: %w", err)
+				}
+			}
+		case chaos.BatteryDegrade:
+			if err := c.selector.Bank().DegradeUnit(f.Target, f.Factor, f.Resist); err != nil {
+				return sinkErr, fmt.Errorf("core: chaos: %w", err)
+			}
+		case chaos.BreakerTrip:
+			// Fleet-scale controllers carry no breaker model; the
+			// trip then rides the event stream only.
+			if c.breaker != nil {
+				if a.Recovered {
+					c.breaker.Reset() // technician reclose
+				} else {
+					c.breaker.ForceTrip()
+				}
+			}
+		}
+		// PSSStuck and SolarDropout act purely through the injector's
+		// ref-counts read by Step; ZoneOutage is a marker whose
+		// cascade constituents carry the component effects.
+		if c.sink != nil {
+			if err := c.sink.Emit(c.chaosEvent(a)); err != nil && sinkErr == nil {
+				sinkErr = err
+			}
+		}
+	}
+	c.alive = c.injector.AliveServers()
+	c.selector.SetStuck(c.injector.Stuck())
+	return sinkErr, nil
+}
+
+// chaosEvent renders one fault/recovery transition for the event
+// stream, stamped with the epoch it strikes in. Time is left empty as
+// in every controller event: daemon epochs run on the wall clock.
+func (c *Controller) chaosEvent(a chaos.Action) obs.Event {
+	kind := "fault"
+	if a.Recovered {
+		kind = "recover"
+	}
+	return obs.Event{
+		Epoch:        c.count,
+		EpochSeconds: c.epoch.Seconds(),
+		Strategy:     c.strat.Name(),
+		Servers:      c.opts.Green.GreenServers,
+		Chaos:        kind,
+		ChaosMode:    a.Fault.Mode.String(),
+		ChaosTarget:  a.Fault.Target,
+		ChaosDetail:  a.Fault.String(),
+	}
+}
+
+// applyFleet applies a config to the running servers: all of them on a
+// fault-free controller, only the alive ones under chaos (a powered-off
+// server has nothing to actuate, and phantom transitions would corrupt
+// the actuation accounting).
+func (c *Controller) applyFleet(cfg server.Config) error {
+	if c.injector != nil {
+		return c.fleet.ApplyAlive(cfg, c.injector.ServerDown)
+	}
+	return c.fleet.ApplyAll(cfg)
 }
 
 // event flattens one control-loop step into the observability schema.
@@ -332,7 +563,7 @@ func (c *Controller) Step(t Telemetry) (Decision, error) {
 // than leaking nondeterminism into event logs.
 func (c *Controller) event(t Telemetry, d Decision, al pss.Allocation) obs.Event {
 	n := float64(c.opts.Green.GreenServers)
-	return obs.Event{
+	ev := obs.Event{
 		Epoch:           d.Epoch,
 		EpochSeconds:    c.epoch.Seconds(),
 		Strategy:        c.strat.Name(),
@@ -357,13 +588,25 @@ func (c *Controller) event(t Telemetry, d Decision, al pss.Allocation) obs.Event
 		BatteryCycles:   c.selector.Bank().EquivalentCycles(),
 		QoSViolation:    c.opts.Workload.Deadline > 0 && t.Latency > c.opts.Workload.Deadline,
 	}
+	if c.injector != nil {
+		// Alive is emitted only while servers are down and breaker
+		// stress only while non-zero (both omitempty), so fault-free
+		// streams stay byte-identical to pre-chaos ones.
+		if c.alive < c.opts.Green.GreenServers {
+			ev.Alive = c.alive
+		}
+		if c.breaker != nil {
+			ev.BreakerStress = c.breaker.Stress()
+		}
+	}
+	return ev
 }
 
 // Snapshot returns the current status.
 func (c *Controller) Snapshot() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Status{
+	st := Status{
 		Workload:     c.opts.Workload.Name,
 		Strategy:     c.strat.Name(),
 		GreenConfig:  c.opts.Green.Name,
@@ -374,6 +617,14 @@ func (c *Controller) Snapshot() Status {
 		Account:      c.selector.Account(),
 		Configs:      c.fleet.Configs(),
 	}
+	if c.injector != nil {
+		st.Alive = c.alive
+		st.PSSStuck = c.selector.Stuck()
+		if c.breaker != nil {
+			st.BreakerTripped = c.breaker.Tripped()
+		}
+	}
+	return st
 }
 
 // History returns a copy of the retained decisions.

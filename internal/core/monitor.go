@@ -17,12 +17,11 @@ import (
 type Monitor struct {
 	profile workload.Profile
 
-	mu      sync.Mutex
-	hist    *metrics.Histogram
-	window  metrics.Window
-	green   []float64
-	srvPow  []float64
-	started time.Time
+	mu     sync.Mutex
+	hist   *metrics.Histogram
+	window metrics.Window
+	green  []float64
+	srvPow []float64
 }
 
 // NewMonitor creates a Monitor for one workload.
@@ -30,7 +29,6 @@ func NewMonitor(p workload.Profile) *Monitor {
 	return &Monitor{
 		profile: p,
 		hist:    metrics.DefaultLatencyHistogram(),
-		started: time.Time{},
 	}
 }
 

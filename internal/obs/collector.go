@@ -134,8 +134,15 @@ func (c *Collector) Emit(ev Event) error {
 	return nil
 }
 
-// Observe folds one epoch event into the metric catalog.
+// Observe folds one epoch event into the metric catalog. Chaos
+// fault/recovery transitions are stream annotations, not epochs: they
+// carry no decision, split or latency, so folding them in would
+// inflate greensprint_epochs_total and mint zero-config decision
+// label series.
 func (c *Collector) Observe(ev Event) {
+	if ev.Chaos != "" {
+		return
+	}
 	c.epochs.Inc()
 	if ev.Sprinting {
 		c.sprintEpochs.Inc()

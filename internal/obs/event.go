@@ -43,6 +43,10 @@ type Event struct {
 	// Servers is the green-server count behind the per-server power
 	// fields.
 	Servers int `json:"servers,omitempty"`
+	// Alive is the green-server count currently up, emitted only
+	// while chaos holds servers down (fault-free streams stay
+	// byte-identical to pre-chaos ones).
+	Alive int `json:"alive,omitempty"`
 	// InBurst marks simulated epochs inside the workload burst.
 	InBurst bool `json:"in_burst,omitempty"`
 

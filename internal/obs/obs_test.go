@@ -93,6 +93,14 @@ func TestCollectorMetrics(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Chaos transitions ride the same sink but are annotations, not
+	// epochs: they must not inflate the counters or mint zero-config
+	// decision series.
+	for i, kind := range []string{"fault", "recover"} {
+		if err := c.Emit(Event{Epoch: i, Chaos: kind, ChaosMode: "server-crash", Strategy: "Hybrid"}); err != nil {
+			t.Fatal(err)
+		}
+	}
 	var buf bytes.Buffer
 	if err := c.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
@@ -121,6 +129,9 @@ func TestCollectorMetrics(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics output missing %q", want)
 		}
+	}
+	if strings.Contains(out, `config=""`) || strings.Contains(out, "0MHz/0") {
+		t.Error("chaos transition minted a zero-config decision series")
 	}
 	// Deterministic rendering.
 	var buf2 bytes.Buffer

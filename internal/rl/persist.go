@@ -25,9 +25,12 @@ type tableJSON struct {
 }
 
 type stateJSON struct {
-	PowerLevel int       `json:"power_level"`
-	LoadLevel  int       `json:"load_level"`
-	Q          []float64 `json:"q"`
+	PowerLevel int `json:"power_level"`
+	LoadLevel  int `json:"load_level"`
+	// Degraded is the degraded-capacity level; omitted while zero so
+	// tables written before (or without) chaos stay byte-identical.
+	Degraded int       `json:"degraded,omitempty"`
+	Q        []float64 `json:"q"`
 }
 
 // WriteJSON serializes the table.
@@ -45,6 +48,7 @@ func (t *Table) WriteJSON(w io.Writer) error {
 		out.States = append(out.States, stateJSON{
 			PowerLevel: s.PowerLevel,
 			LoadLevel:  s.LoadLevel,
+			Degraded:   s.Degraded,
 			Q:          q,
 		})
 	}
@@ -54,7 +58,10 @@ func (t *Table) WriteJSON(w io.Writer) error {
 		if a.PowerLevel != b.PowerLevel {
 			return a.PowerLevel < b.PowerLevel
 		}
-		return a.LoadLevel < b.LoadLevel
+		if a.LoadLevel != b.LoadLevel {
+			return a.LoadLevel < b.LoadLevel
+		}
+		return a.Degraded < b.Degraded
 	})
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -84,7 +91,7 @@ func ReadJSON(r io.Reader) (*Table, error) {
 			return nil, fmt.Errorf("rl: state (%d,%d) has %d Q values, want %d",
 				s.PowerLevel, s.LoadLevel, len(s.Q), len(t.actions))
 		}
-		row := t.row(State{PowerLevel: s.PowerLevel, LoadLevel: s.LoadLevel})
+		row := t.row(State{PowerLevel: s.PowerLevel, LoadLevel: s.LoadLevel, Degraded: s.Degraded})
 		copy(row, s.Q)
 	}
 	return t, nil

@@ -34,6 +34,36 @@ type State struct {
 	PowerLevel int
 	// LoadLevel is the workload intensity level L.
 	LoadLevel int
+	// Degraded is the quantized degraded-capacity level: 0 for a
+	// healthy fleet (every pre-chaos state), rising as crashed
+	// servers or faded batteries shrink the rack's effective
+	// capacity. Keeping it a separate dimension lets the policy
+	// learn fault-mode behaviour without forgetting healthy-mode
+	// estimates.
+	Degraded int
+}
+
+// DegradedLevels is the number of degraded-capacity buckets (0 =
+// healthy .. DegradedLevels-1 = mostly lost).
+const DegradedLevels = 4
+
+// DegradedLevel quantizes an effective-capacity fraction (alive
+// fraction × battery health) into a State.Degraded bucket. Fractions
+// at or above 1 map to the healthy bucket 0; non-positive fractions
+// (everything lost) to the worst bucket. Callers with no degradation
+// signal pass 1, never 0.
+func DegradedLevel(frac float64) int {
+	if frac >= 1 {
+		return 0
+	}
+	if frac <= 0 {
+		return DegradedLevels - 1
+	}
+	lvl := int((1 - frac) * DegradedLevels)
+	if lvl >= DegradedLevels {
+		lvl = DegradedLevels - 1
+	}
+	return lvl
 }
 
 // Quantizer maps a raw power supply onto PowerLevel indices. The range

@@ -199,6 +199,11 @@ func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 		// sprintFrac reads e.predGreen; the closure is allocated once
 		// in New rather than once per epoch.
 		SprintFraction: e.sprintFrac,
+		// Degraded-capacity state features: both are exactly 1 on a
+		// fault-free engine, so the Hybrid's state (and its decisions)
+		// are bit-identical to the pre-chaos engine there.
+		AliveFraction: float64(m) / float64(n),
+		BatteryHealth: selector.Bank().Health(),
 	}
 	chosen := cfg.Strategy.Decide(in)
 	e.applyFleet(chosen)
@@ -295,6 +300,8 @@ func (e *Engine) runBurstEpoch(rec EpochRecord, greenObserved units.Watt,
 			PredictedRate: nextOffered,
 			Budget:        nextBudget,
 			Epoch:         epoch,
+			AliveFraction: float64(m) / float64(n),
+			BatteryHealth: selector.Bank().Health(),
 		},
 	})
 	return rec

@@ -54,6 +54,28 @@ type Inputs struct {
 	// at full intensity and lets the sprint end mid-epoch rather
 	// than refusing to sprint at all.
 	SprintFraction func(units.Watt) float64
+	// AliveFraction is the share of green servers currently up (1
+	// when no chaos is active) and BatteryHealth the bank's mean
+	// capacity-fade multiplier. Failure-aware strategies fold them
+	// into their state so degraded-capacity epochs are learned
+	// separately from healthy ones. The zero value means "no
+	// degradation signal" and is treated as fully healthy, so
+	// callers that predate chaos keep their exact behaviour.
+	AliveFraction float64
+	BatteryHealth float64
+}
+
+// effectiveCapacity collapses the degradation signals into one
+// capacity fraction, mapping unset (zero) fields to healthy.
+func (in Inputs) effectiveCapacity() float64 {
+	alive, health := in.AliveFraction, in.BatteryHealth
+	if alive == 0 {
+		alive = 1
+	}
+	if health == 0 {
+		health = 1
+	}
+	return alive * health
 }
 
 // fraction returns the sustainable fraction of the epoch for a
@@ -376,11 +398,17 @@ func (h *Hybrid) supplyOf(level int) units.Watt {
 // Name implements Strategy.
 func (*Hybrid) Name() string { return "Hybrid" }
 
-// stateFor derives the MDP state from strategy inputs.
+// stateFor derives the MDP state from strategy inputs. The degraded
+// dimension is 0 for healthy epochs — every pre-chaos state lands in
+// the bucket the bootstrap seeded — and rises with lost capacity, so
+// fault-mode experience accumulates in its own rows instead of
+// overwriting healthy-mode estimates (the RARE-style degraded-capacity
+// state feature).
 func (h *Hybrid) stateFor(in Inputs) rl.State {
 	return rl.State{
 		PowerLevel: h.quantizer.Level(in.Budget),
 		LoadLevel:  h.profTable.LevelFor(in.PredictedRate),
+		Degraded:   rl.DegradedLevel(in.effectiveCapacity()),
 	}
 }
 
