@@ -34,9 +34,12 @@ type budgetSet struct {
 	allocsCaps map[string]float64 // benchmark name -> allocs/op cap
 }
 
-// loadBudgets reads and merges the budget files. A benchmark budgeted
-// in several files keeps the most recent (last file) numbers, which is
-// how a later optimization PR ratchets an earlier budget.
+// loadBudgets reads and merges the budget files into the trajectory
+// view: a benchmark budgeted in several files keeps the tightest
+// (lowest ns/op) record, and the BenchmarkEngineStep allocs cap is the
+// minimum across files. Budgets therefore only ever ratchet down — a
+// later PR can add faster numbers, but re-recording a slower result
+// cannot silently loosen an earlier PR's achievement.
 func loadBudgets(paths []string) (*budgetSet, error) {
 	set := &budgetSet{metrics: map[string]metric{}, allocsCaps: map[string]float64{}}
 	for _, p := range paths {
@@ -52,10 +55,15 @@ func loadBudgets(paths []string) (*budgetSet, error) {
 			return nil, fmt.Errorf("%s: no result map", p)
 		}
 		for name, m := range f.Result {
+			if prev, ok := set.metrics[name]; ok && prev.NsPerOp <= m.NsPerOp {
+				continue
+			}
 			set.metrics[name] = m
 		}
 		if f.EngineStepAllocsBudget != nil {
-			set.allocsCaps["BenchmarkEngineStep"] = *f.EngineStepAllocsBudget
+			if prev, ok := set.allocsCaps["BenchmarkEngineStep"]; !ok || *f.EngineStepAllocsBudget < prev {
+				set.allocsCaps["BenchmarkEngineStep"] = *f.EngineStepAllocsBudget
+			}
 		}
 	}
 	return set, nil

@@ -51,21 +51,30 @@ func writeBudget(t *testing.T, name, content string) string {
 func TestLoadBudgetsMerge(t *testing.T) {
 	a := writeBudget(t, "a.json", `{"engine_step_allocs_budget": 8,
 		"result": {"BenchmarkEngineStep": {"ns_per_op": 10000, "allocs_per_op": 0},
-		           "BenchmarkOld": {"ns_per_op": 50}}}`)
-	b := writeBudget(t, "b.json", `{"result": {"BenchmarkOld": {"ns_per_op": 40},
+		           "BenchmarkOld": {"ns_per_op": 50},
+		           "BenchmarkPinned": {"ns_per_op": 30, "bytes_per_op": 64}}}`)
+	b := writeBudget(t, "b.json", `{"engine_step_allocs_budget": 0,
+		"result": {"BenchmarkOld": {"ns_per_op": 40},
+		"BenchmarkPinned": {"ns_per_op": 45},
 		"BenchmarkFleetDay10k": {"ns_per_op": 7538971}}}`)
 	set, err := loadBudgets([]string{a, b})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(set.metrics) != 3 {
-		t.Fatalf("merged %d budgets, want 3", len(set.metrics))
+	if len(set.metrics) != 4 {
+		t.Fatalf("merged %d budgets, want 4", len(set.metrics))
 	}
+	// The trajectory keeps the tightest record per benchmark, in
+	// either direction: a later faster number ratchets the budget
+	// down, a later slower re-recording cannot loosen it.
 	if set.metrics["BenchmarkOld"].NsPerOp != 40 {
-		t.Errorf("later file did not override: %v", set.metrics["BenchmarkOld"].NsPerOp)
+		t.Errorf("tighter later budget did not win: %v", set.metrics["BenchmarkOld"].NsPerOp)
 	}
-	if cap, ok := set.allocsCaps["BenchmarkEngineStep"]; !ok || cap != 8 {
-		t.Errorf("allocs cap = %v, %v", cap, ok)
+	if m := set.metrics["BenchmarkPinned"]; m.NsPerOp != 30 || m.BytesPerOp == nil || *m.BytesPerOp != 64 {
+		t.Errorf("slower re-recording loosened the budget: %+v", m)
+	}
+	if cap, ok := set.allocsCaps["BenchmarkEngineStep"]; !ok || cap != 0 {
+		t.Errorf("allocs cap = %v, %v; want the minimum (0) across files", cap, ok)
 	}
 }
 
@@ -124,12 +133,19 @@ func TestDiffAgainstCommittedBudgets(t *testing.T) {
 	set, err := loadBudgets([]string{
 		filepath.Join(root, "BENCH_PR4.json"),
 		filepath.Join(root, "BENCH_PR7.json"),
+		filepath.Join(root, "BENCH_PR9.json"),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := set.metrics["BenchmarkFleetDay10k"]; !ok {
 		t.Fatal("BENCH_PR7.json lacks BenchmarkFleetDay10k")
+	}
+	if _, ok := set.metrics["BenchmarkYearSingleCell"]; !ok {
+		t.Fatal("BENCH_PR9.json lacks BenchmarkYearSingleCell")
+	}
+	if cap, ok := set.allocsCaps["BenchmarkEngineStep"]; !ok || cap != 0 {
+		t.Fatalf("trajectory allocs cap = %v, %v; BENCH_PR9.json ratchets it to 0", cap, ok)
 	}
 	rep := diff(set, set.metrics, 0.15)
 	if len(rep.failures) != 0 || len(rep.missing) != 0 {

@@ -6,14 +6,18 @@
 // Usage:
 //
 //	go test -run=X -bench . -benchmem ./... | tee bench.txt
-//	greensprint-benchdiff -budgets BENCH_PR4.json,BENCH_PR7.json bench.txt
+//	greensprint-benchdiff -budgets BENCH_PR4.json,BENCH_PR7.json,BENCH_PR9.json bench.txt
 //
 // Each budgets file is the JSON this repo commits per optimization PR:
 // the "result" object maps benchmark names to their recorded
 // {ns_per_op, bytes_per_op, allocs_per_op}, and an optional
 // "engine_step_allocs_budget" caps BenchmarkEngineStep's allocs/op.
-// The tool prints a benchstat-style table (old time, new time, delta)
-// and exits non-zero when
+// The files form a trajectory: a benchmark recorded in several PRs is
+// compared against its tightest (lowest ns/op) budget, and the allocs
+// cap is the minimum across files, so a later re-recording can never
+// silently loosen an earlier PR's achievement. The tool prints a
+// benchstat-style table (old time, new time, delta) and exits non-zero
+// when
 //
 //   - a benchmark's ns/op regresses more than -threshold (default
 //     15%) past its recorded budget,

@@ -1,13 +1,14 @@
 // Command greensprint-lint runs the repository's invariant analyzer
 // (internal/lint) over the module: determinism (nondeterm, maprange),
 // crash-safe persistence (atomicwrite), checkpoint completeness
-// (snapshotpair) and the single-threaded Step hot path (nogoroutine).
+// (snapshotpair) and the single-threaded, zero-allocation Step hot
+// path (nogoroutine, allocfree).
 // It is stdlib-only and loads packages from source, so it runs
 // anywhere the Go toolchain's GOROOT sources are installed.
 //
 // Usage:
 //
-//	greensprint-lint [-json] [-C dir] [-rules] [packages]
+//	greensprint-lint [-json] [-C dir] [-rules] [-audit] [packages]
 //
 // Packages default to ./... relative to the module root found by
 // walking up from -C (default: the working directory). Diagnostics
@@ -21,6 +22,14 @@
 //	//greensprint:allow(rule1,rule2) justification
 //
 // on the offending line or the line above it.
+//
+// -audit switches from checking to justifying: instead of reporting
+// violations, it lists every live allow directive (file:line, rule,
+// justification) and flags stale exemptions — directives whose rule no
+// longer fires on the covered lines, names an unknown rule, or lacks a
+// justification. Stale exemptions exit 1: each one either documents a
+// violation that was since fixed (delete it) or silently pre-approves
+// a future regression.
 package main
 
 import (
@@ -39,6 +48,7 @@ func main() {
 	jsonOut := fs.Bool("json", false, "emit a JSON report instead of vet-style lines")
 	dir := fs.String("C", "", "directory to resolve the module root from (default: cwd)")
 	listRules := fs.Bool("rules", false, "print the rule catalog and exit")
+	audit := fs.Bool("audit", false, "list every //greensprint:allow directive and flag stale exemptions")
 	fs.Parse(os.Args[1:])
 
 	if *listRules {
@@ -47,7 +57,7 @@ func main() {
 		}
 		return
 	}
-	code, err := run(*dir, *jsonOut, fs.Args(), os.Stdout)
+	code, err := run(*dir, *jsonOut, *audit, fs.Args(), os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "greensprint-lint:", err)
 		os.Exit(2)
@@ -61,9 +71,16 @@ type report struct {
 	Diagnostics []lint.Diagnostic `json:"diagnostics"`
 }
 
+// auditReport is the JSON artifact shape for -audit.
+type auditReport struct {
+	Count      int               `json:"count"`
+	Stale      int               `json:"stale"`
+	Directives []lint.AuditEntry `json:"directives"`
+}
+
 // run executes the lint pass and returns the process exit code: 0 for
 // a clean tree, 1 when diagnostics fired.
-func run(dir string, jsonOut bool, patterns []string, stdout io.Writer) (int, error) {
+func run(dir string, jsonOut, audit bool, patterns []string, stdout io.Writer) (int, error) {
 	if dir == "" {
 		var err error
 		dir, err = os.Getwd()
@@ -83,6 +100,9 @@ func run(dir string, jsonOut bool, patterns []string, stdout io.Writer) (int, er
 	if err != nil {
 		return 0, err
 	}
+	if audit {
+		return runAudit(pkgs, jsonOut, stdout)
+	}
 	diags := lint.Run(pkgs, lint.DefaultRules())
 	if jsonOut {
 		rep := report{Count: len(diags), Diagnostics: diags}
@@ -100,6 +120,38 @@ func run(dir string, jsonOut bool, patterns []string, stdout io.Writer) (int, er
 		}
 	}
 	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runAudit executes the exemption audit and returns the exit code: 0
+// when every directive is live and justified, 1 when any is stale.
+func runAudit(pkgs []*lint.Package, jsonOut bool, stdout io.Writer) (int, error) {
+	entries := lint.Audit(pkgs, lint.DefaultRules())
+	stale := 0
+	for _, e := range entries {
+		if !e.Live {
+			stale++
+		}
+	}
+	if jsonOut {
+		rep := auditReport{Count: len(entries), Stale: stale, Directives: entries}
+		if rep.Directives == nil {
+			rep.Directives = []lint.AuditEntry{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, e := range entries {
+			fmt.Fprintln(stdout, e)
+		}
+		fmt.Fprintf(stdout, "%d directives, %d stale\n", len(entries), stale)
+	}
+	if stale > 0 {
 		return 1, nil
 	}
 	return 0, nil

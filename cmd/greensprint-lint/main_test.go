@@ -10,7 +10,7 @@ import (
 
 func TestRunCleanPackages(t *testing.T) {
 	var buf bytes.Buffer
-	code, err := run("", false, []string{"./internal/pmk", "./internal/atomicfile"}, &buf)
+	code, err := run("", false, false, []string{"./internal/pmk", "./internal/atomicfile"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func Epoch() int64 { return time.Now().Unix() }
 	}
 
 	var buf bytes.Buffer
-	code, err := run(dir, true, []string{"./..."}, &buf)
+	code, err := run(dir, true, false, []string{"./..."}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,6 +72,98 @@ func Epoch() int64 { return time.Now().Unix() }
 	d := rep.Diagnostics[0]
 	if d.Rule != "nondeterm" || d.File != "internal/sim/sim.go" || d.Line != 6 {
 		t.Errorf("diagnostic = %+v, want nondeterm at internal/sim/sim.go:6", d)
+	}
+}
+
+// TestRunAudit builds a scratch module with one live exemption (an
+// os.Getenv the directive genuinely excuses), one stale exemption (a
+// directive over code that violates nothing) and one naming an unknown
+// rule, and checks the audit lists all three, flags the two stale ones
+// and exits 1.
+func TestRunAudit(t *testing.T) {
+	dir := t.TempDir()
+	simDir := filepath.Join(dir, "internal", "sim")
+	if err := os.MkdirAll(simDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	gomod := "module greensprint\n\ngo 1.22\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package sim
+
+import "os"
+
+//greensprint:allow(nondeterm) test override knob, read once at init
+var A = os.Getenv("A")
+
+//greensprint:allow(nondeterm) nothing on this line violates nondeterm
+var B = 2
+
+//greensprint:allow(nosuchrule) rule was renamed away
+var C = 3
+`
+	if err := os.WriteFile(filepath.Join(simDir, "sim.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	code, err := run(dir, true, true, []string{"./..."}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 with stale exemptions; output:\n%s", code, buf.String())
+	}
+	var rep struct {
+		Count      int `json:"count"`
+		Stale      int `json:"stale"`
+		Directives []struct {
+			Line   int    `json:"line"`
+			Rule   string `json:"rule"`
+			Live   bool   `json:"live"`
+			Reason string `json:"reason"`
+		} `json:"directives"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("JSON audit does not parse: %v\n%s", err, buf.String())
+	}
+	if rep.Count != 3 || rep.Stale != 2 || len(rep.Directives) != 3 {
+		t.Fatalf("count = %d, stale = %d, directives = %d, want 3/2/3:\n%s",
+			rep.Count, rep.Stale, len(rep.Directives), buf.String())
+	}
+	for _, d := range rep.Directives {
+		switch d.Line {
+		case 5:
+			if !d.Live {
+				t.Errorf("line 5 (genuine exemption) audited stale: %+v", d)
+			}
+		case 8:
+			if d.Live || d.Reason == "" {
+				t.Errorf("line 8 (nothing fires) audited live: %+v", d)
+			}
+		case 11:
+			if d.Live || d.Reason != "unknown rule" {
+				t.Errorf("line 11 (unknown rule) = %+v, want stale with reason", d)
+			}
+		default:
+			t.Errorf("unexpected audit entry: %+v", d)
+		}
+	}
+}
+
+// TestRepoAuditClean is the repo-wide half of the audit: every
+// committed //greensprint:allow directive must still be live — a
+// directive whose violation was since fixed has to be deleted, not
+// left to pre-approve a future regression.
+func TestRepoAuditClean(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run("", false, true, []string{"./..."}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("repo audit found stale exemptions:\n%s", buf.String())
 	}
 }
 

@@ -8,7 +8,7 @@
 //	                [-strategy S] [-intensity N] [-duration D]
 //	                [-availability Min|Med|Max] [-trace FILE] [-csv]
 //	                [-checkpoint FILE] [-resume] [-events FILE]
-//	                [-chaos-profile P] [-chaos-seed N] [-fleet FILE]
+//	                [-chaos-profile P] [-chaos-seed N] [-fleet FILE] [-batch N]
 //
 // Flags override the config file. With -fleet the run replaces the
 // flat -green rack with a generated heterogeneous fleet: FILE is a
@@ -77,6 +77,7 @@ func main() {
 	chaosProfile := flag.String("chaos-profile", "", "failure profile enabling chaos injection: light, heavy, or key=weight[:MIN-MAX] spec")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed resolving the -chaos-profile failure timeline")
 	fleetPath := flag.String("fleet", "", "fleet spec JSON file replacing -green with a generated heterogeneous fleet")
+	batch := flag.Int("batch", -1, "epochs per engine batch: >1 amortizes per-epoch overheads and checkpoints once per batch, 1 steps per epoch, -1 auto (large batches for -fleet runs, per-epoch otherwise)")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -135,7 +136,7 @@ func main() {
 		defer f.Close()
 		sink = obs.NewJSONL(f)
 	}
-	if err := run(ctx, os.Stdout, cfg, fleetSpec, *csvOut, *ckptPath, *resume, sink, *chaosProfile, *chaosSeed); err != nil {
+	if err := run(ctx, os.Stdout, cfg, fleetSpec, *csvOut, *ckptPath, *resume, sink, *chaosProfile, *chaosSeed, *batch); err != nil {
 		fatal(err)
 	}
 }
@@ -145,7 +146,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(ctx context.Context, w io.Writer, cfg config.Config, fleetSpec *fleet.Spec, csvOut bool, ckptPath string, resume bool, sink obs.Sink, chaosProfile string, chaosSeed int64) error {
+func run(ctx context.Context, w io.Writer, cfg config.Config, fleetSpec *fleet.Spec, csvOut bool, ckptPath string, resume bool, sink obs.Sink, chaosProfile string, chaosSeed int64, batch int) error {
 	p, err := cfg.WorkloadProfile()
 	if err != nil {
 		return err
@@ -212,6 +213,21 @@ func run(ctx context.Context, w io.Writer, cfg config.Config, fleetSpec *fleet.S
 			fmt.Fprintf(w, "resumed from %s at epoch %d/%d\n", ckptPath, eng.EpochIndex(), eng.TotalEpochs())
 		}
 	}
+	// Batch size: fleet replays default to large batches (the engine's
+	// StepN fast path makes whole-year fleet runs practical); flat runs
+	// default to per-epoch stepping, preserving the historical
+	// checkpoint-per-epoch cadence. StepN(1) is bit-identical to Step,
+	// so one loop serves both.
+	if batch < 0 {
+		if fleetSpec != nil {
+			batch = 4096
+		} else {
+			batch = 1
+		}
+	}
+	if batch < 1 {
+		batch = 1
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -222,11 +238,11 @@ func run(ctx context.Context, w io.Writer, cfg config.Config, fleetSpec *fleet.S
 			return ctx.Err()
 		default:
 		}
-		_, ok, err := eng.Step()
+		ran, err := eng.StepN(batch)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if ran == 0 {
 			break
 		}
 		if ckptPath != "" {

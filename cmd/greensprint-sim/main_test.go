@@ -24,7 +24,7 @@ func smallConfig() config.Config {
 
 func TestRunText(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, smallConfig(), nil, false, "", false, nil, "", 0); err != nil {
+	if err := run(context.Background(), &buf, smallConfig(), nil, false, "", false, nil, "", 0, -1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -37,7 +37,7 @@ func TestRunText(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, smallConfig(), nil, true, "", false, nil, "", 0); err != nil {
+	if err := run(context.Background(), &buf, smallConfig(), nil, true, "", false, nil, "", 0, -1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "epoch,burst,case,config") {
@@ -50,7 +50,7 @@ func TestRunAllStrategiesAndWorkloads(t *testing.T) {
 		cfg := smallConfig()
 		cfg.Strategy = s
 		var buf bytes.Buffer
-		if err := run(context.Background(), &buf, cfg, nil, false, "", false, nil, "", 0); err != nil {
+		if err := run(context.Background(), &buf, cfg, nil, false, "", false, nil, "", 0, -1); err != nil {
 			t.Errorf("%s: %v", s, err)
 		}
 	}
@@ -58,7 +58,7 @@ func TestRunAllStrategiesAndWorkloads(t *testing.T) {
 		cfg := smallConfig()
 		cfg.Workload = w
 		var buf bytes.Buffer
-		if err := run(context.Background(), &buf, cfg, nil, false, "", false, nil, "", 0); err != nil {
+		if err := run(context.Background(), &buf, cfg, nil, false, "", false, nil, "", 0, -1); err != nil {
 			t.Errorf("%s: %v", w, err)
 		}
 	}
@@ -104,7 +104,7 @@ func TestLoadSupplyFromFile(t *testing.T) {
 	}
 	// Replayed trace drives a full run.
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, cfg, nil, false, "", false, nil, "", 0); err != nil {
+	if err := run(context.Background(), &buf, cfg, nil, false, "", false, nil, "", 0, -1); err != nil {
 		t.Fatal(err)
 	}
 	// Missing file errors.
@@ -119,7 +119,7 @@ func TestLoadSupplyFromFile(t *testing.T) {
 func TestRunEvents(t *testing.T) {
 	capture := func() string {
 		var out, events bytes.Buffer
-		if err := run(context.Background(), &out, smallConfig(), nil, false, "", false, obs.NewJSONL(&events), "", 0); err != nil {
+		if err := run(context.Background(), &out, smallConfig(), nil, false, "", false, obs.NewJSONL(&events), "", 0, -1); err != nil {
 			t.Fatal(err)
 		}
 		return events.String()
@@ -156,7 +156,7 @@ func TestRunChaos(t *testing.T) {
 
 	capture := func(ctx context.Context, ckpt string, resume bool) (string, string, error) {
 		var out, events bytes.Buffer
-		err := run(ctx, &out, cfg, nil, true, ckpt, resume, obs.NewJSONL(&events), "heavy", 3)
+		err := run(ctx, &out, cfg, nil, true, ckpt, resume, obs.NewJSONL(&events), "heavy", 3, -1)
 		return out.String(), events.String(), err
 	}
 
@@ -191,7 +191,7 @@ func TestRunChaos(t *testing.T) {
 	// Resuming without the chaos flags must be refused, not silently
 	// continued fault-free.
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, cfg, nil, true, ckpt, true, nil, "", 0); err == nil ||
+	if err := run(context.Background(), &buf, cfg, nil, true, ckpt, true, nil, "", 0, -1); err == nil ||
 		!strings.Contains(err.Error(), "chaos") {
 		t.Errorf("resume without chaos flags = %v, want chaos mismatch error", err)
 	}
@@ -264,7 +264,7 @@ func TestRunFleet(t *testing.T) {
 
 	cfg := smallConfig()
 	var out, events bytes.Buffer
-	if err := run(context.Background(), &out, cfg, spec, false, "", false, obs.NewJSONL(&events), "", 0); err != nil {
+	if err := run(context.Background(), &out, cfg, spec, false, "", false, obs.NewJSONL(&events), "", 0, -1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `fleet "clitest": 40 servers`) {
@@ -278,7 +278,7 @@ func TestRunFleet(t *testing.T) {
 	// Chaos resolves against the generated topology and the run accepts
 	// the schedule (a flat-rack resolution would be refused by sim.New).
 	out.Reset()
-	if err := run(context.Background(), &out, cfg, spec, false, "", false, nil, "heavy", 3); err != nil {
+	if err := run(context.Background(), &out, cfg, spec, false, "", false, nil, "heavy", 3, -1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `chaos: profile "heavy" seed 3 resolved to`) {
@@ -312,13 +312,13 @@ func TestRunCheckpointResume(t *testing.T) {
 
 	// Reference: the uninterrupted run.
 	var ref bytes.Buffer
-	if err := run(context.Background(), &ref, cfg, nil, true, "", false, nil, "", 0); err != nil {
+	if err := run(context.Background(), &ref, cfg, nil, true, "", false, nil, "", 0, -1); err != nil {
 		t.Fatal(err)
 	}
 
 	// Interrupt after three epochs; the per-epoch checkpoint survives.
 	var interrupted bytes.Buffer
-	err := run(newCheckCountCtx(3), &interrupted, cfg, nil, true, ckpt, false, nil, "", 0)
+	err := run(newCheckCountCtx(3), &interrupted, cfg, nil, true, ckpt, false, nil, "", 0, -1)
 	if err != context.Canceled {
 		t.Fatalf("interrupted run err = %v, want context.Canceled", err)
 	}
@@ -332,7 +332,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	// Resume: picks up at epoch 3 and reproduces the reference output
 	// exactly (everything after the resume notice is bit-identical).
 	var resumed bytes.Buffer
-	if err := run(context.Background(), &resumed, cfg, nil, true, ckpt, true, nil, "", 0); err != nil {
+	if err := run(context.Background(), &resumed, cfg, nil, true, ckpt, true, nil, "", 0, -1); err != nil {
 		t.Fatal(err)
 	}
 	out := resumed.String()
@@ -346,7 +346,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	// -resume with no checkpoint file on disk is a fresh start.
 	var freshStart bytes.Buffer
 	missing := filepath.Join(t.TempDir(), "absent.json")
-	if err := run(context.Background(), &freshStart, cfg, nil, true, missing, true, nil, "", 0); err != nil {
+	if err := run(context.Background(), &freshStart, cfg, nil, true, missing, true, nil, "", 0, -1); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(freshStart.String(), "resumed") {

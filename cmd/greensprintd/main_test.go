@@ -456,3 +456,77 @@ func TestChaosResumeReplaysTimeline(t *testing.T) {
 		}
 	}
 }
+
+// TestCatchupMatchesLiveTicking proves the -catchup batch is
+// equivalent to live ticking through the same epochs: after a
+// checkpointed 6-epoch run, resuming with -catchup 2 -once 1 must
+// produce byte-identical events 6-8 to resuming with three live ticks,
+// because the catch-up callback synthesizes telemetry exactly as the
+// tick loop measures it and Controller.StepN replays the same
+// per-epoch step under one lock.
+func TestCatchupMatchesLiveTicking(t *testing.T) {
+	dir := t.TempDir()
+	cfg := demoConfig()
+	cfg.BurstDuration = config.Duration(25 * time.Millisecond) // epochs 0-4 at 5 ms
+
+	seedCkpt := filepath.Join(dir, "seed.json")
+	seed := options{addr: "127.0.0.1:0", backend: "sim", epoch: 5 * time.Millisecond,
+		once: 6, ckpt: seedCkpt}
+	runWith(t, context.Background(), cfg, seed)
+	ck, err := os.ReadFile(seedCkpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveCkpt := filepath.Join(dir, "live.json")
+	batCkpt := filepath.Join(dir, "bat.json")
+	for _, p := range []string{liveCkpt, batCkpt} {
+		if err := os.WriteFile(p, ck, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	liveEvents := filepath.Join(dir, "live.jsonl")
+	live := options{addr: "127.0.0.1:0", backend: "sim", epoch: 5 * time.Millisecond,
+		once: 3, ckpt: liveCkpt, resume: true, events: liveEvents}
+	runWith(t, context.Background(), cfg, live)
+
+	batEvents := filepath.Join(dir, "bat.jsonl")
+	bat := options{addr: "127.0.0.1:0", backend: "sim", epoch: 5 * time.Millisecond,
+		once: 1, catchup: 2, ckpt: batCkpt, resume: true, events: batEvents}
+	runWith(t, context.Background(), cfg, bat)
+
+	lb, err := os.ReadFile(liveEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(batEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lb) == 0 {
+		t.Fatal("live resume emitted no events")
+	}
+	if string(lb) != string(bb) {
+		t.Errorf("catch-up events differ from live ticking:\nlive:\n%s\nbatched:\n%s", lb, bb)
+	}
+	evs := readEvents(t, batEvents)
+	if len(evs) != 3 {
+		t.Fatalf("batched resume events = %d, want 3 (2 caught up + 1 live)", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Epoch != 6+i {
+			t.Errorf("event %d has epoch %d, want %d", i, ev.Epoch, 6+i)
+		}
+	}
+	b, err := os.ReadFile(batCkpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp core.Checkpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Count != 9 {
+		t.Errorf("batched resume ended at epoch %d, want 9", cp.Count)
+	}
+}

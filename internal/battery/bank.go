@@ -45,6 +45,7 @@ func (b *Bank) available() []*Battery {
 	out := b.avail[:0]
 	for _, u := range b.units {
 		if !u.AtFloor() {
+			//greensprint:allow(allocfree) appends into the bank's reused scratch buffer; grows to the unit count once, then stays flat
 			out = append(out, u)
 		}
 	}

@@ -199,16 +199,21 @@ func (b *ClassBank) DegradeUnit(i int, capFactor, resistFactor float64) error {
 	if err := target.Degrade(capFactor, resistFactor); err != nil {
 		return err
 	}
-	parts := make([]classGroup, 0, 3)
+	var parts [3]classGroup
+	np := 0
 	if offset > 0 {
-		parts = append(parts, classGroup{class: g.class, count: offset, unit: g.unit})
+		parts[np] = classGroup{class: g.class, count: offset, unit: g.unit}
+		np++
 	}
-	parts = append(parts, classGroup{class: g.class, count: 1, unit: &target})
+	parts[np] = classGroup{class: g.class, count: 1, unit: &target}
+	np++
 	if rest := g.count - offset - 1; rest > 0 {
 		after := *g.unit
-		parts = append(parts, classGroup{class: g.class, count: rest, unit: &after})
+		parts[np] = classGroup{class: g.class, count: rest, unit: &after}
+		np++
 	}
-	b.groups = append(b.groups[:gi], append(parts, b.groups[gi+1:]...)...)
+	//greensprint:allow(allocfree) group-list splice on the BatteryDegrade fault path: runs once per injected fault, never per epoch
+	b.groups = append(b.groups[:gi], append(parts[:np], b.groups[gi+1:]...)...)
 	return nil
 }
 

@@ -62,8 +62,10 @@ func (in *Injector) Advance(epoch int) []Action {
 	for _, f := range in.active {
 		if f.Recover != 0 && f.Recover <= epoch {
 			in.release(f)
+			//greensprint:allow(allocfree) actions materialize only on recovery epochs; StepN's idle fast path clips at NextTransition and never enters here
 			acts = append(acts, Action{Fault: f, Recovered: true})
 		} else {
+			//greensprint:allow(allocfree) compacts in place into the active list's own backing array; never grows
 			kept = append(kept, f)
 		}
 	}
@@ -73,11 +75,33 @@ func (in *Injector) Advance(epoch int) []Action {
 		in.cursor++
 		in.acquire(f)
 		if f.Recover != 0 {
+			//greensprint:allow(allocfree) active-fault list grows only on fault epochs, bounded by the schedule length
 			in.active = append(in.active, f)
 		}
+		//greensprint:allow(allocfree) actions materialize only on fault epochs; bounded by the schedule length
 		acts = append(acts, Action{Fault: f})
 	}
 	return acts
+}
+
+// NextTransition returns the earliest epoch at which the replay has a
+// transition due — the next unfired schedule injection or the earliest
+// recovery among active faults — or -1 when the timeline is exhausted.
+// Engine fast paths use it to clip multi-epoch fast-forward segments:
+// every epoch strictly before the returned value is guaranteed to see
+// an empty Advance, so skipping those Advance calls is bit-identical
+// to making them.
+func (in *Injector) NextTransition() int {
+	next := -1
+	if in.cursor < len(in.schedule.Faults) {
+		next = in.schedule.Faults[in.cursor].Epoch
+	}
+	for _, f := range in.active {
+		if f.Recover != 0 && (next < 0 || f.Recover < next) {
+			next = f.Recover
+		}
+	}
+	return next
 }
 
 // acquire bumps the aggregate ref-counts for an injected fault.

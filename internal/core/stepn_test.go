@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"greensprint/internal/chaos"
+	"greensprint/internal/cluster"
+	"greensprint/internal/units"
+	"greensprint/internal/workload"
+)
+
+// stepNTelemetry deterministically synthesizes one epoch's telemetry
+// from the epoch index and the previously applied decision — the same
+// shape the daemon's catch-up callback produces, including the
+// dependence on the prior config (rate dips after a sprint, mimicking
+// load shed by a throttled tier).
+func stepNTelemetry(epoch int, last Decision) Telemetry {
+	p := workload.SPECjbb()
+	rate := p.IntensityRate(12)
+	if last.SprintFraction > 0 {
+		rate *= 0.9
+	}
+	return Telemetry{
+		GreenPower:  units.Watt(450 - 10*float64(epoch%20)),
+		OfferedRate: rate,
+		Goodput:     rate * 0.95,
+		Latency:     0.45,
+		ServerPower: 100,
+	}
+}
+
+// controllerFingerprint is the serialized full state used for batching
+// parity: checkpoint bytes plus the decision history.
+func controllerFingerprint(t *testing.T, c *Controller) []byte {
+	t.Helper()
+	cp, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := json.Marshal(c.History())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, h...)
+}
+
+// TestControllerStepNMatchesStep drives twin controllers — one epoch
+// at a time vs. one StepN batch — through the same synthesized
+// telemetry and demands identical decisions, checkpoints, histories
+// and emitted events. Run plain and with a mid-batch chaos
+// fault/recovery cycle so the injector timeline advances identically
+// inside a batch.
+func TestControllerStepNMatchesStep(t *testing.T) {
+	const n = 12
+	cases := []struct {
+		name  string
+		sched *chaos.Schedule
+	}{
+		{"plain", nil},
+		{"mid-fault", chaosSched(
+			chaos.Fault{Epoch: 3, Mode: chaos.ServerCrash, Target: 1, Recover: 7},
+			chaos.Fault{Epoch: 5, Mode: chaos.SolarDropout, Recover: 9},
+		)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func(sink *captureSink) *Controller {
+				if tc.sched == nil {
+					c := newController(t, "Hybrid", cluster.REBatt())
+					c.SetSink(sink)
+					return c
+				}
+				return newChaosController(t, "Hybrid", tc.sched, sink)
+			}
+			seqSink, batSink := &captureSink{}, &captureSink{}
+			seq, bat := mk(seqSink), mk(batSink)
+
+			var seqDs []Decision
+			for i := 0; i < n; i++ {
+				tel := stepNTelemetry(i, seq.Snapshot().Last)
+				d, err := seq.Step(tel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seqDs = append(seqDs, d)
+			}
+			batDs, err := bat.StepN(n, func(epoch int, last Decision) (Telemetry, bool) {
+				return stepNTelemetry(epoch, last), true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(batDs) != len(seqDs) {
+				t.Fatalf("StepN applied %d decisions, want %d", len(batDs), len(seqDs))
+			}
+			for i := range seqDs {
+				if batDs[i] != seqDs[i] {
+					t.Errorf("decision %d differs:\nseq   %+v\nbatch %+v", i, seqDs[i], batDs[i])
+				}
+			}
+			if a, b := controllerFingerprint(t, seq), controllerFingerprint(t, bat); !bytes.Equal(a, b) {
+				t.Error("controller state diverged between Step and StepN")
+			}
+			if len(batSink.events) != len(seqSink.events) {
+				t.Fatalf("StepN emitted %d events, want %d", len(batSink.events), len(seqSink.events))
+			}
+			for i := range seqSink.events {
+				a, err := json.Marshal(seqSink.events[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := json.Marshal(batSink.events[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a, b) {
+					t.Errorf("event %d differs:\nseq   %s\nbatch %s", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestControllerStepNStopsOnCallback pins the early-stop contract:
+// ok == false ends the batch with the decisions already applied.
+func TestControllerStepNStopsOnCallback(t *testing.T) {
+	c := newController(t, "Pacing", cluster.REBatt())
+	ds, err := c.StepN(10, func(epoch int, last Decision) (Telemetry, bool) {
+		if epoch >= 4 {
+			return Telemetry{}, false
+		}
+		return stepNTelemetry(epoch, last), true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 {
+		t.Fatalf("decisions = %d, want 4", len(ds))
+	}
+	if got := c.Snapshot().Epoch; got != 4 {
+		t.Fatalf("controller epoch = %d, want 4", got)
+	}
+}
+
+// TestControllerStepNSinkError pins the log-and-continue contract: a
+// sink failure mid-batch does not stop the batch; the last *SinkError
+// surfaces after every epoch has run.
+func TestControllerStepNSinkError(t *testing.T) {
+	sink := &failingSink{err: fmt.Errorf("sink full")}
+	c := newController(t, "Pacing", cluster.REBatt())
+	c.SetSink(sink)
+	ds, err := c.StepN(6, func(epoch int, last Decision) (Telemetry, bool) {
+		sink.fail = epoch == 2 || epoch == 3
+		return stepNTelemetry(epoch, last), true
+	})
+	if len(ds) != 6 {
+		t.Fatalf("decisions = %d, want 6 (sink errors must not stop the batch)", len(ds))
+	}
+	var se *SinkError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SinkError", err)
+	}
+	if got := c.Snapshot().Epoch; got != 6 {
+		t.Fatalf("controller epoch = %d, want 6", got)
+	}
+}

@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFreeRule guards the PR 9 batching optimization the way the
+// nogoroutine rule guards the PR 4 memo caches: BenchmarkEngineStep is
+// budgeted at 0 allocs/op (BENCH_PR9.json), and this rule fails the
+// build at review time — before the benchmark gate even runs — when a
+// change introduces an allocation site into the Engine.Step/StepN call
+// graph. It flags, inside functions reachable from sim.Engine.Step or
+// sim.Engine.StepN:
+//
+//   - slice and map composite literals (and &composite pointers, which
+//     escape by construction),
+//   - make and new,
+//   - append (which may grow, and therefore allocate),
+//   - func literals that capture enclosing variables (closure
+//     allocation),
+//   - passing a non-pointer concrete value where a parameter is an
+//     interface (boxing).
+//
+// Struct value literals are not flagged — they live on the stack or in
+// their destination — and calls into fmt and errors are exempt from
+// the boxing check, because error paths abort the run and their cost
+// is irrelevant. Sites that are genuinely amortized (arena growth,
+// one-time presizing) carry //greensprint:allow(allocfree) directives
+// with justifications; `greensprint-lint -audit` lists them all.
+//
+// Reachability is computed by a whole-program prepass (Prepare):
+// static calls and method values resolve through types.Info.Uses, and
+// a call through an interface method fans out to every concrete type
+// in the step-graph packages that implements the interface. The
+// over-approximation is deliberate — a site that might be on the hot
+// path is treated as on it.
+type AllocFreeRule struct {
+	reachable map[*types.Func]bool
+}
+
+// NewAllocFreeRule returns the rule; Run invokes its Prepare prepass
+// before per-package checking.
+func NewAllocFreeRule() *AllocFreeRule { return &AllocFreeRule{} }
+
+// Name implements Rule.
+func (*AllocFreeRule) Name() string { return "allocfree" }
+
+// Doc implements Rule.
+func (*AllocFreeRule) Doc() string {
+	return "no allocation sites (composite literals, make/new, append, capturing closures, interface boxing) in the Engine.Step/StepN call graph"
+}
+
+// Applies implements Rule.
+func (*AllocFreeRule) Applies(pkgPath string) bool { return StepGraphPackages[pkgPath] }
+
+// simPath is where the call-graph roots live.
+const simPath = ModulePath + "/internal/sim"
+
+// Prepare implements the whole-program prepass: it builds the set of
+// functions reachable from sim.Engine.Step/StepN across every
+// step-graph package in pkgs. Packages outside the step graph (and the
+// standard library) terminate the walk — the rule cannot report into
+// them anyway.
+func (r *AllocFreeRule) Prepare(pkgs []*Package) {
+	r.reachable = map[*types.Func]bool{}
+
+	// Index every function declaration in the step-graph packages, and
+	// every named type for interface-implementation matching.
+	type declSite struct {
+		pkg  *Package
+		decl *ast.FuncDecl
+	}
+	decls := map[*types.Func]declSite{}
+	var named []types.Type
+	for _, p := range pkgs {
+		if !StepGraphPackages[p.Path] && p.Path != simPath {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = declSite{p, fd}
+				}
+			}
+		}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				named = append(named, tn.Type())
+			}
+		}
+	}
+
+	// Roots: Step and StepN on sim.Engine.
+	var queue []*types.Func
+	for fn := range decls {
+		if fn.Pkg() == nil || fn.Pkg().Path() != simPath {
+			continue
+		}
+		if fn.Name() != "Step" && fn.Name() != "StepN" {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		if recvTypeName(sig.Recv().Type()) == "Engine" {
+			queue = append(queue, fn)
+		}
+	}
+
+	// implementers resolves an interface method to the matching
+	// concrete methods of every step-graph type that implements the
+	// interface.
+	implementers := func(fn *types.Func, iface *types.Interface) []*types.Func {
+		var out []*types.Func
+		for _, t := range named {
+			if types.IsInterface(t) {
+				continue
+			}
+			pt := types.NewPointer(t)
+			if !types.Implements(t, iface) && !types.Implements(pt, iface) {
+				continue
+			}
+			if obj, _, _ := types.LookupFieldOrMethod(pt, true, fn.Pkg(), fn.Name()); obj != nil {
+				if m, ok := obj.(*types.Func); ok {
+					out = append(out, m)
+				}
+			}
+		}
+		return out
+	}
+
+	// Breadth-first closure: every *types.Func referenced inside a
+	// reachable body is an edge (covering calls, method values and
+	// functions passed as arguments alike); abstract interface methods
+	// fan out to their step-graph implementers.
+	visit := func(fn *types.Func) {
+		if fn == nil || r.reachable[fn] {
+			return
+		}
+		r.reachable[fn] = true
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		r.reachable[fn] = true
+		site, ok := decls[fn]
+		if !ok || site.decl.Body == nil {
+			continue
+		}
+		ast.Inspect(site.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := site.pkg.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+					for _, m := range implementers(callee, iface) {
+						visit(m)
+					}
+					return true
+				}
+			}
+			visit(callee)
+			return true
+		})
+	}
+}
+
+// recvTypeName unwraps a receiver type (T or *T) to its named type's
+// name.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// Check implements Rule: it scans the bodies of this package's
+// reachable functions for allocation sites.
+func (r *AllocFreeRule) Check(p *Package, report ReportFunc) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok || !r.reachable[fn] {
+				continue
+			}
+			r.checkBody(p, fd.Body, report)
+		}
+	}
+}
+
+func (r *AllocFreeRule) checkBody(p *Package, body ast.Node, report ReportFunc) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			switch p.Info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates on the Step hot path; hoist it to construction time or reuse a scratch buffer")
+			case *types.Map:
+				report(n.Pos(), "map literal allocates on the Step hot path; hoist it to construction time")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite escapes to the heap on the Step hot path; hoist the value to a reused field")
+				}
+			}
+		case *ast.FuncLit:
+			if capturesOuter(p, n) {
+				report(n.Pos(), "func literal captures enclosing variables and allocates a closure on the Step hot path; hoist it or pass state explicitly")
+			}
+		case *ast.CallExpr:
+			r.checkCall(p, n, report)
+		}
+		return true
+	})
+}
+
+// checkCall flags builtin allocators and interface boxing at call
+// arguments.
+func (r *AllocFreeRule) checkCall(p *Package, call *ast.CallExpr, report ReportFunc) {
+	// Builtins: make, new, append.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates on the Step hot path; hoist the buffer to construction time and reuse it")
+			case "new":
+				report(call.Pos(), "new allocates on the Step hot path; hoist the value to a reused field")
+			case "append":
+				report(call.Pos(), "append may grow its backing array on the Step hot path; presize at construction time or annotate an amortized arena")
+			}
+			return
+		}
+	}
+
+	// Boxing: a non-pointer concrete argument to an interface-typed
+	// parameter heap-allocates the value. Calls into fmt and errors are
+	// exempt — they sit on error paths that abort the run.
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	if callee := calleeFunc(p, call); callee != nil && callee.Pkg() != nil {
+		switch callee.Pkg().Path() {
+		case "fmt", "errors":
+			return
+		}
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case i < params.Len()-1 || !sig.Variadic():
+			if i >= params.Len() {
+				return
+			}
+			param = params.At(i).Type()
+		case call.Ellipsis.IsValid():
+			param = params.At(params.Len() - 1).Type()
+		default:
+			param = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		at, ok := p.Info.Types[arg]
+		if !ok || at.IsNil() {
+			continue
+		}
+		argT := at.Type
+		if types.IsInterface(argT) {
+			continue
+		}
+		if _, isPtr := argT.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		report(arg.Pos(), "passing "+types.TypeString(argT, types.RelativeTo(p.Types))+
+			" by value as an interface boxes it onto the heap on the Step hot path; pass a pointer or a concrete type")
+	}
+}
+
+// calleeFunc resolves a call's static callee, if any.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// capturesOuter reports whether the func literal references a variable
+// declared outside its own body (excluding package-level state) — the
+// condition under which the literal allocates a closure rather than
+// compiling to a plain function value.
+func capturesOuter(p *Package, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level variable, not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}

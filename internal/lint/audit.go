@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strconv"
+)
+
+// AuditEntry is one (directive, rule) pair from the exemption audit: a
+// directive naming several rules produces one entry per rule, so each
+// exemption is judged live or stale independently.
+type AuditEntry struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Rule          string `json:"rule"`
+	Live          bool   `json:"live"`
+	Justification string `json:"justification"`
+	Package       string `json:"package"`
+	// Reason explains a stale verdict: the rule fired nothing on the
+	// covered lines, the rule name is unknown, or the directive has no
+	// justification text. Empty for live, justified entries.
+	Reason string `json:"reason,omitempty"`
+}
+
+// String renders the vet-style audit line.
+func (e AuditEntry) String() string {
+	state := "live"
+	if !e.Live {
+		state = "STALE"
+	}
+	out := e.File + ":" + strconv.Itoa(e.Line) + ": allow(" + e.Rule + "): " + state
+	if e.Justification != "" {
+		out += ": " + e.Justification
+	}
+	if e.Reason != "" {
+		out += " [" + e.Reason + "]"
+	}
+	return out
+}
+
+// Audit justifies every //greensprint:allow directive in the packages:
+// it re-runs the rules with suppression disabled and marks each
+// (directive, rule) pair live when the rule actually fires on a line
+// the directive covers (its own line or the line below). A stale
+// exemption — the code it excused was fixed or deleted, the rule name
+// is unknown, or the justification is missing — is the audit's
+// finding: it either documents a violation that no longer exists or
+// silently pre-approves a future one.
+func Audit(pkgs []*Package, rules []Rule) []AuditEntry {
+	for _, r := range rules {
+		if pp, ok := r.(Prepasser); ok {
+			pp.Prepare(pkgs)
+		}
+	}
+	known := map[string]bool{}
+	for _, r := range rules {
+		known[r.Name()] = true
+	}
+
+	// Raw findings, ignoring suppression: (file, line, rule) → fired.
+	type site struct {
+		file string
+		line int
+		rule string
+	}
+	fired := map[site]bool{}
+	for _, pkg := range pkgs {
+		for _, r := range rules {
+			if !r.Applies(pkg.Path) {
+				continue
+			}
+			rule, p := r, pkg
+			r.Check(pkg, func(pos token.Pos, _ string) {
+				at := p.Fset.Position(pos)
+				fired[site{at.Filename, at.Line, rule.Name()}] = true
+			})
+		}
+	}
+
+	var entries []AuditEntry
+	for _, pkg := range pkgs {
+		for _, d := range pkg.directives {
+			for _, name := range d.Rules {
+				e := AuditEntry{
+					File: d.File, Line: d.Line, Rule: name,
+					Justification: d.Justification, Package: d.Package,
+				}
+				switch {
+				case !known[name]:
+					e.Reason = "unknown rule"
+				case fired[site{d.File, d.Line, name}] || fired[site{d.File, d.Line + 1, name}]:
+					e.Live = true
+					if d.Justification == "" {
+						e.Reason = "missing justification"
+						e.Live = false
+					}
+				default:
+					e.Reason = "rule no longer fires on the covered lines"
+				}
+				entries = append(entries, e)
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return entries
+}

@@ -131,9 +131,23 @@ type Package struct {
 	// directive registers its own line and the line below, so it works
 	// both trailing a statement and on the line above one.
 	allow map[string]map[int]map[string]bool
+	// directives are the well-formed //greensprint:allow comments in
+	// source order, kept for the exemption audit (see Audit).
+	directives []Directive
 	// badDirectives are malformed //greensprint:allow comments,
 	// reported under the reserved rule name "directive".
 	badDirectives []Diagnostic
+}
+
+// Directive is one well-formed //greensprint:allow comment: where it
+// sits, which rules it names, and the free-form justification after
+// the closing parenthesis.
+type Directive struct {
+	File          string   `json:"file"`
+	Line          int      `json:"line"`
+	Rules         []string `json:"rules"`
+	Justification string   `json:"justification"`
+	Package       string   `json:"package"`
 }
 
 const (
@@ -201,6 +215,13 @@ func (p *Package) collectAllows(f *ast.File) {
 				bad()
 				continue
 			}
+			p.directives = append(p.directives, Directive{
+				File:          pos.Filename,
+				Line:          pos.Line,
+				Rules:         names,
+				Justification: strings.TrimSpace(rest[end+1:]),
+				Package:       p.Path,
+			})
 			if p.allow == nil {
 				p.allow = map[string]map[int]map[string]bool{}
 			}
@@ -445,7 +466,15 @@ func DefaultRules() []Rule {
 		AtomicWriteRule{},
 		SnapshotPairRule{},
 		NoGoroutineRule{},
+		NewAllocFreeRule(),
 	}
+}
+
+// Prepasser is implemented by rules that need a whole-program view
+// (e.g. cross-package call-graph reachability) before per-package
+// checking; Run invokes Prepare once with every package in the pass.
+type Prepasser interface {
+	Prepare(pkgs []*Package)
 }
 
 // Run applies the rules to the packages and returns the surviving
@@ -453,6 +482,11 @@ func DefaultRules() []Rule {
 // are honored here; malformed directives surface as "directive"
 // diagnostics (which cannot be suppressed).
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	for _, r := range rules {
+		if pp, ok := r.(Prepasser); ok {
+			pp.Prepare(pkgs)
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		diags = append(diags, pkg.badDirectives...)

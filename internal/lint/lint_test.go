@@ -43,6 +43,7 @@ func TestRuleFixtures(t *testing.T) {
 		{"atomicwrite", ModulePath + "/cmd/fixture"},
 		{"snapshotpair", ModulePath + "/internal/fixture"},
 		{"nogoroutine", ModulePath + "/internal/battery"},
+		{"allocfree", ModulePath + "/internal/sim"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {

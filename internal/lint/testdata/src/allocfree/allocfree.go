@@ -1,0 +1,73 @@
+// Package allocfree is a lint fixture for the allocfree rule. The test
+// loads it as greensprint/internal/sim, so the Engine.Step/StepN
+// methods below are the call-graph roots; everything they reach is
+// scanned for allocation sites, and the helpers outside the graph
+// (Reset, the Observer implementation's constructor) prove the rule
+// stays quiet off the hot path.
+package allocfree
+
+// Observer receives per-epoch samples; step calls it through the
+// interface, so implementations inside this package join the call
+// graph via interface-method matching.
+type Observer interface {
+	Observe(v float64)
+}
+
+// Recorder is the step-graph Observer implementation.
+type Recorder struct {
+	samples []float64
+	scratch []float64
+}
+
+// Observe is reachable from Step through the Observer interface.
+func (r *Recorder) Observe(v float64) {
+	r.samples = append(r.samples, v) // flagged: growing append
+}
+
+// Engine mirrors sim.Engine just enough to anchor the roots.
+type Engine struct {
+	obs    Observer
+	epochs int
+	temps  []float64
+}
+
+// Step is a call-graph root.
+func (e *Engine) Step() {
+	e.temps = []float64{1, 2, 3} // flagged: slice literal
+	m := map[string]int{}        // flagged: map literal
+	m["epochs"] = e.epochs
+	e.obs.Observe(float64(e.epochs))
+	e.stepInner(e.epochs)
+}
+
+// StepN is the batched root.
+func (e *Engine) StepN(n int) {
+	//greensprint:allow(allocfree) one-time presize, reused across batches
+	buf := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, float64(i)) // flagged even though presized: append may still grow
+		e.Step()
+	}
+}
+
+// stepInner is reachable transitively from Step.
+func (e *Engine) stepInner(n int) {
+	p := &Recorder{} // flagged: &composite escapes
+	p.Observe(float64(n))
+	f := func() int { return n * 2 } // flagged: capturing closure
+	_ = f()
+	g := func() int { return 2 } // not flagged: captures nothing
+	_ = g()
+	box(e) // e is a pointer: not flagged
+	box(n) // flagged: boxing an int into the interface parameter
+}
+
+// box takes an interface, making call sites boxing candidates.
+func box(v interface{}) {}
+
+// Reset is NOT reachable from Step or StepN: its allocations must not
+// be reported.
+func Reset(e *Engine) {
+	e.temps = make([]float64, 0, 64)
+	e.obs = &Recorder{scratch: []float64{0}}
+}

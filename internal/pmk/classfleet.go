@@ -68,6 +68,7 @@ func (f *ClassFleet) Size() int { return f.size }
 // findDetached returns the detached-list position of server i and
 // whether it is present.
 func (f *ClassFleet) findDetached(i int) (int, bool) {
+	//greensprint:allow(allocfree) binary-search callback over the detached list; runs only on per-server (fault-path) applies, never on the herd path
 	pos := sort.Search(len(f.detached), func(j int) bool { return f.detached[j].index >= i })
 	return pos, pos < len(f.detached) && f.detached[pos].index == i
 }
@@ -138,6 +139,7 @@ func (f *ClassFleet) Apply(i int, c server.Config) error {
 		class := f.classOf(i)
 		k := &f.classes[class]
 		k.count--
+		//greensprint:allow(allocfree) detached list grows once per newly crashed/isolated server, bounded by the fault schedule
 		f.detached = append(f.detached, detachedKnob{})
 		copy(f.detached[pos+1:], f.detached[pos:])
 		f.detached[pos] = detachedKnob{index: i, class: class, cur: k.cur}

@@ -135,14 +135,18 @@ func BuildCached(p workload.Profile, levels int) (*Table, error) {
 }
 
 func (t *Table) index() {
+	//greensprint:allow(allocfree) lazy one-time index build on first lookup; every later epoch hits the built maps
 	t.byKey = make(map[key]int, len(t.Entries))
+	//greensprint:allow(allocfree) lazy one-time index build on first lookup; every later epoch hits the built maps
 	t.byLevel = make(map[int][]Entry)
 	for i, e := range t.Entries {
 		t.byKey[key{e.Level, e.Config()}] = i
+		//greensprint:allow(allocfree) per-level buckets fill once during the lazy index build
 		t.byLevel[e.Level] = append(t.byLevel[e.Level], e)
 	}
 	//greensprint:allow(maprange) each bucket is sorted in place independently; visiting order is unobservable
 	for _, es := range t.byLevel {
+		//greensprint:allow(allocfree) one-time bucket sort during the lazy index build
 		sort.Slice(es, func(i, j int) bool { return es[i].Power < es[j].Power })
 	}
 }

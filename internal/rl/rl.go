@@ -220,6 +220,7 @@ func (t *Table) Actions() []server.Config { return t.actions }
 func (t *Table) row(s State) []float64 {
 	r, ok := t.q[s]
 	if !ok {
+		//greensprint:allow(allocfree) materializes a Q row once per newly visited state; revisits (the steady state) never reach this
 		r = make([]float64, len(t.actions))
 		t.q[s] = r
 	}

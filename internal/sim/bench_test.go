@@ -164,3 +164,86 @@ func BenchmarkFleetDay10k(b *testing.B) { benchFleetDay(b, 10_000, 1) }
 // 10,000 servers across 50 distinct classes, each with its own table
 // and kernel — per-epoch cost scales with classes, not servers.
 func BenchmarkFleetDay10k50Classes(b *testing.B) { benchFleetDay(b, 10_000, 50) }
+
+// benchYearEngine builds a whole-year replay: 525,600 one-minute
+// epochs with a single day-long burst in the middle of the year —
+// ROADMAP item 5's canonical scenario, where virtually every epoch is
+// idle and rides StepN's hoisted fast segment.
+func benchYearEngine(b *testing.B, spec *fleet.Spec) *Engine {
+	b.Helper()
+	const year = 365 * 24 * time.Hour
+	d := 24 * time.Hour
+	lead := year/2 - d/2
+	tail := year - lead - d
+	green := cluster.REBatt()
+	peak := float64(green.PeakGreen())
+	if spec != nil {
+		topo, err := spec.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = float64(topo.PeakGreen())
+	}
+	supply := solar.Synthesize(solar.Med, year, time.Minute, peak, 42)
+	h, err := newBenchHybrid()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(Config{
+		Workload: testProfile,
+		Green:    green,
+		Fleet:    spec,
+		Strategy: h,
+		Table:    testTable,
+		Epoch:    time.Minute,
+		Burst:    workload.Burst{Intensity: 12, Duration: d},
+		Supply:   supply,
+		Lead:     lead,
+		Tail:     tail,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// benchYear drives one whole simulated year through StepN. The budget
+// for these lives in BENCH_PR9.json; run with -benchtime=1x in CI.
+func benchYear(b *testing.B, spec *fleet.Spec) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := benchYearEngine(b, spec)
+		total := e.TotalEpochs()
+		if total != 525_600 {
+			b.Fatalf("horizon = %d epochs, want 525600", total)
+		}
+		b.StartTimer()
+		ran, err := e.StepN(total)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ran != total {
+			b.Fatalf("ran %d of %d epochs", ran, total)
+		}
+	}
+}
+
+// BenchmarkYearSingleCell is ROADMAP item 5's target: a whole-year
+// (525,600-epoch) single-cell replay, budgeted at low single-digit
+// seconds in BENCH_PR9.json.
+func BenchmarkYearSingleCell(b *testing.B) { benchYear(b, nil) }
+
+// BenchmarkFleetYear10k is the year-scale fleet headline: 525,600
+// one-minute epochs over the 10,000-server single-class fleet.
+func BenchmarkFleetYear10k(b *testing.B) {
+	benchYear(b, &fleet.Spec{
+		Name:         "bench",
+		TotalServers: 10_000,
+		RackSize:     20,
+		Seed:         7,
+		Templates: []fleet.Template{
+			{Name: "class00", Weight: 1, BatteryAh: 10, Panels: 3},
+		},
+	})
+}

@@ -88,6 +88,18 @@ type Engine struct {
 	// reused across epochs.
 	timeBuf []byte
 
+	// Batched-stepping state (StepN). While batching is set, emit
+	// appends events to evBuf instead of calling the sink per epoch;
+	// the buffer is flushed once per StepN call, preserving emission
+	// order, so the sink receives the exact byte stream a sequential
+	// Step loop would have produced. classArena backs deep copies of
+	// the per-event class stats (the classEv buffer is reused across
+	// epochs, so buffered events must not alias it). Both are arenas:
+	// grown once, truncated to length zero per batch.
+	batching   bool
+	evBuf      []obs.Event
+	classArena []obs.ClassStat
+
 	normalPower  units.Watt
 	baseGoodput  float64
 	burstStart   time.Time
@@ -316,7 +328,12 @@ func New(cfg Config) (*Engine, error) {
 // Step advances the simulation by one scheduling epoch. It returns the
 // epoch's record and true while the run is in progress, and a zero
 // record and false once the configured horizon has been consumed.
-func (e *Engine) Step() (EpochRecord, bool, error) {
+func (e *Engine) Step() (EpochRecord, bool, error) { return e.step() }
+
+// step is the shared single-epoch path behind Step and StepN. The only
+// difference under StepN is that emit buffers events instead of
+// handing them to the sink immediately.
+func (e *Engine) step() (EpochRecord, bool, error) {
 	if !e.at.Before(e.runEnd) {
 		return EpochRecord{}, false, nil
 	}
@@ -375,6 +392,7 @@ func (e *Engine) Step() (EpochRecord, bool, error) {
 	rec.SoC = e.selector.Bank().SoC()
 	e.selector.ObserveSupply(greenObserved)
 	e.loadPred.Observe(offered)
+	//greensprint:allow(allocfree) the per-epoch record log is the simulation's product; growth is amortized doubling
 	e.records = append(e.records, rec)
 	if inBurst {
 		e.burstPerfSum += rec.NormPerf
@@ -384,11 +402,261 @@ func (e *Engine) Step() (EpochRecord, bool, error) {
 	e.at = at.Add(e.epoch)
 	e.epochIndex++
 	if e.cfg.Sink != nil {
-		if err := e.cfg.Sink.Emit(e.event(index, rec)); err != nil {
+		if err := e.emit(e.event(index, rec)); err != nil {
 			return rec, true, fmt.Errorf("sim: event sink: %w", err)
 		}
 	}
 	return rec, true, nil
+}
+
+// emit hands one event to the sink, or — under StepN — appends it to
+// the batch buffer for the end-of-batch flush. Buffered events have
+// their class stats copied into the arena because the classEv buffer
+// they point at is overwritten every epoch. Buffering never fails;
+// sink errors surface from flushEvents.
+func (e *Engine) emit(ev obs.Event) error {
+	if !e.batching {
+		return e.cfg.Sink.Emit(ev)
+	}
+	e.bufferEvent(ev)
+	return nil
+}
+
+// bufferEvent appends one event to the batch buffer. Only valid while
+// batching: the fast segment calls it directly because under StepN the
+// sink is never touched before the flush.
+func (e *Engine) bufferEvent(ev obs.Event) {
+	if n := len(ev.Classes); n > 0 {
+		start := len(e.classArena)
+		//greensprint:allow(allocfree) arena growth is amortized: the backing array is reused across batches and grows to classes x batch once
+		e.classArena = append(e.classArena, ev.Classes...)
+		ev.Classes = e.classArena[start : start+n : start+n]
+	}
+	//greensprint:allow(allocfree) arena growth is amortized: the event buffer is reused across batches and grows to the batch size once
+	e.evBuf = append(e.evBuf, ev)
+}
+
+// flushEvents drains the batch buffer into the sink in emission order.
+// The first sink error aborts the flush, mirroring Step's fail-fast
+// contract; already-emitted events stay emitted either way.
+func (e *Engine) flushEvents() error {
+	sink := e.cfg.Sink
+	for i := range e.evBuf {
+		if err := sink.Emit(e.evBuf[i]); err != nil {
+			e.evBuf = e.evBuf[:0]
+			e.classArena = e.classArena[:0]
+			return fmt.Errorf("sim: event sink: %w", err)
+		}
+	}
+	e.evBuf = e.evBuf[:0]
+	e.classArena = e.classArena[:0]
+	return nil
+}
+
+// StepN advances the simulation by up to n scheduling epochs in one
+// call and returns how many epochs actually ran (fewer than n only
+// when the horizon is consumed first or an epoch fails). It is
+// byte-identical to n individual Step calls — same records, same event
+// stream, same checkpoint at every batch boundary — while hoisting
+// per-epoch overheads out of the loop:
+//
+//   - events are buffered and flushed to the sink once per batch, in
+//     emission order (chaos transitions interleaved exactly as Step
+//     emits them);
+//   - contiguous idle (non-burst, alive, square-burst) epochs run
+//     through a fast segment that applies the Normal knob setting and
+//     resolves the constant goodput/latency/grid figures once per
+//     segment instead of once per epoch, keeping only the genuinely
+//     state-bearing work per epoch (battery recharge, EWMA
+//     observations, breaker cooling, record and event emission);
+//   - segments are clipped at the burst window, the horizon, and every
+//     fault or recovery epoch in the resolved chaos timeline, so the
+//     skipped chaos Advance calls are provably empty and the resilience
+//     goldens hold bit-for-bit.
+//
+// A sink failure surfaces after the batch (first failed emission,
+// flush aborted there), wrapped exactly like Step's sink error; the
+// epochs themselves have still run.
+func (e *Engine) StepN(n int) (int, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	batch := e.cfg.Sink != nil
+	e.batching = batch
+	if batch && e.evBuf == nil {
+		sz := e.TotalEpochs() - e.epochIndex
+		if sz > n {
+			sz = n
+		}
+		if sz > 0 {
+			//greensprint:allow(allocfree) one-time arena presize; reused (truncated, not freed) across every later batch
+			e.evBuf = make([]obs.Event, 0, sz)
+		}
+	}
+	ran := 0
+	var stepErr error
+	for ran < n && e.at.Before(e.runEnd) {
+		if k := e.idleSegmentLen(n - ran); k > 0 {
+			e.runIdleSegment(k)
+			ran += k
+			continue
+		}
+		_, ok, err := e.step()
+		if err != nil {
+			// step fails before consuming the epoch (chaos apply) or,
+			// when not batching, after it; under batching the sink path
+			// cannot fail here, so ran stays accurate either way.
+			stepErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		ran++
+	}
+	if batch {
+		e.batching = false
+		if err := e.flushEvents(); err != nil && stepErr == nil {
+			stepErr = err
+		}
+	}
+	return ran, stepErr
+}
+
+// idleSegmentLen returns how many epochs starting at the engine's
+// current position can run through the idle fast segment, at most
+// limit; 0 means the next epoch must take the general step path. A
+// fast segment requires the square-burst offered model (a replayed
+// offered trace varies per epoch), at least one alive server (outage
+// epochs take the general path), no burst epoch, and no chaos
+// transition anywhere in the segment — the segment is clipped at the
+// burst start, the horizon, and the injector's next fault or recovery
+// epoch, so every hoisted quantity is provably constant across it.
+func (e *Engine) idleSegmentLen(limit int) int {
+	if e.cfg.Offered != nil || e.alive == 0 {
+		return 0
+	}
+	at := e.at
+	var k int
+	switch {
+	case at.Before(e.burstStart):
+		k = epochsUntil(e.burstStart.Sub(at), e.epoch)
+	case !at.Before(e.burstEnd):
+		k = epochsUntil(e.runEnd.Sub(at), e.epoch)
+	default:
+		return 0
+	}
+	if k > limit {
+		k = limit
+	}
+	if e.injector != nil {
+		if next := e.injector.NextTransition(); next >= 0 {
+			if d := next - e.epochIndex; d < k {
+				k = d
+			}
+		}
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// epochsUntil counts the epoch starts that land strictly before the
+// boundary d away: ceil(d/epoch) — the last counted epoch may extend
+// past the boundary, matching TotalEpochs' rounding.
+func epochsUntil(d, epoch time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	n := int(d / epoch)
+	if time.Duration(n)*epoch < d {
+		n++
+	}
+	return n
+}
+
+// runIdleSegment executes k contiguous idle epochs with the
+// segment-invariant work hoisted out of the loop. Every floating-point
+// value it produces is computed by the exact expressions runIdleEpoch
+// and step use — hoisting only ever reuses a value that per-epoch code
+// would have recomputed identically (knob re-application is a counted
+// no-op, kernel lookups are pure, chaos transitions are clipped out by
+// idleSegmentLen) — so records, events and checkpoints stay
+// bit-identical to the per-epoch path.
+func (e *Engine) runIdleSegment(k int) {
+	selector, epoch := e.selector, e.epoch
+	offered := e.offeredIdle
+	// Hoisted: re-applying Normal to a fleet already at Normal is a
+	// no-op (knob herds count transitions, not applications), so one
+	// application replaces k.
+	e.applyFleet(server.Normal())
+	var tmpl EpochRecord
+	tmpl.Offered = offered
+	tmpl.Case = pss.CaseGridFallback
+	tmpl.Config = server.Normal()
+	tmpl.Goodput = e.kernel.Goodput(server.Normal(), offered)
+	tmpl.Latency = e.latency(server.Normal(), offered)
+	tmpl.Grid = e.kernel.LoadPower(server.Normal(), offered)
+	if m := e.alive; m != e.n {
+		scale := float64(m) / float64(e.n)
+		tmpl.Goodput *= scale
+		tmpl.Grid = units.Watt(float64(tmpl.Grid) * scale)
+	}
+	if e.classes != nil {
+		e.perAliveGoodput = e.kernel.Goodput(server.Normal(), offered)
+		if len(e.classes) > 1 {
+			var sum float64
+			for i := range e.classes {
+				if a := e.classAlive[i]; a > 0 {
+					sum += float64(e.classes[i].kernel.LoadPower(server.Normal(), offered)) * float64(a)
+				}
+			}
+			tmpl.Grid = units.Watt(sum / float64(e.n))
+		}
+	}
+	if e.baseGoodput > 0 {
+		tmpl.NormPerf = tmpl.Goodput / e.baseGoodput
+	}
+	solar := 1.0
+	if e.injector != nil {
+		solar = e.injector.SolarFactor()
+	}
+	sink := e.cfg.Sink
+	for i := 0; i < k; i++ {
+		at := e.at
+		greenObserved := units.Watt(meanWindow(e.cfg.Supply, at, epoch))
+		if e.injector != nil {
+			greenObserved = units.Watt(float64(greenObserved) * solar)
+		}
+		rec := tmpl
+		rec.Start = at
+		rec.Supply = greenObserved
+		selector.RechargeFromGreen(greenObserved, epoch)
+		if selector.NeedsRecharge() {
+			selector.RechargeFromGrid(GridRechargePower, epoch)
+		}
+		if e.breaker != nil {
+			e.breaker.Step(0, epoch)
+		}
+		rec.SoC = selector.Bank().SoC()
+		selector.ObserveSupply(greenObserved)
+		e.loadPred.Observe(offered)
+		if e.classes != nil {
+			// Cumulative per-class energy must accumulate per epoch
+			// (x+d+d is not 2d+x in floating point); the expression is
+			// the same one the per-epoch path runs.
+			e.accumulateClassEnergy(server.Normal(), 0, offered)
+		}
+		//greensprint:allow(allocfree) the per-epoch record log is the simulation's product; growth is amortized doubling
+		e.records = append(e.records, rec)
+		index := e.epochIndex
+		e.at = at.Add(epoch)
+		e.epochIndex++
+		if sink != nil {
+			e.bufferEvent(e.event(index, rec))
+		}
+	}
 }
 
 // event flattens one epoch record into the observability schema. The
@@ -430,6 +698,7 @@ func (e *Engine) event(index int, rec EpochRecord) obs.Event {
 		// queueing model is uniform across classes; power is not).
 		e.classEv = e.classEv[:0]
 		for i := range e.classes {
+			//greensprint:allow(allocfree) appends into the reused per-epoch class buffer; grows to the class count once, then stays flat
 			e.classEv = append(e.classEv, obs.ClassStat{
 				Name:     e.classes[i].name,
 				Alive:    e.classAlive[i],
@@ -486,7 +755,7 @@ func (e *Engine) applyChaos(index int, at time.Time) error {
 		// ref-counts read below; ZoneOutage is a marker whose cascade
 		// constituents carry the component effects.
 		if e.cfg.Sink != nil {
-			if err := e.cfg.Sink.Emit(e.chaosEvent(index, at, a)); err != nil {
+			if err := e.emit(e.chaosEvent(index, at, a)); err != nil {
 				return fmt.Errorf("sim: event sink: %w", err)
 			}
 		}

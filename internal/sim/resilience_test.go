@@ -147,8 +147,9 @@ func searchResilienceSchedule(t *testing.T, spec string, mode chaos.Mode, recove
 	return nil
 }
 
-// runResilience runs one replay with a JSONL sink, sequentially or
-// sharded, and returns the byte stream plus the Result.
+// runResilience runs one replay with a JSONL sink — sequentially,
+// sharded, or (windows == batchedRun) as a single whole-run StepN
+// batch — and returns the byte stream plus the Result.
 func runResilience(t *testing.T, cfg sim.Config, windows int) ([]byte, *sim.Result) {
 	t.Helper()
 	var buf bytes.Buffer
@@ -157,9 +158,16 @@ func runResilience(t *testing.T, cfg sim.Config, windows int) ([]byte, *sim.Resu
 		res *sim.Result
 		err error
 	)
-	if windows <= 1 {
+	switch {
+	case windows == batchedRun:
+		var e *sim.Engine
+		if e, err = sim.New(cfg); err == nil {
+			_, err = e.StepN(e.TotalEpochs())
+			res = e.Result()
+		}
+	case windows <= 1:
 		res, err = sim.Run(context.Background(), cfg)
-	} else {
+	default:
 		res, err = sweep.ShardedRun(context.Background(), cfg, windows)
 	}
 	if err != nil {
@@ -167,6 +175,10 @@ func runResilience(t *testing.T, cfg sim.Config, windows int) ([]byte, *sim.Resu
 	}
 	return buf.Bytes(), res
 }
+
+// batchedRun is the runResilience windows sentinel selecting the
+// single-batch StepN path.
+const batchedRun = -1
 
 func resilienceFixture(name string) (schedule, events string) {
 	return filepath.Join("testdata", "chaos_"+name+".json"),
@@ -246,6 +258,14 @@ func TestChaosGoldenResilience(t *testing.T) {
 				if !bytes.Equal(got, stream) {
 					t.Errorf("GOMAXPROCS=%d: stream differs from golden", procs)
 				}
+			}
+
+			// Whole-run StepN batch: the idle fast path and buffered
+			// event flush must reproduce the golden bytes exactly.
+			if got, res := runResilience(t, mkCfg(), batchedRun); !bytes.Equal(got, stream) {
+				t.Error("batched StepN run emitted a different stream")
+			} else {
+				assertEqualResults(t, batchedRun, seq, res)
 			}
 
 			// Sharded resume: same bytes and the same Result.

@@ -15,8 +15,13 @@ import (
 // so the split proves cross-process resumability — the stitched output
 // is bit-identical to an uninterrupted sim.Run over the same config.
 //
+// Each window runs as one StepN batch (batch size = shard window), so
+// sharded replays ride the engine's hoisted fast path and per-batch
+// event flush; StepN is bit-identical to per-epoch stepping, so the
+// stitched-output guarantee is unchanged.
+//
 // windows <= 1 degenerates to the plain sequential run. ctx is checked
-// between epochs; cancellation returns ctx.Err().
+// between batches; cancellation returns ctx.Err().
 func ShardedRun(ctx context.Context, cfg sim.Config, windows int) (*sim.Result, error) {
 	probe, err := sim.New(cfg)
 	if err != nil {
@@ -59,11 +64,11 @@ func ShardedRun(ctx context.Context, cfg sim.Config, windows int) (*sim.Result, 
 				return nil, ctx.Err()
 			default:
 			}
-			_, ok, err := e.Step()
+			ran, err := e.StepN(end - e.EpochIndex())
 			if err != nil {
 				return nil, err
 			}
-			if !ok {
+			if ran == 0 {
 				break
 			}
 		}
