@@ -1,8 +1,9 @@
 // Command greensprint-lint runs the repository's invariant analyzer
 // (internal/lint) over the module: determinism (nondeterm, maprange),
 // crash-safe persistence (atomicwrite), checkpoint completeness
-// (snapshotpair) and the single-threaded, zero-allocation Step hot
-// path (nogoroutine, allocfree).
+// (snapshotpair, statecov, wiretag), the single-threaded,
+// zero-allocation Step hot path (nogoroutine, allocfree) and
+// mutex-guarded access in the concurrent control plane (lockguard).
 // It is stdlib-only and loads packages from source, so it runs
 // anywhere the Go toolchain's GOROOT sources are installed.
 //

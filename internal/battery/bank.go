@@ -13,7 +13,7 @@ import (
 // stateful and not safe for concurrent use.
 type Bank struct {
 	units []*Battery
-	avail []*Battery // scratch for available(); reused across calls
+	avail []*Battery //greensprint:allow(statecov) scratch for available(): rebuilt from units on every call, reused only for its backing array
 }
 
 // NewBank creates n fully charged units of the given configuration.

@@ -154,7 +154,7 @@ type Battery struct {
 	// so reuse is bit-identical. Degradation is part of the key — and
 	// Degrade/Restore invalidate outright — so a mid-run fade never
 	// serves a stale answer.
-	maxSust maxSustMemo
+	maxSust maxSustMemo //greensprint:allow(statecov) derived memo: Snapshot omits it and Restore invalidates it, so the next query re-bisects bit-identically
 }
 
 type maxSustMemo struct {

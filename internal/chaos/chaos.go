@@ -98,6 +98,7 @@ type Fault struct {
 	Factor float64 `json:"factor,omitempty"`
 	// Resist is the BatteryDegrade internal-resistance multiplier
 	// (> 1); unused for other modes.
+	//greensprint:allow(wiretag) presence is keyed on Mode: BatteryDegrade writers always set Resist >= 1 (Schedule validation rejects less), and no other mode reads it
 	Resist float64 `json:"resist,omitempty"`
 	// Cascade marks constituent faults expanded from a ZoneOutage.
 	Cascade bool `json:"cascade,omitempty"`

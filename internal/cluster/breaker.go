@@ -114,17 +114,19 @@ func (b *Breaker) Restore(s BreakerSnapshot) error {
 
 // EnergyAccount accumulates energy delivered per source over a run; it
 // feeds the evaluation's renewable-utilization and TCO analyses.
+// The account rides inside PSS selector snapshots, so the json tags
+// pin its historical wire names.
 type EnergyAccount struct {
-	Grid    units.WattHour
-	Green   units.WattHour
-	Battery units.WattHour
+	Grid    units.WattHour `json:"Grid"`
+	Green   units.WattHour `json:"Green"`
+	Battery units.WattHour `json:"Battery"`
 	// GreenCharged is green energy diverted into batteries (a
 	// subset of neither Green nor Battery: it is banked, not
 	// delivered to servers).
-	GreenCharged units.WattHour
+	GreenCharged units.WattHour `json:"GreenCharged"`
 	// GridCharged is grid energy used to recharge batteries after
 	// bursts.
-	GridCharged units.WattHour
+	GridCharged units.WattHour `json:"GridCharged"`
 }
 
 // Total returns all energy delivered to the IT load.

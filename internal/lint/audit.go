@@ -101,7 +101,11 @@ func Audit(pkgs []*Package, rules []Rule) []AuditEntry {
 			}
 		}
 	}
-	sort.Slice(entries, func(i, j int) bool {
+	// (file, line, rule) is the primary order CI artifacts diff on;
+	// package and justification break any remaining ties so the report
+	// is a total order regardless of load order or map iteration
+	// anywhere upstream.
+	sort.SliceStable(entries, func(i, j int) bool {
 		a, b := entries[i], entries[j]
 		if a.File != b.File {
 			return a.File < b.File
@@ -109,7 +113,13 @@ func Audit(pkgs []*Package, rules []Rule) []AuditEntry {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Justification < b.Justification
 	})
 	return entries
 }

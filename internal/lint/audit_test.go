@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestAuditOrderDeterministic pins the -audit report row order: rows
+// sort by (file, line, rule) — the order CI artifacts diff on — with a
+// multi-rule directive on one line expanding into adjacent rows in
+// rule order, and two identical passes producing identical output.
+func TestAuditOrderDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "sim"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"),
+		[]byte("module greensprint\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Two files so the file key matters; one directive naming two rules
+	// so the rule key matters on equal (file, line).
+	srcA := `package sim
+
+import "os"
+
+//greensprint:allow(nondeterm,maprange) two rules on one line
+var A = os.Getenv("A")
+`
+	srcB := `package sim
+
+import "os"
+
+//greensprint:allow(nondeterm) single rule in a later file
+var B = os.Getenv("B")
+`
+	for name, src := range map[string]string{"a.go": srcA, "b.go": srcB} {
+		if err := os.WriteFile(filepath.Join(dir, "internal", "sim", name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Audit(pkgs, DefaultRules())
+	second := Audit(pkgs, DefaultRules())
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("two audit passes disagree:\n%v\n%v", first, second)
+	}
+	if len(first) != 3 {
+		t.Fatalf("got %d entries, want 3: %v", len(first), first)
+	}
+	sorted := sort.SliceIsSorted(first, func(i, j int) bool {
+		a, b := first[i], first[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	if !sorted {
+		t.Errorf("entries not sorted by (file, line, rule): %v", first)
+	}
+	if first[0].Rule != "maprange" || first[1].Rule != "nondeterm" {
+		t.Errorf("same-line rules out of order: %v", first[:2])
+	}
+	if !filepath.IsAbs(first[2].File) && first[2].File != first[0].File && first[0].File >= first[2].File {
+		t.Errorf("file order violated: %q before %q", first[0].File, first[2].File)
+	}
+}

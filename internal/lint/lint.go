@@ -458,8 +458,11 @@ func matchAny(rel string, patterns []string) bool {
 	return false
 }
 
-// DefaultRules is the shipped rule catalog, in reporting order.
+// DefaultRules is the shipped rule catalog, in reporting order. The
+// statecov and wiretag rules share one state-graph prepass instance so
+// the whole-program pairing walk runs once per pass.
 func DefaultRules() []Rule {
+	g := newStateGraph()
 	return []Rule{
 		NondetermRule{},
 		MapRangeRule{},
@@ -467,6 +470,9 @@ func DefaultRules() []Rule {
 		SnapshotPairRule{},
 		NoGoroutineRule{},
 		NewAllocFreeRule(),
+		NewStateCovRule(g),
+		NewLockGuardRule(),
+		NewWireTagRule(g),
 	}
 }
 

@@ -44,6 +44,9 @@ func TestRuleFixtures(t *testing.T) {
 		{"snapshotpair", ModulePath + "/internal/fixture"},
 		{"nogoroutine", ModulePath + "/internal/battery"},
 		{"allocfree", ModulePath + "/internal/sim"},
+		{"statecov", ModulePath + "/internal/fixture"},
+		{"lockguard", ModulePath + "/internal/core"},
+		{"wiretag", ModulePath + "/internal/fixture"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {

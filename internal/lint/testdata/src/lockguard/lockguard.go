@@ -1,0 +1,84 @@
+// Package fixture exercises the lockguard rule: Store's mutex guards
+// the fields below it, one field overrides position with a "guarded
+// by" comment, and the certifications — locking the right mutex, a
+// *Locked name, a "must be held" doc, pre-publication construction —
+// are each represented alongside the violations.
+package fixture
+
+import "sync"
+
+// Store is the guarded struct under test.
+type Store struct {
+	name string // before the mutex: unguarded
+
+	mu    sync.Mutex
+	count int
+	hist  []int
+
+	other sync.Mutex
+	beat  int // guarded by mu — comment override beats position
+}
+
+// Good locks the guarding mutex before touching guarded state.
+func (s *Store) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	s.hist = append(s.hist, s.count)
+	return s.count
+}
+
+// Bad touches guarded state with no lock: two findings.
+func (s *Store) Bad() int {
+	s.count++
+	return s.count
+}
+
+// WrongLock holds the wrong mutex: a finding despite the Lock call.
+func (s *Store) WrongLock() {
+	s.other.Lock()
+	defer s.other.Unlock()
+	s.count++
+}
+
+// Beat exercises the comment override: beat sits below other but is
+// guarded by mu, so locking mu is the correct certification.
+func (s *Store) Beat() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.beat++
+}
+
+// flushLocked is certified by its name suffix.
+func (s *Store) flushLocked() { s.hist = s.hist[:0] }
+
+// drain is certified by its doc comment: s.mu must be held.
+func (s *Store) drain() int { return s.count }
+
+// report reads count without the lock for a monitoring line; the
+// directive documents the deliberate raciness.
+func (s *Store) report() int {
+	return s.count //greensprint:allow(lockguard) deliberately racy monitoring read: a torn counter is tolerable, blocking the tick loop is not
+}
+
+// NewStore writes guarded fields pre-publication: allowed, nobody
+// else can see the struct yet.
+func NewStore() *Store {
+	s := &Store{name: "store"}
+	s.count = 1
+	s.hist = make([]int, 0, 4)
+	return s
+}
+
+// Peek reads guarded state from outside the owner's methods without
+// the lock: a finding.
+func Peek(s *Store) int {
+	return s.count
+}
+
+// Drain holds the mutex from outside the owner's methods: allowed.
+func Drain(s *Store) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}

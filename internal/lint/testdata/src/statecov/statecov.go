@@ -1,0 +1,69 @@
+// Package fixture exercises the statecov rule: Machine mutates six
+// fields, its Snapshot captures some, its Restore reassigns others
+// (one through a helper, proving the closure walk), and a derived
+// cache carries the sanctioned exemption directive.
+package fixture
+
+// Wire is Machine's wire struct. Tags are pinned and unique so the
+// wiretag rule stays quiet on this fixture.
+type Wire struct {
+	Count int     `json:"count"`
+	Total float64 `json:"total"`
+	In    int     `json:"in"`
+}
+
+// Machine is the stateful type under test.
+type Machine struct {
+	count   int
+	total   float64
+	halfIn  int // flows into Wire but Restore never reassigns it
+	halfOut int // Restore reassigns it but Snapshot never captures it
+	dropped int // missing from both sides
+
+	memo map[int]float64 //greensprint:allow(statecov) derived cache: entries recompute bit-identically on demand
+}
+
+// Step mutates every field, making them all checkpoint-relevant.
+func (m *Machine) Step() {
+	m.count++
+	m.total += 1.5
+	m.halfIn++
+	m.halfOut++
+	m.dropped++
+	if m.memo == nil {
+		m.memo = map[int]float64{}
+	}
+	m.memo[m.count] = m.total
+}
+
+// Snapshot captures count, total and halfIn — but not halfOut or
+// dropped.
+func (m *Machine) Snapshot() Wire {
+	return Wire{Count: m.count, Total: m.total, In: m.halfIn}
+}
+
+// Restore reassigns count and halfOut directly and total through the
+// recompute helper; halfIn and dropped stay stale.
+func (m *Machine) Restore(w Wire) {
+	m.count = w.Count
+	m.halfOut = 0
+	m.recompute(w)
+}
+
+// recompute is the restore helper the call-closure walk must reach.
+func (m *Machine) recompute(w Wire) {
+	m.total = w.Total
+	m.memo = nil
+}
+
+// Idle has a pairing but no field mutated outside it: the sanctioned
+// quiet case.
+type Idle struct {
+	limit int
+}
+
+// Snapshot captures the configuration.
+func (i *Idle) Snapshot() Wire { return Wire{Count: i.limit} }
+
+// Restore reapplies it.
+func (i *Idle) Restore(w Wire) { i.limit = w.Count }

@@ -1,0 +1,79 @@
+// Package fixture exercises the wiretag rule: Box's wire struct has
+// one of each defect — a missing tag, a duplicate tag name, a
+// nameless tag, an unexported field, an omitempty scalar written
+// conditionally with no zero-guard — next to the sanctioned forms: a
+// guarded conditional omitempty (the battery degradation pattern),
+// nilable and bool omitempty fields, and a justified exemption.
+package fixture
+
+// Box pairs Snapshot/Restore so the prepass roots BoxWire.
+type Box struct {
+	fade  float64
+	level float64
+	note  string
+	mode  int
+}
+
+// Step mutates everything so statecov demands full coverage (which
+// Snapshot/Restore below provide — this fixture must only fire
+// wiretag).
+func (b *Box) Step() {
+	b.fade *= 0.99
+	b.level++
+	b.note = "stepped"
+	b.mode++
+}
+
+// BoxWire is the wire struct under test.
+type BoxWire struct {
+	// Fade is written conditionally and zero-guarded on restore: the
+	// sanctioned migration-safe omitempty pattern.
+	Fade float64 `json:"fade,omitempty"`
+	// Level is written conditionally with no zero-guard: a finding.
+	Level float64 `json:"level,omitempty"`
+	// Note has no tag: a finding.
+	Note string
+	// Mode reuses Fade's wire name: a finding.
+	Mode int `json:"fade"`
+	// Count has a tag but no explicit name: a finding.
+	Count int `json:",omitempty"`
+	// secret is silently dropped by encoding/json: a finding.
+	secret int
+	// Flag and Items are omitempty but bool/nilable: safe.
+	Flag  bool  `json:"flag,omitempty"`
+	Items []int `json:"items,omitempty"`
+	// Fingerprint is conditional with no zero-guard, excused:
+	//greensprint:allow(wiretag) presence keyed on the nilable Items field; an empty fingerprint only decodes alongside nil Items
+	Fingerprint string `json:"fp,omitempty"`
+}
+
+// Snapshot writes Fade, Level and Fingerprint conditionally and the
+// rest unconditionally.
+func (b *Box) Snapshot() BoxWire {
+	w := BoxWire{Note: b.note, Mode: b.mode, Count: b.mode, secret: b.mode}
+	if b.fade != 1 {
+		w.Fade = b.fade
+	}
+	if b.level != 0 {
+		w.Level = b.level
+	}
+	if b.mode > 0 {
+		w.Items = []int{b.mode}
+		w.Fingerprint = "v1"
+	}
+	w.Flag = b.mode > 0
+	return w
+}
+
+// Restore zero-guards Fade (so it passes) but trusts Level verbatim
+// (so it fires).
+func (b *Box) Restore(w BoxWire) {
+	fade := w.Fade
+	if fade == 0 {
+		fade = 1
+	}
+	b.fade = fade
+	b.level = w.Level
+	b.note = w.Note
+	b.mode = w.Mode
+}

@@ -28,19 +28,22 @@ const (
 
 // State is the MDP state c_t: quantized power supply and workload
 // intensity level, both as measured during the previous epoch.
+// It is serialized inside the Hybrid strategy's wire state (the last
+// (state, action) pair), so the json tags pin its historical wire
+// names.
 type State struct {
 	// PowerLevel indexes the quantized supply from 0 (≤ idle power)
 	// to 1/step (≥ max sprint power).
-	PowerLevel int
+	PowerLevel int `json:"PowerLevel"`
 	// LoadLevel is the workload intensity level L.
-	LoadLevel int
+	LoadLevel int `json:"LoadLevel"`
 	// Degraded is the quantized degraded-capacity level: 0 for a
 	// healthy fleet (every pre-chaos state), rising as crashed
 	// servers or faded batteries shrink the rack's effective
 	// capacity. Keeping it a separate dimension lets the policy
 	// learn fault-mode behaviour without forgetting healthy-mode
 	// estimates.
-	Degraded int
+	Degraded int `json:"Degraded"`
 }
 
 // DegradedLevels is the number of degraded-capacity buckets (0 =

@@ -19,10 +19,12 @@ import (
 )
 
 // Config is one sprinting intensity: an active core count and a
-// frequency level. It is the paper's S_j.
+// frequency level. It is the paper's S_j. Config is serialized inside
+// checkpoints and epoch records; the json tags pin its historical wire
+// names.
 type Config struct {
-	Cores int
-	Freq  units.MHz
+	Cores int       `json:"Cores"`
+	Freq  units.MHz `json:"Freq"`
 }
 
 // String renders like "8c@1.5GHz".

@@ -67,6 +67,7 @@ type Checkpoint struct {
 	// class-indexed knob herd (replacing the flat Fleet snapshot,
 	// which stays empty), and ClassEnergyWh the cumulative per-class
 	// energy counters behind the event stream's class stats.
+	//greensprint:allow(wiretag) presence is keyed on the nilable ClassFleet pointer: an empty fingerprint only ever decodes alongside a nil ClassFleet, which Restore's layout check handles explicitly
 	FleetFingerprint string                  `json:"fleet_fingerprint,omitempty"`
 	ClassFleet       *pmk.ClassFleetSnapshot `json:"class_fleet,omitempty"`
 	ClassEnergyWh    []float64               `json:"class_energy_wh,omitempty"`

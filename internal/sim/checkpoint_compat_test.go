@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -199,6 +200,115 @@ func TestCheckpointV3Migration(t *testing.T) {
 		t.Fatalf("restore migrated v3 checkpoint: %v", err)
 	}
 	assertSameResult(t, ref, mustRunAll(t, fresh))
+}
+
+// asOldestBlob rewrites an encoded checkpoint into the exact wire
+// format a version-1 binary would have written: version stamped 1 and
+// every later addition stripped — the strategy fingerprint (v2), the
+// injector state (v3) and the fleet fields (v4). The pairwise helpers
+// above each remove one version's fields; this removes them all.
+func asOldestBlob(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["version"] = json.RawMessage(`1`)
+	for _, field := range []string{
+		"strategy_name",     // v2
+		"chaos",             // v3
+		"fleet_fingerprint", // v4
+		"class_fleet",       // v4
+		"class_energy_wh",   // v4
+	} {
+		delete(m, field)
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCheckpointMigrationChain walks one canned v1 blob through the
+// whole shim chain — migrateV1, migrateV2 and migrateV3 composing in a
+// single decode — where the tests above each prove one hop in
+// isolation. The end-to-end contract: the migrated checkpoint restores
+// into a fresh engine whose own re-cut checkpoint encodes byte-for-byte
+// identical to the uninterrupted reference's at the same epoch (the
+// chain recovered the full state, not merely enough to limp forward),
+// and the stitched run finishes bit-identical to the straight one.
+func TestCheckpointMigrationChain(t *testing.T) {
+	ref := mustNew(t, ckptConfig(t))
+	e := mustNew(t, ckptConfig(t))
+	stopAt := e.TotalEpochs() / 2
+	for i := 0; i < stopAt; i++ {
+		if _, _, err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := DecodeCheckpoint(asOldestBlob(t, b))
+	if err != nil {
+		t.Fatalf("decode v1 checkpoint through the full chain: %v", err)
+	}
+	if got.Version != CheckpointVersion {
+		t.Errorf("migrated version = %d, want %d", got.Version, CheckpointVersion)
+	}
+	if got.StrategyName != "" {
+		t.Errorf("migrated strategy name = %q, want empty (v1 predates the field)", got.StrategyName)
+	}
+	if got.Chaos != nil {
+		t.Errorf("migrated v1 checkpoint carries injector state: %+v", got.Chaos)
+	}
+	if got.ClassFleet != nil || got.FleetFingerprint != "" || got.ClassEnergyWh != nil {
+		t.Errorf("migrated v1 checkpoint carries fleet state: %q %v %v",
+			got.FleetFingerprint, got.ClassFleet, got.ClassEnergyWh)
+	}
+
+	fresh := mustNew(t, ckptConfig(t))
+	if err := fresh.Restore(got); err != nil {
+		t.Fatalf("restore migrated v1 checkpoint: %v", err)
+	}
+	if fresh.EpochIndex() != stopAt {
+		t.Fatalf("restored epoch index = %d, want %d", fresh.EpochIndex(), stopAt)
+	}
+
+	// Re-cut checkpoints from the restored engine and the reference at
+	// the same epoch: both stamp the current version and the engine's
+	// own strategy fingerprint, so the encodings must match exactly.
+	refCp, err := ref.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshCp, err := fresh.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB, err := refCp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshB, err := freshCp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refB, freshB) {
+		t.Errorf("re-cut checkpoint differs from the reference's:\nreference %s\nrestored  %s", refB, freshB)
+	}
+
+	assertSameResult(t, mustRunAll(t, ref), mustRunAll(t, fresh))
 }
 
 // TestCheckpointStrategyMismatch verifies the v2 fingerprint: a

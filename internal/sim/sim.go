@@ -91,24 +91,26 @@ type Config struct {
 	Chaos *chaos.Schedule
 }
 
-// EpochRecord captures one scheduling epoch of one run.
+// EpochRecord captures one scheduling epoch of one run. The json tags
+// pin the historical wire names (the Go identifiers) so a field rename
+// cannot silently change the golden results or the checkpoint schema.
 type EpochRecord struct {
-	Start    time.Time
-	InBurst  bool
-	Case     pss.Case
-	Config   server.Config
-	Supply   units.Watt // green power available (observed)
-	Green    units.Watt // green power delivered to servers
-	Battery  units.Watt // battery power delivered
-	Grid     units.Watt // grid power delivered (fallback/Normal)
-	Offered  float64    // per-server offered rate
-	Goodput  float64    // per-server QoS-compliant throughput
-	NormPerf float64    // goodput normalized to Normal mode
-	Latency  float64    // effective SLA-percentile latency (s)
-	SoC      float64    // battery mean state of charge after epoch
+	Start    time.Time     `json:"Start"`
+	InBurst  bool          `json:"InBurst"`
+	Case     pss.Case      `json:"Case"`
+	Config   server.Config `json:"Config"`
+	Supply   units.Watt    `json:"Supply"`   // green power available (observed)
+	Green    units.Watt    `json:"Green"`    // green power delivered to servers
+	Battery  units.Watt    `json:"Battery"`  // battery power delivered
+	Grid     units.Watt    `json:"Grid"`     // grid power delivered (fallback/Normal)
+	Offered  float64       `json:"Offered"`  // per-server offered rate
+	Goodput  float64       `json:"Goodput"`  // per-server QoS-compliant throughput
+	NormPerf float64       `json:"NormPerf"` // goodput normalized to Normal mode
+	Latency  float64       `json:"Latency"`  // effective SLA-percentile latency (s)
+	SoC      float64       `json:"SoC"`      // battery mean state of charge after epoch
 	// SprintFraction is the fraction of the epoch the sprint was
 	// powered (0 outside bursts and under grid fallback).
-	SprintFraction float64
+	SprintFraction float64 `json:"SprintFraction"`
 }
 
 // Result is the outcome of a run.
